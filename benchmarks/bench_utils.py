@@ -1,0 +1,42 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each benchmark regenerates one figure of the paper: it runs the
+corresponding experiment (at a tractable scale — the modules in
+``repro.experiments`` expose the paper-scale parameterisations), prints
+the same series the paper plots, saves a CSV under ``results/`` and
+asserts the qualitative *shape* the paper reports.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.recorder import write_csv
+
+#: Output directory for regenerated figure data.
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def save_rows(name: str, rows) -> Path:
+    """Persist experiment rows as results/<name>.csv."""
+    return write_csv(RESULTS_DIR / f"{name}.csv", rows)
+
+
+def group_mean(rows, group_keys, value_key):
+    """Mean of ``value_key`` per combination of ``group_keys``."""
+    groups: dict[tuple, list[float]] = {}
+    for row in rows:
+        key = tuple(row[k] for k in group_keys)
+        groups.setdefault(key, []).append(float(row[value_key]))
+    return {k: float(np.mean(v)) for k, v in groups.items()}
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once through pytest-benchmark.
+
+    The experiments are long-running simulations; repeating them for
+    statistical timing would multiply the suite cost for no insight.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

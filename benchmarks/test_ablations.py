@@ -1,0 +1,70 @@
+"""Ablations of the EdgeBOL design choices (Section 5 discussion)."""
+
+from bench_utils import run_once, save_rows
+
+from repro.experiments.ablations import (
+    beta_ablation,
+    kernel_ablation,
+    safe_set_ablation,
+)
+from repro.testbed.config import TestbedConfig
+from repro.utils.ascii import render_table
+
+TESTBED = TestbedConfig(n_levels=7)
+
+
+def _print(title, results):
+    print()
+    print(title)
+    print(render_table(
+        ["variant", "tail cost", "delay viol.", "mAP viol."],
+        [
+            [r.variant, r.tail_cost, r.delay_violation_rate,
+             r.map_violation_rate]
+            for r in results
+        ],
+    ))
+
+
+def test_ablation_beta(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: beta_ablation(n_periods=90, testbed=TESTBED),
+    )
+    save_rows("ablation_beta", [r.as_dict() for r in results])
+    _print("Ablation — confidence multiplier beta", results)
+    by_variant = {r.variant: r for r in results}
+    # A larger beta is more conservative: it cannot violate more than
+    # the smallest beta by a wide margin.
+    assert (
+        by_variant["beta=4.0"].delay_violation_rate
+        <= by_variant["beta=1.0"].delay_violation_rate + 0.1
+    )
+
+
+def test_ablation_kernel(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: kernel_ablation(n_periods=90, testbed=TESTBED),
+    )
+    save_rows("ablation_kernel", [r.as_dict() for r in results])
+    _print("Ablation — Matern smoothness nu", results)
+    # All kernels must keep the system within constraints most of the
+    # time; the paper's nu = 3/2 is the default.
+    for r in results:
+        assert r.delay_violation_rate < 0.25
+        assert r.tail_cost < 150.0
+
+
+def test_ablation_safe_set(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: safe_set_ablation(n_periods=90, testbed=TESTBED),
+    )
+    save_rows("ablation_safe_set", [r.as_dict() for r in results])
+    _print("Ablation — safe set vs penalised unconstrained GP", results)
+    by_variant = {r.variant: r for r in results}
+    safe = by_variant["safe-set (EdgeBOL)"]
+    unsafe = by_variant["penalized GP (no safe set)"]
+    # The safe set is what keeps violations near zero during learning.
+    assert safe.delay_violation_rate <= unsafe.delay_violation_rate

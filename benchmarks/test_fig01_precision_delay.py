@@ -1,0 +1,35 @@
+"""Figure 1: mAP vs service delay for different image resolutions."""
+
+from bench_utils import group_mean, run_once, save_rows
+
+from repro.experiments import profiling
+from repro.testbed.scenarios import static_scenario
+from repro.utils.ascii import render_table
+
+
+def test_fig01_precision_vs_delay(benchmark):
+    env = static_scenario(mean_snr_db=35.0, rng=0)
+    rows = run_once(
+        benchmark, lambda: profiling.fig1_precision_vs_delay(env, dots_per_point=10)
+    )
+    save_rows("fig01_precision_delay", rows)
+
+    mean_map = group_mean(rows, ("resolution",), "map")
+    mean_delay = group_mean(rows, ("resolution",), "delay_ms")
+    table = [
+        [r, mean_delay[(r,)], mean_map[(r,)]]
+        for r in sorted({row["resolution"] for row in rows})
+    ]
+    print()
+    print("Figure 1 — mAP vs service delay per image resolution")
+    print(render_table(["resolution", "mean delay (ms)", "mean mAP"], table))
+
+    # Paper shape: higher resolution -> higher delay AND higher mAP;
+    # low resolution loses a large fraction of precision.
+    resolutions = sorted({row["resolution"] for row in rows})
+    delays = [mean_delay[(r,)] for r in resolutions]
+    maps = [mean_map[(r,)] for r in resolutions]
+    assert all(b > a for a, b in zip(delays, delays[1:]))
+    assert all(b > a for a, b in zip(maps, maps[1:]))
+    relative_drop = 1.0 - maps[0] / maps[-1]
+    assert 0.4 < relative_drop < 0.8  # paper: 10-50%+ precision cost

@@ -1,0 +1,40 @@
+"""Figure 2: service delay vs server power across airtime panels."""
+
+from bench_utils import group_mean, run_once, save_rows
+
+from repro.experiments import profiling
+from repro.testbed.scenarios import static_scenario
+from repro.utils.ascii import render_table
+
+
+def test_fig02_delay_vs_server_power(benchmark):
+    env = static_scenario(mean_snr_db=35.0, rng=0)
+    rows = run_once(
+        benchmark,
+        lambda: profiling.fig2_delay_vs_server_power(env, dots_per_point=8),
+    )
+    save_rows("fig02_delay_serverpower", rows)
+
+    mean_delay = group_mean(rows, ("airtime", "resolution"), "delay_ms")
+    mean_power = group_mean(rows, ("airtime", "resolution"), "server_power_w")
+    table = [
+        [a, r, mean_power[(a, r)], mean_delay[(a, r)]]
+        for (a, r) in sorted(mean_delay)
+    ]
+    print()
+    print("Figure 2 — delay vs server power (airtime panels)")
+    print(render_table(
+        ["airtime", "resolution", "server W", "delay (ms)"], table
+    ))
+
+    # Paper shapes: (i) more airtime cuts delay by 65-80%,
+    # (ii) more airtime raises server power (higher frame rate),
+    # (iii) higher resolution raises delay within each panel.
+    d_low = mean_delay[(0.2, 1.0)]
+    d_high = mean_delay[(1.0, 1.0)]
+    improvement = 1.0 - d_high / d_low
+    assert 0.5 < improvement < 0.9
+    assert mean_power[(1.0, 1.0)] > mean_power[(0.2, 1.0)]
+    for airtime in (0.2, 0.5, 1.0):
+        assert mean_delay[(airtime, 1.0)] > mean_delay[(airtime, 0.25)]
+        assert mean_power[(airtime, 0.25)] > mean_power[(airtime, 1.0)]

@@ -1,0 +1,38 @@
+"""Figure 3: service/GPU delay vs server power across GPU-speed panels."""
+
+from bench_utils import group_mean, run_once, save_rows
+
+from repro.experiments import profiling
+from repro.testbed.scenarios import static_scenario
+from repro.utils.ascii import render_table
+
+
+def test_fig03_gpu_policies(benchmark):
+    env = static_scenario(mean_snr_db=35.0, rng=0)
+    rows = run_once(
+        benchmark, lambda: profiling.fig3_gpu_policies(env, dots_per_point=8)
+    )
+    save_rows("fig03_gpu_policies", rows)
+
+    mean_delay = group_mean(rows, ("gpu_speed", "resolution"), "delay_ms")
+    mean_gpu_delay = group_mean(rows, ("gpu_speed", "resolution"), "gpu_delay_ms")
+    mean_power = group_mean(rows, ("gpu_speed", "resolution"), "server_power_w")
+    table = [
+        [g, r, mean_power[(g, r)], mean_delay[(g, r)], mean_gpu_delay[(g, r)]]
+        for (g, r) in sorted(mean_delay)
+    ]
+    print()
+    print("Figure 3 — delay & GPU delay vs server power (GPU panels)")
+    print(render_table(
+        ["gpu speed", "resolution", "server W", "delay ms", "gpu delay ms"],
+        table,
+    ))
+
+    # Paper shapes: (i) higher GPU speed -> lower GPU delay & higher
+    # power; (ii) higher resolution *eases* the per-image GPU work;
+    # (iii) low-res images raise server power via request rate.
+    assert mean_gpu_delay[(0.1, 0.5)] > mean_gpu_delay[(1.0, 0.5)]
+    assert mean_power[(1.0, 0.5)] > mean_power[(0.1, 0.5)]
+    for gpu_speed in (0.1, 0.45, 1.0):
+        assert mean_gpu_delay[(gpu_speed, 0.25)] > mean_gpu_delay[(gpu_speed, 1.0)]
+        assert mean_power[(gpu_speed, 0.25)] > mean_power[(gpu_speed, 1.0)]

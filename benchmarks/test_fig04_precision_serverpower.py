@@ -1,0 +1,31 @@
+"""Figure 4: mAP vs server power for different image resolutions."""
+
+from bench_utils import group_mean, run_once, save_rows
+
+from repro.experiments import profiling
+from repro.testbed.scenarios import static_scenario
+from repro.utils.ascii import render_table
+
+
+def test_fig04_precision_vs_server_power(benchmark):
+    env = static_scenario(mean_snr_db=35.0, rng=0)
+    rows = run_once(
+        benchmark,
+        lambda: profiling.fig4_precision_vs_server_power(env, dots_per_point=10),
+    )
+    save_rows("fig04_precision_serverpower", rows)
+
+    mean_map = group_mean(rows, ("resolution",), "map")
+    mean_power = group_mean(rows, ("resolution",), "server_power_w")
+    resolutions = sorted({row["resolution"] for row in rows})
+    table = [[r, mean_power[(r,)], mean_map[(r,)]] for r in resolutions]
+    print()
+    print("Figure 4 — mAP vs server power per resolution")
+    print(render_table(["resolution", "server W", "mAP"], table))
+
+    # Paper's surprising shape: higher mAP <-> LOWER server power
+    # (high-res frames slow the request rate and ease the GPU).
+    maps = [mean_map[(r,)] for r in resolutions]
+    powers = [mean_power[(r,)] for r in resolutions]
+    assert all(b > a for a, b in zip(maps, maps[1:]))
+    assert all(b < a for a, b in zip(powers, powers[1:]))

@@ -1,0 +1,35 @@
+"""Figure 5: BS power vs radio policies (1x load)."""
+
+from bench_utils import group_mean, run_once, save_rows
+
+from repro.experiments import profiling
+from repro.testbed.scenarios import static_scenario
+from repro.utils.ascii import render_table
+
+
+def test_fig05_bs_power_vs_mcs(benchmark):
+    env = static_scenario(mean_snr_db=35.0, rng=0)
+    rows = run_once(
+        benchmark, lambda: profiling.fig5_bs_power_vs_mcs(env, dots_per_point=5)
+    )
+    save_rows("fig05_bspower_mcs", rows)
+
+    mean_power = group_mean(rows, ("airtime", "resolution", "mcs_policy"), "bs_power_w")
+    print()
+    print("Figure 5 — BS power vs MCS policy (1x load), resolution=1.0")
+    table = [
+        [a, m, mean_power[(a, 1.0, m)]]
+        for a in (0.2, 0.5, 1.0)
+        for m in sorted({row["mcs_policy"] for row in rows})
+    ]
+    print(render_table(["airtime", "mcs policy", "BS power W"], table))
+
+    # Paper shapes at low load: (i) higher MCS -> LOWER BS power,
+    # (ii) more airtime -> higher BS power (higher request rate),
+    # (iii) lower resolution -> smaller BS power footprint.
+    assert mean_power[(1.0, 1.0, 0.4)] > mean_power[(1.0, 1.0, 1.0)]
+    assert mean_power[(1.0, 1.0, 1.0)] > mean_power[(0.2, 1.0, 1.0)]
+    assert mean_power[(1.0, 1.0, 1.0)] > mean_power[(1.0, 0.25, 1.0)]
+    # Absolute range matches the 4-8 W the paper measures.
+    values = list(mean_power.values())
+    assert min(values) > 4.0 and max(values) < 9.0

@@ -1,0 +1,32 @@
+"""Figure 6: BS power vs radio policies at 10x emulated load."""
+
+from bench_utils import group_mean, run_once, save_rows
+
+from repro.experiments import profiling
+from repro.utils.ascii import render_table
+
+
+def test_fig06_bs_power_vs_mcs_10x(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: profiling.fig6_bs_power_vs_mcs_10x(dots_per_point=5),
+    )
+    save_rows("fig06_bspower_10x", rows)
+
+    mean_power = group_mean(
+        rows, ("airtime", "resolution", "mcs_policy"), "bs_power_w"
+    )
+    print()
+    print("Figure 6 — BS power vs MCS policy (10x load), airtime=1.0")
+    table = [
+        [r, m, mean_power[(1.0, r, m)]]
+        for r in (0.25, 1.0)
+        for m in sorted({row["mcs_policy"] for row in rows})
+    ]
+    print(render_table(["resolution", "mcs policy", "BS power W"], table))
+
+    # Paper's regime flip at high load: for HIGH-resolution traffic the
+    # slice saturates and higher MCS *raises* BS power, while for
+    # LOW-resolution traffic higher MCS still lowers it.
+    assert mean_power[(1.0, 1.0, 1.0)] > mean_power[(1.0, 1.0, 0.6)]
+    assert mean_power[(1.0, 0.25, 1.0)] < mean_power[(1.0, 0.25, 0.6)]

@@ -1,0 +1,86 @@
+"""Figure 9: convergence of EdgeBOL across delta2 values.
+
+Paper setting: static context (SNR 35 dB), delta1 = 1 mu/W,
+rho_min = 0.5, d_max = 0.4 s, 150 periods, 10 repetitions, delta2 in
+{1, 2, 4, 8, 16, 32, 64}.  This benchmark runs a reduced sweep
+(delta2 in {1, 8, 64}, 3 repetitions, 120 periods, 9-level grid) —
+the full parameterisation is
+``repro.experiments.convergence.run_convergence_sweep()``.
+"""
+
+import numpy as np
+from bench_utils import run_once, save_rows
+
+from repro.experiments.convergence import (
+    ConvergenceSetting,
+    convergence_time,
+    run_convergence,
+)
+from repro.experiments.runner import band
+from repro.utils.ascii import render_chart, render_table
+
+DELTA2_VALUES = (1.0, 8.0, 64.0)
+SETTING = ConvergenceSetting(n_periods=120, n_repetitions=3, n_levels=9)
+
+
+def run_sweep():
+    return {
+        delta2: [
+            run_convergence(delta2, setting=SETTING, seed=seed)
+            for seed in range(SETTING.n_repetitions)
+        ]
+        for delta2 in DELTA2_VALUES
+    }
+
+
+def test_fig09_convergence(benchmark):
+    results = run_once(benchmark, run_sweep)
+
+    rows = []
+    table = []
+    for delta2, logs in results.items():
+        median_cost, _, _ = band(logs, "cost")
+        for t, value in enumerate(median_cost):
+            rows.append({"delta2": delta2, "t": t, "median_cost": value})
+        conv_times = [convergence_time(log) for log in logs]
+        delay_viols = [log.violation_rates(burn_in=40)[0] for log in logs]
+        map_viols = [log.violation_rates(burn_in=40)[1] for log in logs]
+        table.append([
+            delta2,
+            float(np.mean(median_cost[:5])),
+            float(np.mean(median_cost[-20:])),
+            float(np.median(conv_times)),
+            float(np.mean(delay_viols)),
+            float(np.mean(map_viols)),
+            float(np.mean([log.tail_mean("server_power_w") for log in logs])),
+            float(np.mean([log.tail_mean("bs_power_w") for log in logs])),
+        ])
+    save_rows("fig09_convergence", rows)
+
+    print()
+    print("Figure 9 — convergence per delta2 (median across repetitions)")
+    print(render_table(
+        [
+            "delta2", "initial cost", "final cost", "median conv. time",
+            "delay viol.", "mAP viol.", "server W", "BS W",
+        ],
+        table,
+    ))
+    series = {
+        f"d2={delta2:g}": [
+            r["median_cost"] for r in rows if r["delta2"] == delta2
+        ]
+        for delta2 in DELTA2_VALUES
+    }
+    print(render_chart(series, title="median cost u_t over time"))
+
+    # Paper shapes: cost converges within tens of periods; higher
+    # delta2 means higher cost level; constraints hold on convergence.
+    for delta2, logs in results.items():
+        for log in logs:
+            assert convergence_time(log, tolerance=0.15) < 80
+            delay_viol, map_viol = log.violation_rates(burn_in=40)
+            assert delay_viol < 0.15
+            assert map_viol < 0.1
+    final = {row[0]: row[2] for row in table}
+    assert final[64.0] > final[8.0] > final[1.0]

@@ -1,0 +1,70 @@
+"""Figure 10: converged powers & normalised cost vs delta2, with the
+exhaustive-search oracle as the dashed reference.
+
+Reduced sweep (delta2 in {1, 4, 16, 64}, 9-level grid); the paper-scale
+sweep is ``repro.experiments.static.run_static_sweep()``.
+"""
+
+import numpy as np
+from bench_utils import run_once, save_rows
+
+from repro.experiments.static import CONSTRAINT_SETTINGS, run_static_cell
+from repro.testbed.config import TestbedConfig
+from repro.utils.ascii import render_table
+
+DELTA2_VALUES = (1.0, 4.0, 16.0, 64.0)
+TESTBED = TestbedConfig(n_levels=9)
+
+
+def run_sweep():
+    results = []
+    for constraints in CONSTRAINT_SETTINGS:
+        for delta2 in DELTA2_VALUES:
+            results.append(
+                run_static_cell(
+                    constraints, delta2, n_periods=120, testbed=TESTBED
+                )
+            )
+    return results
+
+
+def test_fig10_static_cost(benchmark):
+    results = run_once(benchmark, run_sweep)
+    save_rows("fig10_static_cost", [r.as_dict() for r in results])
+
+    print()
+    print("Figure 10 — converged cost/powers vs delta2 (oracle dashed)")
+    print(render_table(
+        [
+            "d_max", "rho_min", "delta2", "norm. cost", "oracle norm.",
+            "server W", "BS W",
+        ],
+        [
+            [
+                r.d_max_s, r.rho_min, r.delta2, r.normalized_cost,
+                r.oracle_normalized_cost, r.server_power_w, r.bs_power_w,
+            ]
+            for r in results
+        ],
+    ))
+
+    by_cell = {(r.d_max_s, r.rho_min, r.delta2): r for r in results}
+
+    # Shape 1: higher delta2 shifts power away from the BS (compare the
+    # extremes for the lax setting, where EdgeBOL has most leeway).
+    lax_low = by_cell[(0.5, 0.4, 1.0)]
+    lax_high = by_cell[(0.5, 0.4, 64.0)]
+    assert lax_high.bs_power_w < lax_low.bs_power_w
+
+    # Shape 2: stricter constraints cost at least as much (per delta2).
+    for delta2 in DELTA2_VALUES:
+        lax = by_cell[(0.5, 0.4, delta2)]
+        stringent = by_cell[(0.3, 0.6, delta2)]
+        assert stringent.cost >= lax.cost * 0.95
+
+    # Shape 3: EdgeBOL lands near the oracle for the lax/medium settings
+    # (the paper reports near-optimal operation).
+    for constraints in CONSTRAINT_SETTINGS[:2]:
+        for delta2 in DELTA2_VALUES:
+            r = by_cell[(constraints.d_max_s, constraints.rho_min, delta2)]
+            assert r.cost <= r.oracle_cost * 1.35

@@ -1,0 +1,69 @@
+"""Figure 11: converged control policies vs delta2 per constraint set.
+
+Shares the reduced sweep of Fig. 10 (the same experiment produces both
+figures in the paper).
+"""
+
+from bench_utils import run_once, save_rows
+
+from repro.experiments.static import CONSTRAINT_SETTINGS, run_static_cell
+from repro.testbed.config import TestbedConfig
+from repro.utils.ascii import render_table
+
+DELTA2_VALUES = (1.0, 64.0)
+TESTBED = TestbedConfig(n_levels=9)
+
+
+def run_sweep():
+    results = []
+    for constraints in CONSTRAINT_SETTINGS:
+        for delta2 in DELTA2_VALUES:
+            results.append(
+                run_static_cell(
+                    constraints, delta2, n_periods=120, testbed=TESTBED
+                )
+            )
+    return results
+
+
+def test_fig11_static_policies(benchmark):
+    results = run_once(benchmark, run_sweep)
+    save_rows("fig11_static_policies", [r.as_dict() for r in results])
+
+    print()
+    print("Figure 11 — converged mean policies vs delta2")
+    print(render_table(
+        ["d_max", "rho_min", "delta2", "resolution", "airtime", "gpu", "mcs"],
+        [
+            [
+                r.d_max_s, r.rho_min, r.delta2, r.resolution, r.airtime,
+                r.gpu_speed, r.mcs_fraction,
+            ]
+            for r in results
+        ],
+    ))
+
+    by_cell = {(r.d_max_s, r.rho_min, r.delta2): r for r in results}
+
+    # Paper shapes for the lax setting: small delta2 -> cheap server
+    # policies (low GPU speed) compensated by high radio resources;
+    # large delta2 -> cheaper radio (lower airtime and/or resolution)
+    # compensated by higher GPU speed.
+    lax_low = by_cell[(0.5, 0.4, 1.0)]
+    lax_high = by_cell[(0.5, 0.4, 64.0)]
+    assert lax_low.gpu_speed < 0.6
+    # Radio gets cheaper as delta2 grows: lower airtime and/or lower
+    # resolution, with the MCS cap not decreasing (higher MCS drains
+    # the BS less at this load, Fig. 5).
+    assert (
+        lax_high.airtime < lax_low.airtime - 0.02
+        or lax_high.resolution < lax_low.resolution - 0.02
+    )
+    assert lax_high.mcs_fraction >= lax_low.mcs_fraction - 0.15
+
+    # Stringent setting: little room to move — policies stay near max
+    # resources for every delta2 (the paper's "roughly consistent").
+    for delta2 in DELTA2_VALUES:
+        r = by_cell[(0.3, 0.6, delta2)]
+        assert r.resolution > 0.85
+        assert r.airtime > 0.85

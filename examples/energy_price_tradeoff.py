@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Energy-price trade-off: shifting consumption between BS and server.
+
+Section 6.2 of the paper: the relative price of a watt at the vBS
+(delta2) versus at the edge server (delta1) steers EdgeBOL to shift
+power between the two. A solar-powered small cell (expensive BS watts,
+high delta2) ends up with low-consuming radio policies compensated by
+GPU speed; cheap grid power at the BS (low delta2) does the opposite.
+
+This example sweeps delta2 and prints the converged powers and
+policies — the data behind Figs. 10-11.
+
+Usage:
+    python examples/energy_price_tradeoff.py [n_periods_per_cell]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import CostWeights, EdgeBOL, ServiceConstraints, TestbedConfig
+from repro.testbed.scenarios import static_scenario
+from repro.utils.ascii import render_table
+
+
+def converge(delta2: float, n_periods: int, config: TestbedConfig):
+    env = static_scenario(mean_snr_db=35.0, rng=5, config=config)
+    agent = EdgeBOL(
+        config.control_grid(),
+        ServiceConstraints(d_max_s=0.5, rho_min=0.4),
+        CostWeights(delta1=1.0, delta2=delta2),
+    )
+    server_p, bs_p, policies = [], [], []
+    for _ in range(n_periods):
+        context = env.observe_context()
+        policy = agent.select(context)
+        observation = env.step(policy)
+        agent.observe(context, policy, observation)
+        server_p.append(observation.server_power_w)
+        bs_p.append(observation.bs_power_w)
+        policies.append(policy.to_array())
+    tail = slice(-20, None)
+    mean_policy = np.mean(policies[-20:], axis=0)
+    return (
+        float(np.mean(server_p[tail])),
+        float(np.mean(bs_p[tail])),
+        mean_policy,
+    )
+
+
+def main(n_periods: int = 100) -> None:
+    config = TestbedConfig()
+    rows = []
+    for delta2 in (1.0, 4.0, 16.0, 64.0):
+        server_power, bs_power, policy = converge(delta2, n_periods, config)
+        rows.append(
+            [
+                delta2,
+                server_power,
+                bs_power,
+                policy[0],
+                policy[1],
+                policy[2],
+                policy[3],
+            ]
+        )
+    print(render_table(
+        [
+            "delta2", "server W", "BS W",
+            "resolution", "airtime", "gpu", "mcs",
+        ],
+        rows,
+    ))
+    print(
+        "\nExpected shape (paper Figs. 10-11): as delta2 grows, BS power"
+        " falls (cheaper to spend server watts), airtime/resolution drop"
+        " and GPU speed rises to compensate the delay."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 100)

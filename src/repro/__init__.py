@@ -1,0 +1,63 @@
+"""EdgeBOL reproduction: energy-aware orchestration of mobile edge AI.
+
+A full-system reproduction of *EdgeBOL: Automating Energy-savings for
+Mobile Edge AI* (Ayala-Romero et al., CoNEXT 2021): the contextual,
+constrained Bayesian online-learning agent plus every substrate it
+needs -- a simulated srsRAN-style virtualized base station, a
+GPU-enabled edge server with a closed queueing network, a synthetic
+COCO-like video-analytics service with a real mAP evaluator, the O-RAN
+orchestration plane, and neural-network / oracle benchmarks.
+
+Quickstart::
+
+    from repro import (
+        EdgeBOL, CostWeights, ServiceConstraints, TestbedConfig,
+        static_scenario,
+    )
+
+    config = TestbedConfig()
+    env = static_scenario(mean_snr_db=35.0, rng=0)
+    agent = EdgeBOL(
+        config.control_grid(),
+        ServiceConstraints(d_max_s=0.4, rho_min=0.5),
+        CostWeights(delta1=1.0, delta2=1.0),
+    )
+    for _ in range(100):
+        context = env.observe_context()
+        policy = agent.select(context)
+        observation = env.step(policy)
+        agent.observe(context, policy, observation)
+"""
+
+from repro.core.edgebol import EdgeBOL, EdgeBOLConfig
+from repro.testbed.config import (
+    ControlPolicy,
+    CostWeights,
+    ServiceConstraints,
+    TestbedConfig,
+)
+from repro.testbed.context import Context
+from repro.testbed.env import EdgeAIEnvironment, TestbedObservation
+from repro.testbed.scenarios import (
+    dynamic_scenario,
+    heterogeneous_scenario,
+    static_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EdgeBOL",
+    "EdgeBOLConfig",
+    "ControlPolicy",
+    "CostWeights",
+    "ServiceConstraints",
+    "TestbedConfig",
+    "Context",
+    "EdgeAIEnvironment",
+    "TestbedObservation",
+    "dynamic_scenario",
+    "heterogeneous_scenario",
+    "static_scenario",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Benchmark policies: DDPG, the offline oracle, and simple baselines.
+
+These are the comparison points of the paper's evaluation:
+
+* :class:`DDPGController` — the neural actor-critic benchmark adapted
+  from vrAIn to the contextual-bandit setting, with the paper's "DDPG
+  cost" constraint handling (Section 6.5 / Fig. 14);
+* :class:`ExhaustiveOracle` — the offline exhaustive-search optimum
+  used as the dashed lines of Fig. 10 and the optimality gap of
+  Fig. 12;
+* :class:`EpsilonGreedyBandit` and :class:`PenalizedGPBandit` —
+  additional baselines used by the ablation benches.
+"""
+
+from repro.bandit.ddpg import DDPGConfig, DDPGController
+from repro.bandit.epsilon_greedy import EpsilonGreedyBandit
+from repro.bandit.gp_ucb import PenalizedGPBandit
+from repro.bandit.linucb import LinUCBController
+from repro.bandit.oracle import ExhaustiveOracle, OracleResult
+from repro.bandit.safeopt import SafeOptController
+
+__all__ = [
+    "DDPGConfig",
+    "DDPGController",
+    "EpsilonGreedyBandit",
+    "PenalizedGPBandit",
+    "LinUCBController",
+    "ExhaustiveOracle",
+    "OracleResult",
+    "SafeOptController",
+]

@@ -1,0 +1,245 @@
+"""DDPG benchmark adapted to the contextual-bandit problem.
+
+Follows Section 6.5 of the paper: a deep deterministic policy gradient
+agent (inspired by vrAIn) whose critic, instead of a bootstrapped Q
+function, learns the immediate *DDPG cost* — the normalised cost of
+eq. (1) when every constraint of problem (2) holds, and the maximum
+cost value otherwise.  The actor uses a sigmoid output layer; all
+hyperparameters are tuned for convergence speed on this problem.
+
+Being a parametric model trained against the feasibility-dependent DDPG
+cost, the agent must *relearn* whenever the constraint thresholds
+change — the behaviour contrasted against EdgeBOL in Fig. 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import MLP, Adam, mse_loss
+from repro.testbed.config import ControlPolicy, CostWeights, ServiceConstraints
+from repro.testbed.context import Context
+from repro.testbed.env import TestbedObservation
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DDPGConfig:
+    """Hyperparameters of the DDPG benchmark.
+
+    ``cost_scale`` normalises raw costs into ~[0, 1]; the DDPG cost of
+    an infeasible period is exactly 1 (the maximum).
+    """
+
+    hidden_sizes: tuple[int, ...] = (64, 64)
+    actor_lr: float = 1e-3
+    critic_lr: float = 2e-3
+    buffer_size: int = 20_000
+    batch_size: int = 64
+    updates_per_step: int = 4
+    noise_std_init: float = 0.25
+    noise_decay: float = 0.997
+    noise_std_min: float = 0.02
+    cost_scale: float = 300.0
+    warmup_steps: int = 20
+
+    def __post_init__(self) -> None:
+        check_positive(self.actor_lr, "actor_lr")
+        check_positive(self.critic_lr, "critic_lr")
+        check_positive(self.cost_scale, "cost_scale")
+        if self.batch_size < 1 or self.buffer_size < self.batch_size:
+            raise ValueError("need buffer_size >= batch_size >= 1")
+
+
+class _ReplayBuffer:
+    """Fixed-capacity FIFO replay of (context, action, ddpg_cost)."""
+
+    def __init__(self, capacity: int, context_dim: int, action_dim: int) -> None:
+        self.capacity = capacity
+        self._contexts = np.zeros((capacity, context_dim))
+        self._actions = np.zeros((capacity, action_dim))
+        self._costs = np.zeros(capacity)
+        self._size = 0
+        self._cursor = 0
+
+    def push(self, context: np.ndarray, action: np.ndarray, cost: float) -> None:
+        i = self._cursor
+        self._contexts[i] = context
+        self._actions[i] = action
+        self._costs[i] = cost
+        self._cursor = (self._cursor + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def sample(self, batch_size: int, rng: np.random.Generator):
+        indices = rng.integers(0, self._size, size=batch_size)
+        return (
+            self._contexts[indices],
+            self._actions[indices],
+            self._costs[indices],
+        )
+
+
+class DDPGController:
+    """Actor-critic contextual-bandit controller.
+
+    Exposes the same ``select`` / ``observe`` / ``set_constraints``
+    interface as :class:`repro.core.edgebol.EdgeBOL` so experiment
+    runners can drive either interchangeably.
+
+    Parameters
+    ----------
+    constraints, cost_weights:
+        Problem definition (constraints feed the DDPG cost).
+    config:
+        Hyperparameters.
+    min_resolution, min_airtime:
+        Physical lower bounds of the first two control axes (the actor
+        output in [0, 1] is affinely mapped onto the valid range).
+    """
+
+    def __init__(
+        self,
+        constraints: ServiceConstraints,
+        cost_weights: CostWeights,
+        config: DDPGConfig | None = None,
+        context_dim: int = Context.dimension(),
+        max_users: int = 8,
+        min_resolution: float = 0.25,
+        min_airtime: float = 0.1,
+        rng=None,
+    ) -> None:
+        self.constraints = constraints
+        self.cost_weights = cost_weights
+        self.config = config if config is not None else DDPGConfig()
+        self.context_dim = int(context_dim)
+        self.max_users = int(max_users)
+        self._low = np.array([min_resolution, min_airtime, 0.0, 0.0])
+        self._high = np.ones(4)
+
+        actor_rng, critic_rng, self._rng = spawn_rngs(ensure_rng(rng), 3)
+        cfg = self.config
+        self.actor = MLP(
+            [self.context_dim, *cfg.hidden_sizes, 4],
+            hidden_activation="relu",
+            output_activation="sigmoid",
+            rng=actor_rng,
+        )
+        self.critic = MLP(
+            [self.context_dim + 4, *cfg.hidden_sizes, 1],
+            hidden_activation="relu",
+            output_activation="linear",
+            rng=critic_rng,
+        )
+        self._actor_optim = Adam(self.actor.parameters(), learning_rate=cfg.actor_lr)
+        self._critic_optim = Adam(self.critic.parameters(), learning_rate=cfg.critic_lr)
+        self._buffer = _ReplayBuffer(cfg.buffer_size, self.context_dim, 4)
+        self._noise_std = cfg.noise_std_init
+        self._steps = 0
+
+    # -- policy mapping ---------------------------------------------------
+
+    def _action_to_policy(self, action: np.ndarray) -> ControlPolicy:
+        scaled = self._low + action * (self._high - self._low)
+        return ControlPolicy.from_array(np.clip(scaled, self._low, self._high))
+
+    def _context_array(self, context: Context) -> np.ndarray:
+        return context.to_array(max_users=self.max_users)
+
+    # -- interaction --------------------------------------------------------
+
+    def select(self, context: Context) -> ControlPolicy:
+        """Actor output plus exploration noise."""
+        c = self._context_array(context)
+        action = self.actor(c[None, :])[0]
+        if self._steps < self.config.warmup_steps:
+            action = self._rng.uniform(0.0, 1.0, size=4)
+        else:
+            action = action + self._rng.normal(0.0, self._noise_std, size=4)
+        action = np.clip(action, 0.0, 1.0)
+        self._last_action = action
+        return self._action_to_policy(action)
+
+    def ddpg_cost(self, observation: TestbedObservation) -> float:
+        """The paper's constraint-aware cost target in [0, 1]."""
+        feasible = self.constraints.satisfied(
+            observation.delay_s, observation.map_score
+        )
+        if not feasible:
+            return 1.0
+        raw = self.cost_weights.cost(
+            observation.server_power_w, observation.bs_power_w
+        )
+        return float(np.clip(raw / self.config.cost_scale, 0.0, 1.0))
+
+    def observe(
+        self,
+        context: Context,
+        policy: ControlPolicy,
+        observation: TestbedObservation,
+    ) -> float:
+        """Store the transition and run gradient updates.
+
+        Returns the raw (unnormalised) cost for logging parity with
+        EdgeBOL.
+        """
+        c = self._context_array(context)
+        # Recover the normalised action from the physical policy.
+        action = (policy.to_array() - self._low) / (self._high - self._low)
+        target = self.ddpg_cost(observation)
+        self._buffer.push(c, np.clip(action, 0.0, 1.0), target)
+        self._steps += 1
+        self._noise_std = max(
+            self.config.noise_std_min, self._noise_std * self.config.noise_decay
+        )
+        for _ in range(self.config.updates_per_step):
+            self._train_step()
+        return self.cost_weights.cost(
+            observation.server_power_w, observation.bs_power_w
+        )
+
+    # -- learning -----------------------------------------------------------
+
+    def _train_step(self) -> None:
+        if len(self._buffer) < self.config.batch_size:
+            return
+        contexts, actions, costs = self._buffer.sample(
+            self.config.batch_size, self._rng
+        )
+        # Critic regression onto the DDPG cost.
+        critic_in = np.hstack([contexts, actions])
+        predictions = self.critic(critic_in)
+        _, grad = mse_loss(predictions, costs[:, None])
+        self.critic.backward(grad)
+        self._critic_optim.step(self.critic.gradients())
+
+        # Actor: descend d(critic)/d(action) through the actor.
+        actor_actions = self.actor(contexts)
+        critic_in = np.hstack([contexts, actor_actions])
+        q = self.critic(critic_in)
+        # Minimise mean critic output: dL/dq = 1/n.
+        grad_q = np.full_like(q, 1.0 / q.shape[0])
+        grad_in = self.critic.backward(grad_q)
+        grad_actions = grad_in[:, self.context_dim:]
+        self.actor.backward(grad_actions)
+        self._actor_optim.step(self.actor.gradients())
+
+    # -- runtime reconfiguration ---------------------------------------------
+
+    def set_constraints(self, constraints: ServiceConstraints) -> None:
+        """Change thresholds; the critic must relearn feasibility.
+
+        Old replay entries embed the previous constraint set, so the
+        buffer is cleared — mirroring the re-learning cost the paper
+        attributes to parametric models.
+        """
+        self.constraints = constraints
+        self._buffer = _ReplayBuffer(
+            self.config.buffer_size, self.context_dim, 4
+        )
+        self._noise_std = max(self._noise_std, self.config.noise_std_init / 2)

@@ -1,0 +1,77 @@
+"""Acquisition functions over the safe set.
+
+The paper adopts the *contextual Lower Confidence Bound* of Krause &
+Ong (2011), restricted to the estimated safe set (eq. 9):
+
+``x_t = argmin_{x in S_t}  mu_0(c_t, x) - sqrt(beta) * sigma_0(c_t, x)``
+
+Minimising an optimistic (lower) bound of the cost both exploits
+low-cost regions and explores uncertain ones; because low-power
+controls sit near the constraint boundary, this acquisition expands the
+safe set without an explicit expansion phase (Section 5).
+
+Alternative acquisitions used by the ablation study are included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gp import GaussianProcess
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_non_negative
+
+
+def safe_lcb_index(
+    cost_gp: GaussianProcess,
+    joint_grid: np.ndarray,
+    safe_mask: np.ndarray,
+    beta: float = 2.5,
+) -> int:
+    """Index of the safe grid point minimising the cost LCB (eq. 9).
+
+    Raises
+    ------
+    ValueError
+        If the safe mask is empty (callers must guarantee S0 is in it).
+    """
+    check_non_negative(beta, "beta")
+    safe_mask = np.asarray(safe_mask, dtype=bool)
+    joint_grid = np.asarray(joint_grid, dtype=float)
+    if safe_mask.size != joint_grid.shape[0]:
+        raise ValueError("safe_mask length must match the grid")
+    safe_indices = np.nonzero(safe_mask)[0]
+    if safe_indices.size == 0:
+        raise ValueError("safe set is empty; include S0 in the mask")
+    mean, std = cost_gp.predict_std(joint_grid[safe_indices])
+    lcb = mean - beta * std
+    return int(safe_indices[int(np.argmin(lcb))])
+
+
+def greedy_mean_index(
+    cost_gp: GaussianProcess, joint_grid: np.ndarray, safe_mask: np.ndarray
+) -> int:
+    """Pure exploitation: minimise the posterior mean (beta = 0)."""
+    return safe_lcb_index(cost_gp, joint_grid, safe_mask, beta=0.0)
+
+
+def random_safe_index(safe_mask: np.ndarray, rng=None) -> int:
+    """Uniformly random safe control (exploration-only baseline)."""
+    generator = ensure_rng(rng)
+    safe_indices = np.nonzero(np.asarray(safe_mask, dtype=bool))[0]
+    if safe_indices.size == 0:
+        raise ValueError("safe set is empty; include S0 in the mask")
+    return int(generator.choice(safe_indices))
+
+
+def max_variance_index(
+    cost_gp: GaussianProcess, joint_grid: np.ndarray, safe_mask: np.ndarray
+) -> int:
+    """Uncertainty sampling: most uncertain safe point (ablation)."""
+    safe_mask = np.asarray(safe_mask, dtype=bool)
+    joint_grid = np.asarray(joint_grid, dtype=float)
+    safe_indices = np.nonzero(safe_mask)[0]
+    if safe_indices.size == 0:
+        raise ValueError("safe set is empty; include S0 in the mask")
+    _, std = cost_gp.predict_std(joint_grid[safe_indices])
+    return int(safe_indices[int(np.argmax(std))])

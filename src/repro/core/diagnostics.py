@@ -1,0 +1,77 @@
+"""GP calibration diagnostics.
+
+Safe exploration is only as safe as the surrogates' confidence
+intervals; a GP whose intervals under-cover will certify unsafe
+controls.  These diagnostics quantify coverage and sharpness on held
+observations:
+
+* :func:`interval_coverage` — the fraction of held-out targets inside
+  ``mu +/- z * sqrt(sigma^2 + zeta^2)``; for a calibrated model this
+  approaches the Gaussian mass of ``z``.
+* :func:`standardised_errors` — ``(y - mu) / sqrt(sigma^2 + zeta^2)``,
+  ~N(0, 1) for a calibrated model.
+* :func:`calibration_report` — both, plus mean interval width, as a
+  dict for logging.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.gp import GaussianProcess
+
+
+def _predictive_std(gp: GaussianProcess, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    mean, var = gp.predict(x)
+    return mean, np.sqrt(var + gp.noise_variance)
+
+
+def standardised_errors(
+    gp: GaussianProcess, x: np.ndarray, y: np.ndarray
+) -> np.ndarray:
+    """Per-point z-scores of held-out targets under the predictive law."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    if x.ndim == 1:
+        x = x[None, :]
+    if x.shape[0] != y.size:
+        raise ValueError(f"got {x.shape[0]} inputs but {y.size} targets")
+    mean, std = _predictive_std(gp, x)
+    return (y - mean) / np.maximum(std, 1e-12)
+
+
+def interval_coverage(
+    gp: GaussianProcess, x: np.ndarray, y: np.ndarray, z: float = 2.0
+) -> float:
+    """Empirical coverage of the +/- z predictive interval."""
+    if z <= 0:
+        raise ValueError(f"z must be positive, got {z}")
+    errors = standardised_errors(gp, x, y)
+    return float(np.mean(np.abs(errors) <= z))
+
+
+def expected_coverage(z: float) -> float:
+    """Gaussian mass within +/- z standard deviations."""
+    return float(math.erf(z / math.sqrt(2.0)))
+
+
+def calibration_report(
+    gp: GaussianProcess, x: np.ndarray, y: np.ndarray, z: float = 2.0
+) -> dict:
+    """Coverage, z-score moments and sharpness on held-out data."""
+    errors = standardised_errors(gp, x, y)
+    x_arr = np.asarray(x, dtype=float)
+    if x_arr.ndim == 1:
+        x_arr = x_arr[None, :]
+    _, std = _predictive_std(gp, x_arr)
+    return {
+        "n": int(errors.size),
+        "coverage": float(np.mean(np.abs(errors) <= z)),
+        "expected_coverage": expected_coverage(z),
+        "z": float(z),
+        "error_mean": float(errors.mean()),
+        "error_std": float(errors.std()),
+        "mean_interval_width": float(2.0 * z * std.mean()),
+    }

@@ -1,0 +1,479 @@
+"""EdgeBOL — Algorithm 1 of the paper.
+
+The online loop per orchestration period ``t``:
+
+1. observe the context ``c_t``;
+2. compute the GP posteriors of cost, delay and mAP over the control
+   grid stacked with ``c_t`` (eqs. 3-4);
+3. build the safe set ``S_t`` (eq. 8), always containing S0;
+4. pick ``x_t`` by the safe cost-LCB acquisition (eq. 9);
+5. observe the KPIs, compute the cost (eq. 1), and append the new
+   (context, control) -> (cost, delay, mAP) triples to the GPs.
+
+Hyperparameters are set a priori (or fitted offline on profiling data
+through :meth:`EdgeBOL.fit_hyperparameters`) and frozen during the run,
+per the paper's kernel-selection discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.acquisition import safe_lcb_index
+from repro.core.gp import GaussianProcess
+from repro.core.kernels import Kernel, Matern
+from repro.core.likelihood import fit_hyperparameters
+from repro.core.safeset import SafeSetEstimator
+from repro.testbed.config import (
+    ControlPolicy,
+    CostWeights,
+    ServiceConstraints,
+)
+from repro.testbed.context import Context
+from repro.testbed.env import TestbedObservation
+from repro.utils.grids import nearest_grid_index
+from repro.utils.validation import check_positive
+
+#: GP index conventions matching the paper: i=0 cost, i=1 delay, i=2 mAP.
+COST, DELAY, MAP = 0, 1, 2
+
+
+def _default_lengthscales(context_dim: int,
+                          control_grid: np.ndarray | None = None) -> np.ndarray:
+    """Kernel lengthscales: context dims then the 4 control dims.
+
+    Context coordinates are normalised to ~[0, 1]; controls are in
+    [0, 1].  Control lengthscales scale with the grid spacing: the safe
+    set can only grow if the confidence bound at a *neighbouring* grid
+    point tightens below the constraint margin, which requires the
+    kernel correlation across one grid step to be high.  Eight steps
+    per lengthscale (floored at 0.8) keeps safe-set expansion working
+    from 5-level to 11-level grids without oversmoothing.
+    """
+    context_scales = np.full(context_dim, 0.5)
+    control_scales = np.full(4, 1.0)
+    if control_grid is not None:
+        for axis in range(4):
+            levels = np.unique(control_grid[:, axis])
+            if levels.size >= 2:
+                step = float(np.median(np.diff(levels)))
+                control_scales[axis] = float(np.clip(8.0 * step, 0.8, 2.5))
+    return np.concatenate([context_scales, control_scales])
+
+
+def _map_lengthscales(context_dim: int,
+                      control_grid: np.ndarray | None = None) -> np.ndarray:
+    """ARD lengthscales for the mAP surrogate.
+
+    The offline maximum-likelihood fit on profiling data (the paper's
+    procedure) discovers that mAP depends essentially only on the image
+    resolution: the fitted ARD lengthscales of the context and of the
+    airtime/GPU/MCS axes blow up.  Encoding that here keeps the safe
+    set expanding along those axes even when the mAP threshold leaves
+    only a thin margin at full resolution.
+    """
+    scales = _default_lengthscales(context_dim, control_grid=control_grid)
+    scales[:context_dim] = 4.0           # mAP is context-independent
+    scales[context_dim + 1:] = 6.0       # ... and airtime/GPU/MCS-independent
+    return scales
+
+
+@dataclass(frozen=True)
+class EdgeBOLConfig:
+    """Hyperparameters of the learner.
+
+    Attributes
+    ----------
+    beta:
+        Confidence multiplier (the paper's ``beta^{1/2} = 2.5``), used
+        both in the safe set (eq. 8) and the acquisition (eq. 9).
+    cost_output_scale, delay_output_scale, map_output_scale:
+        Prior variances (``sigma_f^2``) of the three GPs, in squared
+        KPI units.
+    cost_noise, delay_noise, map_noise:
+        Observation-noise variances ``zeta^2_(i)``.
+    delay_clip_s:
+        Observed delays are clipped here before entering the GP:
+        unserved periods report effectively-infinite delay, and the GP
+        needs a finite "at least this bad" target.
+    delay_prior_mean_s, map_prior_mean:
+        Constant prior means of the two safety GPs.  Both are chosen
+        *pessimistic* (high delay, zero mAP) so unexplored regions fail
+        the eq.-8 test until evidence accumulates; the cost GP keeps
+        the zero (optimistic) prior that drives LCB exploration.
+    max_observations:
+        Observation budget per GP (subset-of-data for very long runs);
+        ``None`` retains everything, as the paper does.
+    """
+
+    beta: float = 2.5
+    noise_beta: float = 1.0
+    delay_noise_rel: float = 0.05
+    cost_output_scale: float = 60.0**2
+    delay_output_scale: float = 0.15**2
+    map_output_scale: float = 0.15**2
+    cost_noise: float = 4.0
+    delay_noise: float = 0.0004
+    map_noise: float = 0.0004
+    delay_clip_s: float = 1.5
+    delay_prior_mean_s: float = 0.8
+    map_prior_mean: float = 0.0
+    max_observations: int | None = None
+    matern_nu: float = 1.5
+    lengthscales: np.ndarray | None = field(default=None)
+    #: Extension (Section 4.3 tariffs): model server and BS power with
+    #: separate GPs so delta1/delta2 can change at runtime without any
+    #: relearning.
+    decoupled_power_gps: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive(self.beta, "beta")
+        check_positive(self.delay_clip_s, "delay_clip_s")
+
+
+class EdgeBOL:
+    """Contextual safe Bayesian online learner (Algorithm 1).
+
+    Parameters
+    ----------
+    control_grid:
+        ``(|X|, 4)`` discretised control space (normalised coordinates,
+        axis order of :meth:`ControlPolicy.to_array`).
+    constraints:
+        Service constraints (may be changed at runtime via
+        :meth:`set_constraints`; the GP data is retained, which is what
+        makes EdgeBOL adapt instantly in Fig. 14).
+    cost_weights:
+        The ``delta1, delta2`` of the cost function (eq. 1).
+    config:
+        Learner hyperparameters.
+    context_dim:
+        Length of the normalised context vector.
+    max_users:
+        Context normalisation bound (must match the environment's).
+    """
+
+    def __init__(
+        self,
+        control_grid: np.ndarray,
+        constraints: ServiceConstraints,
+        cost_weights: CostWeights,
+        config: EdgeBOLConfig | None = None,
+        context_dim: int = Context.dimension(),
+        max_users: int = 8,
+    ) -> None:
+        grid = np.asarray(control_grid, dtype=float)
+        if grid.ndim != 2 or grid.shape[1] != 4:
+            raise ValueError(f"control_grid must be (n, 4), got {grid.shape}")
+        if grid.shape[0] == 0:
+            raise ValueError("control_grid is empty")
+        self.control_grid = grid
+        self.constraints = constraints
+        self.cost_weights = cost_weights
+        self.config = config if config is not None else EdgeBOLConfig()
+        self.context_dim = int(context_dim)
+        self.max_users = int(max_users)
+
+        n_dims = self.context_dim + 4
+        if self.config.lengthscales is not None:
+            shared = np.asarray(self.config.lengthscales, dtype=float)
+            if shared.size != n_dims:
+                raise ValueError(
+                    f"lengthscales must have {n_dims} entries, got {shared.size}"
+                )
+            per_gp_lengthscales = [shared, shared, shared]
+        else:
+            generic = _default_lengthscales(self.context_dim, control_grid=grid)
+            per_gp_lengthscales = [
+                generic,                                            # cost
+                generic,                                            # delay
+                _map_lengthscales(self.context_dim, control_grid=grid),  # mAP
+            ]
+        output_scales = (
+            self.config.cost_output_scale,
+            self.config.delay_output_scale,
+            self.config.map_output_scale,
+        )
+        noises = (
+            self.config.cost_noise,
+            self.config.delay_noise,
+            self.config.map_noise,
+        )
+        prior_means = (
+            0.0,
+            self.config.delay_prior_mean_s,
+            self.config.map_prior_mean,
+        )
+        self._gps = [
+            GaussianProcess(
+                kernel=Matern(
+                    lengthscales=scales,
+                    output_scale=scale,
+                    nu=self.config.matern_nu,
+                ),
+                noise_variance=noise,
+                max_observations=self.config.max_observations,
+                prior_mean=mean,
+            )
+            for scales, scale, noise, mean in zip(
+                per_gp_lengthscales, output_scales, noises, prior_means
+            )
+        ]
+        # Optional extension: model the two power draws with separate
+        # GPs so energy-price changes (delta1/delta2) need no
+        # relearning — the day/night tariff scenario of Section 4.3.
+        self._power_gps: list[GaussianProcess] | None = None
+        if self.config.decoupled_power_gps:
+            generic = per_gp_lengthscales[COST]
+            self._power_gps = [
+                GaussianProcess(
+                    kernel=Matern(
+                        lengthscales=generic,
+                        output_scale=scale,
+                        nu=self.config.matern_nu,
+                    ),
+                    noise_variance=noise,
+                    max_observations=self.config.max_observations,
+                )
+                for scale, noise in (
+                    (40.0**2, 6.0),    # server power: ~50-250 W, 2% meter
+                    (1.5**2, 0.01),    # BS power: ~4-8 W, 2% meter
+                )
+            ]
+        self._safe_estimator = SafeSetEstimator(
+            delay_gp=self._gps[DELAY],
+            map_gp=self._gps[MAP],
+            beta=self.config.beta,
+            noise_beta=self.config.noise_beta,
+            delay_noise_rel=self.config.delay_noise_rel,
+            map_noise_std=float(np.sqrt(self.config.map_noise)),
+        )
+        self._sync_delay_pessimism()
+        self._s0_index = nearest_grid_index(
+            grid, ControlPolicy.max_resources().to_array()
+        )
+        self._last_safe_size: int | None = None
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def gps(self) -> tuple[GaussianProcess, GaussianProcess, GaussianProcess]:
+        """The three surrogates (cost, delay, mAP)."""
+        return tuple(self._gps)
+
+    @property
+    def n_observations(self) -> int:
+        return self._gps[COST].n_observations
+
+    @property
+    def s0_index(self) -> int:
+        """Grid index of the always-safe maximum-resource control."""
+        return self._s0_index
+
+    @property
+    def last_safe_set_size(self) -> int | None:
+        """|S_t| computed during the most recent :meth:`select` call."""
+        return self._last_safe_size
+
+    # -- the online loop --------------------------------------------------
+
+    def _joint_grid(self, context: Context) -> np.ndarray:
+        c = context.to_array(max_users=self.max_users)
+        tiled = np.tile(c, (self.control_grid.shape[0], 1))
+        return np.hstack([tiled, self.control_grid])
+
+    def _joint_point(self, context: Context, policy: ControlPolicy) -> np.ndarray:
+        return np.concatenate(
+            [context.to_array(max_users=self.max_users), policy.to_array()]
+        )
+
+    def safe_mask(self, context: Context) -> np.ndarray:
+        """Boolean S_t over the control grid for ``context`` (eq. 8)."""
+        joint = self._joint_grid(context)
+        return self._safe_estimator.safe_mask(
+            joint,
+            d_max_s=self.constraints.d_max_s,
+            rho_min=self.constraints.rho_min,
+            always_safe=np.array([self._s0_index]),
+        )
+
+    def safe_set_size(self, context: Context) -> int:
+        """|S_t| for ``context`` — the quantity plotted in Fig. 13."""
+        return int(np.count_nonzero(self.safe_mask(context)))
+
+    def select(self, context: Context) -> ControlPolicy:
+        """Pick the control for this period (Algorithm 1, lines 4-7)."""
+        joint = self._joint_grid(context)
+        mask = self._safe_estimator.safe_mask(
+            joint,
+            d_max_s=self.constraints.d_max_s,
+            rho_min=self.constraints.rho_min,
+            always_safe=np.array([self._s0_index]),
+        )
+        self._last_safe_size = int(np.count_nonzero(mask))
+        if self._power_gps is not None:
+            index = self._decoupled_lcb_index(joint, mask)
+        else:
+            index = safe_lcb_index(
+                self._gps[COST], joint, mask, beta=self.config.beta
+            )
+        return ControlPolicy.from_array(self.control_grid[index])
+
+    def _decoupled_lcb_index(self, joint: np.ndarray, mask: np.ndarray) -> int:
+        """Cost LCB assembled from the two power surrogates.
+
+        ``u = delta1 p_s + delta2 p_b`` is linear in the (independent)
+        GP posteriors, so its posterior is Gaussian with
+        ``mu = delta1 mu_s + delta2 mu_b`` and
+        ``sigma^2 = delta1^2 sigma_s^2 + delta2^2 sigma_b^2``.
+        """
+        safe_indices = np.nonzero(mask)[0]
+        if safe_indices.size == 0:
+            raise ValueError("safe set is empty; include S0 in the mask")
+        points = joint[safe_indices]
+        s_mean, s_std = self._power_gps[0].predict_std(points)
+        b_mean, b_std = self._power_gps[1].predict_std(points)
+        d1, d2 = self.cost_weights.delta1, self.cost_weights.delta2
+        mean = d1 * s_mean + d2 * b_mean
+        std = np.sqrt((d1 * s_std) ** 2 + (d2 * b_std) ** 2)
+        lcb = mean - self.config.beta * std
+        return int(safe_indices[int(np.argmin(lcb))])
+
+    def update(
+        self,
+        context: Context,
+        policy: ControlPolicy,
+        cost: float,
+        delay_s: float,
+        map_score: float,
+        server_power_w: float | None = None,
+        bs_power_w: float | None = None,
+    ) -> None:
+        """Ingest one period's feedback (Algorithm 1, lines 8-13).
+
+        With ``decoupled_power_gps`` the raw power readings must be
+        supplied so the per-component surrogates can learn.
+        """
+        z = self._joint_point(context, policy)
+        delay = float(np.clip(delay_s, 0.0, self._delay_clip))
+        self._gps[COST].add(z, float(cost))
+        self._gps[DELAY].add(z, delay)
+        self._gps[MAP].add(z, float(np.clip(map_score, 0.0, 1.0)))
+        if self._power_gps is not None:
+            if server_power_w is None or bs_power_w is None:
+                raise ValueError(
+                    "decoupled_power_gps requires server_power_w and "
+                    "bs_power_w in update()"
+                )
+            self._power_gps[0].add(z, float(server_power_w))
+            self._power_gps[1].add(z, float(bs_power_w))
+
+    def observe(
+        self,
+        context: Context,
+        policy: ControlPolicy,
+        observation: TestbedObservation,
+    ) -> float:
+        """Compute the cost (eq. 1) from raw KPIs and update; returns it."""
+        cost = self.cost_weights.cost(
+            observation.server_power_w, observation.bs_power_w
+        )
+        self.update(
+            context,
+            policy,
+            cost=cost,
+            delay_s=observation.delay_s,
+            map_score=observation.map_score,
+            server_power_w=observation.server_power_w,
+            bs_power_w=observation.bs_power_w,
+        )
+        return cost
+
+    # -- runtime reconfiguration ------------------------------------------
+
+    def _sync_delay_pessimism(self) -> None:
+        """Keep the delay surrogate's pessimism above the threshold.
+
+        The pessimistic prior mean and the clip level only protect the
+        safe set if they *exceed* ``d_max``; a lax delay bound (e.g.
+        the 2 s of Fig. 12) would otherwise make unexplored regions
+        pass the eq.-8 test.
+        """
+        d_max = self.constraints.d_max_s
+        self._delay_clip = max(self.config.delay_clip_s, 2.0 * d_max)
+        prior = max(self.config.delay_prior_mean_s, 1.5 * d_max)
+        self._gps[DELAY].set_prior_mean(prior)
+
+    def set_constraints(self, constraints: ServiceConstraints) -> None:
+        """Change the service constraints without discarding knowledge.
+
+        Because the surrogates model the raw KPIs (not their feasibility),
+        the safe set for the new thresholds is available immediately —
+        the key advantage over the parametric DDPG benchmark in Fig. 14.
+        """
+        self.constraints = constraints
+        self._sync_delay_pessimism()
+
+    def set_cost_weights(self, cost_weights: CostWeights) -> None:
+        """Change the energy-price weights (eq. 1) at runtime.
+
+        With ``decoupled_power_gps`` the new weights take effect
+        instantly (the per-component power surrogates are
+        price-agnostic).  In the default coupled mode, historical
+        *cost* observations embed the old weights — prefer the
+        decoupled mode (or re-instantiating) for large price swings
+        such as day/night tariffs.
+        """
+        self.cost_weights = cost_weights
+
+    # -- offline hyperparameter fitting ------------------------------------
+
+    def fit_hyperparameters(
+        self,
+        inputs: np.ndarray,
+        costs: np.ndarray,
+        delays: np.ndarray,
+        maps: np.ndarray,
+        n_restarts: int = 2,
+        rng=None,
+        server_powers: np.ndarray | None = None,
+        bs_powers: np.ndarray | None = None,
+    ) -> None:
+        """Fit each GP's kernel and noise on prior profiling data.
+
+        ``inputs`` are joint (context, control) rows; targets are the
+        corresponding KPI observations.  Mirrors the paper's offline
+        maximum-likelihood fit; the GPs keep their (possibly non-empty)
+        observation buffers.  With ``decoupled_power_gps``, passing the
+        raw power readings also fits the two power surrogates.
+        """
+        gps = list(self._gps)
+        targets = [costs, delays, maps]
+        if self._power_gps is not None and server_powers is not None \
+                and bs_powers is not None:
+            gps.extend(self._power_gps)
+            targets.extend([server_powers, bs_powers])
+        for gp, y in zip(gps, targets):
+            fitted_kernel, fitted_noise, _ = fit_hyperparameters(
+                gp.kernel,
+                inputs,
+                y,
+                noise_variance=gp.noise_variance,
+                n_restarts=n_restarts,
+                rng=rng,
+            )
+            gp.kernel = fitted_kernel
+            gp.noise_variance = fitted_noise
+            if gp.n_observations:
+                gp.fit(gp.inputs, gp.targets)
+
+
+def make_kernel(context_dim: int, output_scale: float, nu: float = 1.5) -> Kernel:
+    """Convenience: the paper's Matérn-3/2 ARD kernel over (c, x)."""
+    return Matern(
+        lengthscales=_default_lengthscales(context_dim),
+        output_scale=output_scale,
+        nu=nu,
+    )

@@ -1,0 +1,116 @@
+"""Hyperparameter fitting by marginal-likelihood maximisation.
+
+The paper fits the kernel lengthscales and the observation-noise
+variance of each GP *offline* on prior (profiling) data by maximum
+likelihood, then freezes them during execution — re-fitting online can
+collapse the confidence intervals and trap the optimisation in poor
+local optima (Section 5, "Kernel selection").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cho_solve, cholesky
+from scipy.optimize import minimize
+
+from repro.core.kernels import Kernel
+from repro.utils.rng import ensure_rng
+
+
+def log_marginal_likelihood(
+    kernel: Kernel, noise_variance: float, x: np.ndarray, y: np.ndarray
+) -> float:
+    """Exact GP log marginal likelihood of ``y`` under the kernel.
+
+    ``log p(y | X) = -1/2 y^T K_n^-1 y - 1/2 log |K_n| - n/2 log 2 pi``
+    with ``K_n = K + zeta^2 I``.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 1:
+        x = x[None, :]
+    y = np.asarray(y, dtype=float).ravel()
+    if x.shape[0] != y.size:
+        raise ValueError(f"got {x.shape[0]} inputs but {y.size} targets")
+    if noise_variance <= 0:
+        raise ValueError(f"noise_variance must be positive, got {noise_variance}")
+    gram = kernel(x, x)
+    gram[np.diag_indices_from(gram)] += noise_variance
+    try:
+        chol = cholesky(gram, lower=True)
+    except np.linalg.LinAlgError:
+        return -np.inf
+    alpha = cho_solve((chol, True), y)
+    log_det = 2.0 * np.sum(np.log(np.diag(chol)))
+    n = y.size
+    return float(
+        -0.5 * (y @ alpha) - 0.5 * log_det - 0.5 * n * np.log(2.0 * np.pi)
+    )
+
+
+def fit_hyperparameters(
+    kernel: Kernel,
+    x: np.ndarray,
+    y: np.ndarray,
+    noise_variance: float = 1e-2,
+    n_restarts: int = 3,
+    rng=None,
+    optimize_noise: bool = True,
+):
+    """Maximise the LML over log lengthscales, output scale and noise.
+
+    Parameters
+    ----------
+    kernel:
+        Template kernel; its current values seed the first restart.
+    x, y:
+        Prior (profiling) data.
+    noise_variance:
+        Initial observation-noise variance.
+    n_restarts:
+        Additional random restarts around the seed.
+    optimize_noise:
+        If False, the noise variance is held fixed.
+
+    Returns
+    -------
+    (kernel, noise_variance, lml):
+        The fitted kernel, the fitted (or fixed) noise variance, and
+        the achieved log marginal likelihood.
+    """
+    if n_restarts < 0:
+        raise ValueError(f"n_restarts must be >= 0, got {n_restarts}")
+    generator = ensure_rng(rng)
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 1:
+        x = x[None, :]
+    y = np.asarray(y, dtype=float).ravel()
+
+    seed = kernel.get_log_params()
+    if optimize_noise:
+        seed = np.concatenate([seed, [np.log(noise_variance)]])
+
+    def unpack(theta: np.ndarray):
+        if optimize_noise:
+            return kernel.with_log_params(theta[:-1]), float(np.exp(theta[-1]))
+        return kernel.with_log_params(theta), noise_variance
+
+    def objective(theta: np.ndarray) -> float:
+        candidate_kernel, candidate_noise = unpack(theta)
+        return -log_marginal_likelihood(candidate_kernel, candidate_noise, x, y)
+
+    bounds = [(-6.0, 6.0)] * seed.size
+    starts = [seed]
+    for _ in range(n_restarts):
+        starts.append(seed + generator.normal(0.0, 1.0, size=seed.size))
+
+    best_theta, best_value = seed, objective(seed)
+    for start in starts:
+        result = minimize(
+            objective, start, method="L-BFGS-B", bounds=bounds,
+            options={"maxiter": 200},
+        )
+        if result.fun < best_value and np.all(np.isfinite(result.x)):
+            best_theta, best_value = result.x, float(result.fun)
+
+    fitted_kernel, fitted_noise = unpack(best_theta)
+    return fitted_kernel, fitted_noise, -best_value

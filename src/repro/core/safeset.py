@@ -1,0 +1,116 @@
+"""Safe-set estimation (eq. 8 of the paper).
+
+For the observed context, a control belongs to the estimated safe set
+when the pessimistic GP confidence bound of every constraint satisfies
+its threshold:
+
+* delay:  ``mu_d + beta * sigma_d <= d_max``  (upper bound below cap),
+* mAP:    ``mu_q - beta * sigma_q >= rho_min`` (lower bound above floor).
+
+The initial safe set S0 (the maximum-resource corner) is always
+included, so the agent never runs out of admissible controls even under
+infeasible constraint settings (Section 5, "Practical issues").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gp import GaussianProcess
+from repro.utils.validation import check_positive
+
+
+class SafeSetEstimator:
+    """Confidence-bound safe set over a discretised control grid.
+
+    Parameters
+    ----------
+    delay_gp:
+        GP over the joint (context, control) space predicting delay.
+    map_gp:
+        GP over the joint space predicting mAP.
+    beta:
+        Confidence-bound width multiplier (the paper's ``beta^{1/2}``,
+        2.5 in the evaluation).
+    noise_beta:
+        Multiplier of the *aleatoric* (observation-noise) margin added
+        to the confidence bound.  The constraints of problem (2) apply
+        to the realised per-period KPIs, which carry observation noise,
+        so a converged point must keep a noise margin from the
+        threshold to satisfy them with high probability.  0 disables
+        the margin (pure eq. 8).
+    delay_noise_rel:
+        Relative std of delay measurements (timing jitter scales with
+        the delay itself), so the delay margin is
+        ``noise_beta * delay_noise_rel * mu_delay``.
+    map_noise_std:
+        Absolute std of a batch mAP measurement.
+    """
+
+    def __init__(
+        self,
+        delay_gp: GaussianProcess,
+        map_gp: GaussianProcess,
+        beta: float = 2.5,
+        noise_beta: float = 1.0,
+        delay_noise_rel: float = 0.05,
+        map_noise_std: float = 0.02,
+    ) -> None:
+        self.delay_gp = delay_gp
+        self.map_gp = map_gp
+        self.beta = check_positive(beta, "beta")
+        if noise_beta < 0:
+            raise ValueError(f"noise_beta must be >= 0, got {noise_beta}")
+        self.noise_beta = float(noise_beta)
+        if delay_noise_rel < 0 or map_noise_std < 0:
+            raise ValueError("noise levels must be >= 0")
+        self.delay_noise_rel = float(delay_noise_rel)
+        self.map_noise_std = float(map_noise_std)
+
+    def safe_mask(
+        self,
+        joint_grid: np.ndarray,
+        d_max_s: float,
+        rho_min: float,
+        always_safe: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Boolean safety mask over an ``(n, d)`` joint grid.
+
+        Parameters
+        ----------
+        joint_grid:
+            Context-control points, typically the control grid stacked
+            with the current context.
+        d_max_s, rho_min:
+            Constraint thresholds of problem (2).
+        always_safe:
+            Optional boolean mask (or integer indices) of grid rows
+            forced into the safe set — the S0 of Algorithm 1, line 6.
+        """
+        joint_grid = np.asarray(joint_grid, dtype=float)
+        if joint_grid.ndim != 2:
+            raise ValueError(f"joint_grid must be 2-D, got shape {joint_grid.shape}")
+        delay_mean, delay_std = self.delay_gp.predict_std(joint_grid)
+        map_mean, map_std = self.map_gp.predict_std(joint_grid)
+        delay_width = self.beta * delay_std + (
+            self.noise_beta * self.delay_noise_rel * np.abs(delay_mean)
+        )
+        map_width = self.beta * map_std + self.noise_beta * self.map_noise_std
+        mask = (delay_mean + delay_width <= d_max_s) & (
+            map_mean - map_width >= rho_min
+        )
+        if always_safe is not None:
+            indices = np.asarray(always_safe)
+            if indices.dtype == bool:
+                if indices.size != mask.size:
+                    raise ValueError("boolean always_safe mask has wrong length")
+                mask = mask | indices
+            else:
+                mask = mask.copy()
+                mask[indices] = True
+        return mask
+
+    def safe_set_size(self, joint_grid: np.ndarray, d_max_s: float,
+                      rho_min: float) -> int:
+        """|S_t| over the grid (plotted in Fig. 13)."""
+        return int(np.count_nonzero(self.safe_mask(joint_grid, d_max_s, rho_min)))

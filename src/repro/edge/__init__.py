@@ -1,0 +1,30 @@
+"""Edge-server substrate.
+
+Models the GPU-enabled edge server of the EdgeBOL testbed: an NVIDIA
+GPU whose driver-enforced power limit (Policy 3) trades inference speed
+for power, and a closed queueing network capturing the stop-and-wait
+coupling between users, the radio interface and the GPU.
+"""
+
+from repro.edge.gpu import GpuModel
+from repro.edge.queueing import (
+    ClosedNetwork,
+    DelayStation,
+    QueueingStation,
+    SolverResult,
+    solve_exact_mva,
+    solve_schweitzer,
+)
+from repro.edge.server import EdgeServer, ServerLoadReport
+
+__all__ = [
+    "GpuModel",
+    "ClosedNetwork",
+    "DelayStation",
+    "QueueingStation",
+    "SolverResult",
+    "solve_exact_mva",
+    "solve_schweitzer",
+    "EdgeServer",
+    "ServerLoadReport",
+]

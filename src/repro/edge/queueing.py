@@ -1,0 +1,290 @@
+"""Closed queueing-network solvers (Mean Value Analysis).
+
+The EdgeBOL service is closed-loop: each user captures an image, sends
+it uplink, waits for the detection response and only then captures the
+next frame.  The steady state of such a system is exactly the classical
+*closed queueing network* with one customer per user circulating among:
+
+* the user's radio link (a **delay station** — round-robin scheduling
+  already partitions airtime, so users do not queue behind each other),
+* the shared **GPU** (a FCFS queueing station),
+* the user's **think time** (pre-processing + downlink + app overhead).
+
+Two solvers are provided:
+
+* :func:`solve_exact_mva` — exact multi-class Mean Value Analysis
+  (Reiser & Lavenberg 1980), recursing over population vectors.  Exact
+  but exponential in the number of classes; ideal for the paper's <= 6
+  heterogeneous users.
+* :func:`solve_schweitzer` — the Bard–Schweitzer proportional
+  approximation, a fixed-point iteration that scales to many classes.
+
+Both support product-form networks of delay and queueing stations with
+class-dependent service demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class QueueingStation:
+    """FCFS/PS queueing station with class-dependent service demands.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"gpu"``).
+    demands_s:
+        Mean service demand per visit for each class, seconds.
+    """
+
+    name: str
+    demands_s: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        for d in self.demands_s:
+            check_non_negative(d, f"demand at station {self.name!r}")
+
+
+@dataclass(frozen=True)
+class DelayStation:
+    """Infinite-server (pure delay) station — no queueing between users."""
+
+    name: str
+    demands_s: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        for d in self.demands_s:
+            check_non_negative(d, f"demand at station {self.name!r}")
+
+
+@dataclass(frozen=True)
+class ClosedNetwork:
+    """A closed multi-class queueing network.
+
+    Attributes
+    ----------
+    populations:
+        Number of circulating customers per class (one per user class).
+    stations:
+        Queueing and delay stations; each must declare a demand for
+        every class.
+    think_times_s:
+        Per-class pure think time (equivalent to one more delay
+        station, kept separate for convenience).
+    """
+
+    populations: tuple[int, ...]
+    stations: tuple["QueueingStation | DelayStation", ...]
+    think_times_s: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        n_classes = len(self.populations)
+        if n_classes == 0:
+            raise ValueError("network needs at least one class")
+        for pop in self.populations:
+            if pop < 0:
+                raise ValueError(f"populations must be non-negative, got {pop}")
+        for st in self.stations:
+            if len(st.demands_s) != n_classes:
+                raise ValueError(
+                    f"station {st.name!r} declares {len(st.demands_s)} demands "
+                    f"for {n_classes} classes"
+                )
+        if self.think_times_s and len(self.think_times_s) != n_classes:
+            raise ValueError("think_times_s length must match populations")
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.populations)
+
+    def think_time(self, class_index: int) -> float:
+        if not self.think_times_s:
+            return 0.0
+        return self.think_times_s[class_index]
+
+
+@dataclass(frozen=True)
+class SolverResult:
+    """Steady-state solution of a closed network.
+
+    Attributes
+    ----------
+    throughputs:
+        Per-class throughput (customers/s) — the service frame rate.
+    response_times:
+        ``(n_stations, n_classes)`` mean residence time per visit,
+        including queueing, for each station and class.
+    queue_lengths:
+        ``(n_stations,)`` mean number of customers at each station.
+    cycle_times:
+        Per-class end-to-end cycle time including think time.
+    utilizations:
+        ``(n_stations,)`` utilisation of each queueing station (NaN for
+        delay stations, which have no meaningful utilisation bound).
+    """
+
+    throughputs: np.ndarray
+    response_times: np.ndarray
+    queue_lengths: np.ndarray
+    cycle_times: np.ndarray
+    utilizations: np.ndarray
+
+
+def _cycle_times(pops: np.ndarray, throughput: np.ndarray) -> np.ndarray:
+    """Per-class cycle time; 0 for empty classes, inf for stalled ones."""
+    cycle = np.zeros_like(pops, dtype=float)
+    flowing = throughput > 0
+    cycle[flowing] = pops[flowing] / throughput[flowing]
+    cycle[(~flowing) & (pops > 0)] = np.inf
+    return cycle
+
+
+def _demand_matrix(network: ClosedNetwork) -> np.ndarray:
+    return np.array([st.demands_s for st in network.stations], dtype=float)
+
+
+def _is_queueing(network: ClosedNetwork) -> np.ndarray:
+    return np.array(
+        [isinstance(st, QueueingStation) for st in network.stations], dtype=bool
+    )
+
+
+def solve_exact_mva(network: ClosedNetwork) -> SolverResult:
+    """Exact multi-class MVA over all population sub-vectors.
+
+    Complexity is ``O(n_stations * prod(populations + 1))``; intended
+    for the small populations of the EdgeBOL testbed (<= ~10 users).
+    """
+    demands = _demand_matrix(network)
+    queueing = _is_queueing(network)
+    n_stations, n_classes = demands.shape
+    think = np.array([network.think_time(c) for c in range(n_classes)])
+    full_pop = tuple(int(p) for p in network.populations)
+
+    @lru_cache(maxsize=None)
+    def queue_len(pop: tuple[int, ...]) -> tuple[float, ...]:
+        """Mean queue length per station at population vector ``pop``."""
+        if sum(pop) == 0:
+            return tuple(0.0 for _ in range(n_stations))
+        response, throughput = _mva_step(pop)
+        q = np.zeros(n_stations)
+        for c in range(n_classes):
+            if pop[c] == 0:
+                continue
+            q += throughput[c] * response[:, c]
+        return tuple(float(v) for v in q)
+
+    def _mva_step(pop: tuple[int, ...]):
+        response = np.zeros((n_stations, n_classes))
+        throughput = np.zeros(n_classes)
+        for c in range(n_classes):
+            if pop[c] == 0:
+                continue
+            reduced = list(pop)
+            reduced[c] -= 1
+            q_reduced = np.array(queue_len(tuple(reduced)))
+            for k in range(n_stations):
+                if queueing[k]:
+                    response[k, c] = demands[k, c] * (1.0 + q_reduced[k])
+                else:
+                    response[k, c] = demands[k, c]
+            total = think[c] + response[:, c].sum()
+            throughput[c] = pop[c] / total if total > 0 else np.inf
+        return response, throughput
+
+    if sum(full_pop) == 0:
+        zeros_q = np.zeros(n_stations)
+        empty = np.zeros(n_classes)
+        util = np.where(queueing, 0.0, np.nan)
+        return SolverResult(
+            throughputs=empty,
+            response_times=np.zeros((n_stations, n_classes)),
+            queue_lengths=zeros_q,
+            cycle_times=empty.copy(),
+            utilizations=util,
+        )
+
+    response, throughput = _mva_step(full_pop)
+    queue = np.array(queue_len(full_pop))
+    cycle = _cycle_times(np.array(full_pop, dtype=float), throughput)
+    util = np.full(n_stations, np.nan)
+    for k in range(n_stations):
+        if queueing[k]:
+            util[k] = float(np.dot(throughput, demands[k, :]))
+    return SolverResult(
+        throughputs=throughput,
+        response_times=response,
+        queue_lengths=queue,
+        cycle_times=cycle,
+        utilizations=util,
+    )
+
+
+def solve_schweitzer(
+    network: ClosedNetwork,
+    tol: float = 1e-9,
+    max_iterations: int = 10_000,
+) -> SolverResult:
+    """Bard–Schweitzer approximate MVA (fixed-point iteration).
+
+    Approximates the arrival-theorem queue length seen by a class-``c``
+    customer as ``Q_kc * (N_c - 1) / N_c + sum_{j != c} Q_kj``.
+    Converges for all product-form networks; accuracy is typically
+    within a few percent of exact MVA.
+    """
+    demands = _demand_matrix(network)
+    queueing = _is_queueing(network)
+    n_stations, n_classes = demands.shape
+    pops = np.array(network.populations, dtype=float)
+    think = np.array([network.think_time(c) for c in range(n_classes)])
+
+    active = pops > 0
+    if not np.any(active):
+        return solve_exact_mva(network)
+
+    # Initial guess: customers spread evenly over stations they visit.
+    q_per_class = np.zeros((n_stations, n_classes))
+    for c in range(n_classes):
+        visited = demands[:, c] > 0
+        n_visited = max(int(visited.sum()), 1)
+        q_per_class[visited, c] = pops[c] / n_visited
+
+    response = np.zeros((n_stations, n_classes))
+    throughput = np.zeros(n_classes)
+    for _ in range(max_iterations):
+        q_prev = q_per_class.copy()
+        q_total = q_per_class.sum(axis=1)
+        for c in range(n_classes):
+            if not active[c]:
+                continue
+            # Arrival-theorem estimate of the queue seen on arrival.
+            seen = q_total - q_per_class[:, c] / pops[c]
+            response[:, c] = np.where(
+                queueing, demands[:, c] * (1.0 + seen), demands[:, c]
+            )
+            total = think[c] + response[:, c].sum()
+            throughput[c] = pops[c] / total if total > 0 else np.inf
+            q_per_class[:, c] = throughput[c] * response[:, c]
+        if np.max(np.abs(q_per_class - q_prev)) < tol:
+            break
+
+    cycle = _cycle_times(pops, throughput)
+    util = np.full(n_stations, np.nan)
+    for k in range(n_stations):
+        if queueing[k]:
+            util[k] = float(np.dot(throughput, demands[k, :]))
+    return SolverResult(
+        throughputs=throughput,
+        response_times=response,
+        queue_lengths=q_per_class.sum(axis=1),
+        cycle_times=cycle,
+        utilizations=util,
+    )

@@ -1,0 +1,97 @@
+"""Edge server: host + GPU power accounting.
+
+Wraps :class:`repro.edge.gpu.GpuModel` with the host-side contribution
+(CPU, memory, PSU overhead) so the reported figure corresponds to the
+paper's Performance Indicator 3 — the wall power of the whole server as
+measured by the GW-Instek power meter (observed range roughly
+50-200 W depending on load and GPU policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.edge.gpu import GpuModel
+from repro.utils.validation import check_fraction, check_non_negative
+
+
+@dataclass(frozen=True)
+class ServerLoadReport:
+    """Steady-state server-side KPIs for one orchestration period.
+
+    Attributes
+    ----------
+    gpu_utilization:
+        Fraction of time the GPU is busy (aggregate over users).
+    gpu_power_w:
+        Mean GPU draw.
+    server_power_w:
+        Wall power of the whole server (PI 3).
+    inference_time_s:
+        Per-image GPU service time at the configured policy.
+    """
+
+    gpu_utilization: float
+    gpu_power_w: float
+    server_power_w: float
+    inference_time_s: float
+
+
+class EdgeServer:
+    """GPU-enabled edge server with a controllable power-limit policy.
+
+    Parameters
+    ----------
+    gpu:
+        GPU speed/power model.
+    host_idle_power_w:
+        Host draw excluding the GPU (CPU idle, fans, PSU losses).
+    host_per_request_j:
+        Host-side energy per request (decode, tensor copies); adds a
+        load-dependent CPU component on top of the GPU draw.
+    """
+
+    def __init__(
+        self,
+        gpu: GpuModel | None = None,
+        host_idle_power_w: float = 48.0,
+        host_per_request_j: float = 1.2,
+    ) -> None:
+        self.gpu = gpu if gpu is not None else GpuModel()
+        self.host_idle_power_w = check_non_negative(
+            host_idle_power_w, "host_idle_power_w"
+        )
+        self.host_per_request_j = check_non_negative(
+            host_per_request_j, "host_per_request_j"
+        )
+
+    def inference_time_s(self, resolution: float, speed_policy: float) -> float:
+        """Per-image GPU service time (delegates to the GPU model)."""
+        return self.gpu.inference_time_s(resolution, speed_policy)
+
+    def load_report(
+        self,
+        total_request_rate_hz: float,
+        resolution: float,
+        speed_policy: float,
+    ) -> ServerLoadReport:
+        """KPIs for a steady state with the given aggregate request rate.
+
+        The utilisation is clipped at 1 — a closed-loop workload can
+        never push the GPU past saturation, but callers probing open-loop
+        what-if points may.
+        """
+        check_non_negative(total_request_rate_hz, "total_request_rate_hz")
+        check_fraction(resolution, "resolution")
+        service_time = self.gpu.inference_time_s(resolution, speed_policy)
+        utilization = min(total_request_rate_hz * service_time, 1.0)
+        gpu_power = self.gpu.mean_power_w(utilization, speed_policy)
+        host_power = (
+            self.host_idle_power_w + self.host_per_request_j * total_request_rate_hz
+        )
+        return ServerLoadReport(
+            gpu_utilization=float(utilization),
+            gpu_power_w=float(gpu_power),
+            server_power_w=float(gpu_power + host_power),
+            inference_time_s=float(service_time),
+        )

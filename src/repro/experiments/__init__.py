@@ -1,0 +1,19 @@
+"""Evaluation harness: one module per figure of the paper.
+
+Every experiment returns plain data structures (lists of dict rows or
+:class:`RunLog` objects) plus helpers that render them as text tables /
+ASCII charts and CSV.  The ``benchmarks/`` tree wraps these into
+pytest-benchmark targets, one per paper figure.
+"""
+
+from repro.experiments.recorder import RunLog, render_runlog, write_csv
+from repro.experiments.runner import ConstraintSchedule, run_agent, run_repetitions
+
+__all__ = [
+    "RunLog",
+    "render_runlog",
+    "write_csv",
+    "ConstraintSchedule",
+    "run_agent",
+    "run_repetitions",
+]

@@ -1,0 +1,124 @@
+"""Ablation studies of the EdgeBOL design choices.
+
+Not figures of the paper, but experiments for the design decisions its
+Section 5 discusses:
+
+* **beta sweep** — the exploration/safety multiplier (the paper uses
+  ``beta^{1/2} = 2.5`` citing good empirical performance);
+* **kernel choice** — Matérn nu in {1/2, 3/2, 5/2} and RBF (the paper
+  argues for Matérn-3/2);
+* **safe set on/off** — EdgeBOL vs an unconstrained penalised GP
+  bandit, quantifying how many constraint violations the safe set
+  avoids during learning;
+* **acquisition** — safe-LCB vs pure exploitation vs uncertainty
+  sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bandit.gp_ucb import PenalizedGPBandit
+from repro.core import EdgeBOL, EdgeBOLConfig
+from repro.experiments.recorder import RunLog
+from repro.experiments.runner import run_agent
+from repro.testbed.config import (
+    CostWeights,
+    ServiceConstraints,
+    TestbedConfig,
+)
+from repro.testbed.scenarios import static_scenario
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Converged behaviour of one ablated variant."""
+
+    variant: str
+    tail_cost: float
+    delay_violation_rate: float
+    map_violation_rate: float
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def _summarise(variant: str, log: RunLog, burn_in: int = 0) -> AblationResult:
+    delay_viol, map_viol = log.violation_rates(burn_in=burn_in)
+    return AblationResult(
+        variant=variant,
+        tail_cost=log.tail_mean("cost"),
+        delay_violation_rate=delay_viol,
+        map_violation_rate=map_viol,
+    )
+
+
+def _default_problem(seed: int, testbed: TestbedConfig):
+    env = static_scenario(mean_snr_db=35.0, rng=seed, config=testbed)
+    constraints = ServiceConstraints(0.4, 0.5)
+    weights = CostWeights(1.0, 1.0)
+    return env, constraints, weights
+
+
+def beta_ablation(
+    betas=(1.0, 2.5, 4.0),
+    n_periods: int = 100,
+    seed: int = 0,
+    testbed: TestbedConfig | None = None,
+) -> list[AblationResult]:
+    """Sweep the confidence multiplier beta."""
+    testbed = testbed if testbed is not None else TestbedConfig()
+    results = []
+    for beta in betas:
+        env, constraints, weights = _default_problem(seed, testbed)
+        agent = EdgeBOL(
+            testbed.control_grid(), constraints, weights,
+            config=EdgeBOLConfig(beta=beta),
+        )
+        log = run_agent(env, agent, n_periods)
+        results.append(_summarise(f"beta={beta}", log))
+    return results
+
+
+def kernel_ablation(
+    nus=(0.5, 1.5, 2.5),
+    n_periods: int = 100,
+    seed: int = 0,
+    testbed: TestbedConfig | None = None,
+) -> list[AblationResult]:
+    """Sweep the Matérn smoothness parameter."""
+    testbed = testbed if testbed is not None else TestbedConfig()
+    results = []
+    for nu in nus:
+        env, constraints, weights = _default_problem(seed, testbed)
+        agent = EdgeBOL(
+            testbed.control_grid(), constraints, weights,
+            config=EdgeBOLConfig(matern_nu=nu),
+        )
+        log = run_agent(env, agent, n_periods)
+        results.append(_summarise(f"matern_nu={nu}", log))
+    return results
+
+
+def safe_set_ablation(
+    n_periods: int = 100,
+    seed: int = 0,
+    testbed: TestbedConfig | None = None,
+) -> list[AblationResult]:
+    """EdgeBOL (safe set) vs penalised unconstrained GP bandit."""
+    testbed = testbed if testbed is not None else TestbedConfig()
+
+    env, constraints, weights = _default_problem(seed, testbed)
+    safe_agent = EdgeBOL(testbed.control_grid(), constraints, weights)
+    safe_log = run_agent(env, safe_agent, n_periods)
+
+    env, constraints, weights = _default_problem(seed, testbed)
+    unsafe_agent = PenalizedGPBandit(
+        testbed.control_grid(), constraints, weights
+    )
+    unsafe_log = run_agent(env, unsafe_agent, n_periods)
+
+    return [
+        _summarise("safe-set (EdgeBOL)", safe_log),
+        _summarise("penalized GP (no safe set)", unsafe_log),
+    ]

@@ -1,0 +1,94 @@
+"""Convergence evaluation (Fig. 9).
+
+A single static context (mean SNR 35 dB), delta1 = 1 mu/W,
+rho_min = 0.5, d_max = 0.4 s; EdgeBOL runs 150 periods for each
+delta2 in {1, 2, 4, 8, 16, 32, 64}, repeated over independent seeds.
+The figure plots the median (10th/90th band) of cost, mAP, delay and
+both power consumptions over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core import EdgeBOL, EdgeBOLConfig
+from repro.experiments.recorder import RunLog
+from repro.experiments.runner import run_agent
+from repro.testbed.config import (
+    CostWeights,
+    ServiceConstraints,
+    TestbedConfig,
+)
+from repro.testbed.scenarios import static_scenario
+
+#: The delta2 sweep of Fig. 9.
+DELTA2_VALUES = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+@dataclass(frozen=True)
+class ConvergenceSetting:
+    """Parameters of the Fig. 9 scenario."""
+
+    mean_snr_db: float = 35.0
+    delta1: float = 1.0
+    d_max_s: float = 0.4
+    rho_min: float = 0.5
+    n_periods: int = 150
+    n_repetitions: int = 10
+    n_levels: int = 11
+
+
+def run_convergence(
+    delta2: float,
+    setting: ConvergenceSetting | None = None,
+    seed: int = 0,
+    agent_config: EdgeBOLConfig | None = None,
+) -> RunLog:
+    """One EdgeBOL run for a given delta2."""
+    setting = setting if setting is not None else ConvergenceSetting()
+    testbed = TestbedConfig(n_levels=setting.n_levels)
+    env = static_scenario(
+        mean_snr_db=setting.mean_snr_db, rng=seed, config=testbed
+    )
+    agent = EdgeBOL(
+        testbed.control_grid(),
+        ServiceConstraints(setting.d_max_s, setting.rho_min),
+        CostWeights(setting.delta1, delta2),
+        config=agent_config,
+    )
+    return run_agent(env, agent, setting.n_periods, track_safe_set=True)
+
+
+def run_convergence_sweep(
+    delta2_values: Sequence[float] = DELTA2_VALUES,
+    setting: ConvergenceSetting | None = None,
+    agent_config: EdgeBOLConfig | None = None,
+) -> dict[float, list[RunLog]]:
+    """All repetitions for every delta2 (the full Fig. 9 data)."""
+    setting = setting if setting is not None else ConvergenceSetting()
+    results: dict[float, list[RunLog]] = {}
+    for delta2 in delta2_values:
+        results[delta2] = [
+            run_convergence(
+                delta2, setting=setting, seed=seed, agent_config=agent_config
+            )
+            for seed in range(setting.n_repetitions)
+        ]
+    return results
+
+
+def convergence_time(log: RunLog, tolerance: float = 0.1,
+                     window: int = 10) -> int:
+    """First period from which the cost stays within ``tolerance`` of
+    its final tail mean (the paper reports ~25 periods)."""
+    final = log.tail_mean("cost", window=30)
+    if final != final:  # NaN
+        return len(log)
+    threshold = abs(final) * tolerance
+    costs = log.cost
+    for t in range(len(costs) - window):
+        segment = costs[t:t + window]
+        if all(abs(c - final) <= threshold for c in segment):
+            return t
+    return len(costs)

@@ -1,0 +1,97 @@
+"""Offline hyperparameter fitting on profiling data.
+
+The paper fits each GP's kernel lengthscales and noise variance by
+maximum likelihood on *prior data* collected before deployment, then
+freezes them (Section 5, "Kernel selection").  This module implements
+that pipeline: drive the testbed with random controls to collect a
+profiling dataset, then hand it to
+:meth:`repro.core.edgebol.EdgeBOL.fit_hyperparameters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.edgebol import EdgeBOL
+from repro.testbed.config import ControlPolicy
+from repro.testbed.env import EdgeAIEnvironment
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class ProfilingDataset:
+    """Joint inputs and KPI targets collected from the testbed."""
+
+    inputs: np.ndarray          # (n, context_dim + 4)
+    costs: np.ndarray           # priced with the weights used to collect
+    delays: np.ndarray
+    maps: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.inputs.shape[0])
+
+
+def collect_profiling_data(
+    env: EdgeAIEnvironment,
+    agent: EdgeBOL,
+    n_samples: int,
+    rng=None,
+    delay_clip_s: float = 1.5,
+) -> ProfilingDataset:
+    """Random-control sweep of the testbed (pre-production phase).
+
+    Controls are drawn uniformly from the agent's grid; contexts evolve
+    naturally as the environment steps.  Delays are clipped as the
+    agent would clip them.
+    """
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    generator = ensure_rng(rng)
+    inputs, costs, delays, maps = [], [], [], []
+    grid = agent.control_grid
+    for _ in range(n_samples):
+        context = env.observe_context()
+        policy = ControlPolicy.from_array(
+            grid[int(generator.integers(0, grid.shape[0]))]
+        )
+        observation = env.step(policy)
+        inputs.append(agent._joint_point(context, policy))
+        costs.append(
+            agent.cost_weights.cost(
+                observation.server_power_w, observation.bs_power_w
+            )
+        )
+        delays.append(float(np.clip(observation.delay_s, 0.0, delay_clip_s)))
+        maps.append(float(np.clip(observation.map_score, 0.0, 1.0)))
+    return ProfilingDataset(
+        inputs=np.array(inputs),
+        costs=np.array(costs),
+        delays=np.array(delays),
+        maps=np.array(maps),
+    )
+
+
+def fit_from_profiling(
+    agent: EdgeBOL,
+    env: EdgeAIEnvironment,
+    n_samples: int = 60,
+    n_restarts: int = 1,
+    rng=None,
+) -> ProfilingDataset:
+    """Collect profiling data and fit the agent's hyperparameters.
+
+    Returns the dataset so callers can inspect or persist it (the paper
+    released its profiling measurements for reproducibility).
+    """
+    dataset = collect_profiling_data(env, agent, n_samples, rng=rng)
+    agent.fit_hyperparameters(
+        dataset.inputs,
+        dataset.costs,
+        dataset.delays,
+        dataset.maps,
+        n_restarts=n_restarts,
+        rng=rng,
+    )
+    return dataset

@@ -1,0 +1,205 @@
+"""Section 3 profiling experiments (Figures 1-6).
+
+Each function sweeps the configuration policies exactly as the paper's
+measurement campaign does and returns one dict row per measurement
+point (each point being the average over a 150-image batch, sampled
+with the testbed's observation noise — the "dots" of the figures).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.testbed.config import ControlPolicy, TestbedConfig
+from repro.testbed.env import EdgeAIEnvironment
+from repro.testbed.scenarios import static_scenario
+from repro.utils.ascii import render_table
+
+#: The resolution levels highlighted in every Section 3 figure.
+RESOLUTIONS = (0.25, 0.5, 0.75, 1.0)
+
+#: Airtime panels of Figs. 2, 5 and 6.
+AIRTIME_PANELS = (0.2, 0.5, 1.0)
+
+#: GPU-speed panels of Fig. 3.
+GPU_PANELS = (0.1, 0.45, 1.0)
+
+#: MCS policy sweep of Figs. 5-6 (normalised levels).
+MCS_LEVELS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _profiling_env(
+    rng=0, mean_snr_db: float = 35.0, config: TestbedConfig | None = None
+) -> EdgeAIEnvironment:
+    return static_scenario(mean_snr_db=mean_snr_db, rng=rng, config=config)
+
+
+def fig1_precision_vs_delay(
+    env: EdgeAIEnvironment | None = None,
+    resolutions: Sequence[float] = RESOLUTIONS,
+    dots_per_point: int = 8,
+) -> list[dict]:
+    """mAP vs service delay per image resolution (Fig. 1).
+
+    The remaining policies are fixed to minimise delay (max airtime,
+    GPU speed and MCS).
+    """
+    env = env if env is not None else _profiling_env()
+    rows = []
+    for resolution in resolutions:
+        policy = ControlPolicy(resolution, 1.0, 1.0, 1.0)
+        for _ in range(dots_per_point):
+            obs = env.evaluate(policy, noisy=True)
+            rows.append(
+                {
+                    "resolution": resolution,
+                    "delay_ms": obs.delay_s * 1000.0,
+                    "map": obs.map_score,
+                }
+            )
+    return rows
+
+
+def fig2_delay_vs_server_power(
+    env: EdgeAIEnvironment | None = None,
+    airtimes: Sequence[float] = AIRTIME_PANELS,
+    resolutions: Sequence[float] = RESOLUTIONS,
+    dots_per_point: int = 6,
+) -> list[dict]:
+    """Service delay vs server power across airtime panels (Fig. 2)."""
+    env = env if env is not None else _profiling_env()
+    rows = []
+    for airtime in airtimes:
+        for resolution in resolutions:
+            policy = ControlPolicy(resolution, airtime, 1.0, 1.0)
+            for _ in range(dots_per_point):
+                obs = env.evaluate(policy, noisy=True)
+                rows.append(
+                    {
+                        "airtime": airtime,
+                        "resolution": resolution,
+                        "server_power_w": obs.server_power_w,
+                        "delay_ms": obs.delay_s * 1000.0,
+                    }
+                )
+    return rows
+
+
+def fig3_gpu_policies(
+    env: EdgeAIEnvironment | None = None,
+    gpu_speeds: Sequence[float] = GPU_PANELS,
+    resolutions: Sequence[float] = RESOLUTIONS,
+    dots_per_point: int = 6,
+) -> list[dict]:
+    """Service and GPU delay vs server power across GPU panels (Fig. 3).
+
+    Airtime is fixed at 100% as in the paper.
+    """
+    env = env if env is not None else _profiling_env()
+    rows = []
+    for gpu_speed in gpu_speeds:
+        for resolution in resolutions:
+            policy = ControlPolicy(resolution, 1.0, gpu_speed, 1.0)
+            for _ in range(dots_per_point):
+                obs = env.evaluate(policy, noisy=True)
+                rows.append(
+                    {
+                        "gpu_speed": gpu_speed,
+                        "resolution": resolution,
+                        "server_power_w": obs.server_power_w,
+                        "delay_ms": obs.delay_s * 1000.0,
+                        "gpu_delay_ms": obs.gpu_delay_s * 1000.0,
+                    }
+                )
+    return rows
+
+
+def fig4_precision_vs_server_power(
+    env: EdgeAIEnvironment | None = None,
+    resolutions: Sequence[float] = RESOLUTIONS,
+    dots_per_point: int = 8,
+) -> list[dict]:
+    """mAP vs server power at maximum radio/compute resources (Fig. 4)."""
+    env = env if env is not None else _profiling_env()
+    rows = []
+    for resolution in resolutions:
+        policy = ControlPolicy(resolution, 1.0, 1.0, 1.0)
+        for _ in range(dots_per_point):
+            obs = env.evaluate(policy, noisy=True)
+            rows.append(
+                {
+                    "resolution": resolution,
+                    "server_power_w": obs.server_power_w,
+                    "map": obs.map_score,
+                }
+            )
+    return rows
+
+
+def fig5_bs_power_vs_mcs(
+    env: EdgeAIEnvironment | None = None,
+    airtimes: Sequence[float] = AIRTIME_PANELS,
+    resolutions: Sequence[float] = RESOLUTIONS,
+    mcs_levels: Sequence[float] = MCS_LEVELS,
+    dots_per_point: int = 4,
+) -> list[dict]:
+    """BS power vs mean MCS across airtime panels at 1x load (Fig. 5)."""
+    env = env if env is not None else _profiling_env()
+    rows = []
+    for airtime in airtimes:
+        for resolution in resolutions:
+            for mcs in mcs_levels:
+                policy = ControlPolicy(resolution, airtime, 1.0, mcs)
+                for _ in range(dots_per_point):
+                    obs = env.evaluate(policy, noisy=True)
+                    rows.append(
+                        {
+                            "airtime": airtime,
+                            "resolution": resolution,
+                            "mcs_policy": mcs,
+                            "mean_mcs": obs.mean_mcs,
+                            "bs_power_w": obs.bs_power_w,
+                        }
+                    )
+    return rows
+
+
+def fig6_bs_power_vs_mcs_10x(
+    airtimes: Sequence[float] = AIRTIME_PANELS,
+    resolutions: Sequence[float] = RESOLUTIONS,
+    mcs_levels: Sequence[float] = MCS_LEVELS,
+    dots_per_point: int = 4,
+    load_multiplier: float = 10.0,
+    rng=0,
+) -> list[dict]:
+    """Fig. 5's sweep with 10x emulated load (Fig. 6)."""
+    config = TestbedConfig(load_multiplier=load_multiplier)
+    env = _profiling_env(rng=rng, config=config)
+    rows = fig5_bs_power_vs_mcs(
+        env=env,
+        airtimes=airtimes,
+        resolutions=resolutions,
+        mcs_levels=mcs_levels,
+        dots_per_point=dots_per_point,
+    )
+    for row in rows:
+        row["load_multiplier"] = load_multiplier
+    return rows
+
+
+def summarize(rows: list[dict], group_keys: Sequence[str],
+              value_keys: Sequence[str]) -> str:
+    """Group rows and render mean values as a text table."""
+    groups: dict[tuple, dict[str, list[float]]] = {}
+    for row in rows:
+        key = tuple(row[k] for k in group_keys)
+        bucket = groups.setdefault(key, {v: [] for v in value_keys})
+        for v in value_keys:
+            bucket[v].append(float(row[v]))
+    table_rows = []
+    for key in sorted(groups):
+        bucket = groups[key]
+        means = [sum(vals) / len(vals) for vals in bucket.values()]
+        table_rows.append([*key, *means])
+    headers = [*group_keys, *[f"mean_{v}" for v in value_keys]]
+    return render_table(headers, table_rows)

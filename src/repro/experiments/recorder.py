@@ -1,0 +1,155 @@
+"""Run logs and text/CSV rendering for experiments."""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.testbed.config import ControlPolicy
+from repro.testbed.env import TestbedObservation
+from repro.utils.ascii import render_chart, render_table
+
+
+@dataclass
+class RunLog:
+    """Per-period trajectory of one learning run.
+
+    All lists are index-aligned; policies store the four normalised
+    control coordinates.
+    """
+
+    cost: list[float] = field(default_factory=list)
+    delay_s: list[float] = field(default_factory=list)
+    map_score: list[float] = field(default_factory=list)
+    server_power_w: list[float] = field(default_factory=list)
+    bs_power_w: list[float] = field(default_factory=list)
+    safe_set_size: list[int] = field(default_factory=list)
+    snr_db: list[float] = field(default_factory=list)
+    resolution: list[float] = field(default_factory=list)
+    airtime: list[float] = field(default_factory=list)
+    gpu_speed: list[float] = field(default_factory=list)
+    mcs_fraction: list[float] = field(default_factory=list)
+    d_max_s: list[float] = field(default_factory=list)
+    rho_min: list[float] = field(default_factory=list)
+
+    def append(
+        self,
+        cost: float,
+        policy: ControlPolicy,
+        observation: TestbedObservation,
+        safe_set_size: int | None = None,
+        snr_db: float = float("nan"),
+        d_max_s: float = float("nan"),
+        rho_min: float = float("nan"),
+    ) -> None:
+        """Record one period."""
+        self.cost.append(float(cost))
+        self.delay_s.append(float(observation.delay_s))
+        self.map_score.append(float(observation.map_score))
+        self.server_power_w.append(float(observation.server_power_w))
+        self.bs_power_w.append(float(observation.bs_power_w))
+        self.safe_set_size.append(-1 if safe_set_size is None else int(safe_set_size))
+        self.snr_db.append(float(snr_db))
+        arr = policy.to_array()
+        self.resolution.append(float(arr[0]))
+        self.airtime.append(float(arr[1]))
+        self.gpu_speed.append(float(arr[2]))
+        self.mcs_fraction.append(float(arr[3]))
+        self.d_max_s.append(float(d_max_s))
+        self.rho_min.append(float(rho_min))
+
+    def __len__(self) -> int:
+        return len(self.cost)
+
+    def tail_mean(self, field_name: str, window: int = 30) -> float:
+        """Mean of the final ``window`` entries of one series."""
+        values = np.asarray(getattr(self, field_name), dtype=float)
+        if values.size == 0:
+            return float("nan")
+        tail = values[-window:]
+        finite = tail[np.isfinite(tail)]
+        return float(finite.mean()) if finite.size else float("nan")
+
+    def violation_rates(self, burn_in: int = 0) -> tuple[float, float]:
+        """(delay, mAP) constraint violation rates after ``burn_in``."""
+        delays = np.asarray(self.delay_s[burn_in:])
+        maps = np.asarray(self.map_score[burn_in:])
+        d_max = np.asarray(self.d_max_s[burn_in:])
+        rho = np.asarray(self.rho_min[burn_in:])
+        if delays.size == 0:
+            return float("nan"), float("nan")
+        return (
+            float(np.mean(delays > d_max)),
+            float(np.mean(maps < rho)),
+        )
+
+    def as_dict(self) -> dict[str, list]:
+        """Column-name to series mapping (CSV layout)."""
+        return {
+            "t": list(range(len(self.cost))),
+            "cost": self.cost,
+            "delay_s": self.delay_s,
+            "map": self.map_score,
+            "server_power_w": self.server_power_w,
+            "bs_power_w": self.bs_power_w,
+            "safe_set_size": self.safe_set_size,
+            "snr_db": self.snr_db,
+            "resolution": self.resolution,
+            "airtime": self.airtime,
+            "gpu_speed": self.gpu_speed,
+            "mcs_fraction": self.mcs_fraction,
+            "d_max_s": self.d_max_s,
+            "rho_min": self.rho_min,
+        }
+
+
+def write_csv(path: "str | Path", rows: "Sequence[Mapping] | Mapping[str, Sequence]") -> Path:
+    """Write experiment output as CSV.
+
+    Accepts either a list of row dicts or a column mapping.  Parent
+    directories are created.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if isinstance(rows, Mapping):
+        columns = list(rows)
+        length = len(next(iter(rows.values()), []))
+        records = [
+            {col: rows[col][i] for col in columns} for i in range(length)
+        ]
+    else:
+        records = [dict(r) for r in rows]
+        columns = list(records[0]) if records else []
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(records)
+    return path
+
+
+def render_runlog(log: RunLog, title: str = "run") -> str:
+    """Text rendering of the headline series of one run."""
+    parts = [
+        render_chart({"cost": log.cost}, title=f"{title}: cost u_t"),
+        render_chart(
+            {"delay": log.delay_s, "d_max": log.d_max_s},
+            title=f"{title}: service delay d_t",
+        ),
+        render_chart(
+            {"mAP": log.map_score, "rho_min": log.rho_min},
+            title=f"{title}: mAP rho_t",
+        ),
+    ]
+    summary_rows = [
+        ["tail mean cost", log.tail_mean("cost")],
+        ["tail mean delay (s)", log.tail_mean("delay_s")],
+        ["tail mean mAP", log.tail_mean("map_score")],
+        ["tail mean server power (W)", log.tail_mean("server_power_w")],
+        ["tail mean BS power (W)", log.tail_mean("bs_power_w")],
+    ]
+    parts.append(render_table(["metric", "value"], summary_rows))
+    return "\n\n".join(parts)

@@ -1,0 +1,105 @@
+"""Regret analysis against the offline oracle.
+
+The contextual-bandit objective (problem 2) minimises long-run average
+cost; the natural learning-theoretic lens is *regret* versus the
+context-dependent oracle.  These helpers compute:
+
+* per-period regret ``u_t - u*(c_t)`` (clipped below at 0 — beating the
+  noise-free oracle on a noisy draw is not negative regret),
+* cumulative and average regret curves,
+* *safety regret*: cumulative constraint-violation magnitude, the
+  quantity safe exploration is supposed to keep near zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bandit.oracle import ExhaustiveOracle
+from repro.experiments.recorder import RunLog
+from repro.testbed.config import ServiceConstraints
+
+
+@dataclass(frozen=True)
+class RegretCurves:
+    """Regret series of one run.
+
+    Attributes
+    ----------
+    per_period:
+        Clipped instantaneous regret per period.
+    cumulative:
+        Running sum of the per-period regret.
+    average:
+        Cumulative regret divided by elapsed periods.
+    safety_cumulative:
+        Running sum of constraint-violation magnitudes (delay seconds
+        over the bound plus mAP shortfall below the floor).
+    """
+
+    per_period: np.ndarray
+    cumulative: np.ndarray
+    average: np.ndarray
+    safety_cumulative: np.ndarray
+
+    @property
+    def final_cumulative(self) -> float:
+        return float(self.cumulative[-1]) if self.cumulative.size else 0.0
+
+    @property
+    def final_average(self) -> float:
+        return float(self.average[-1]) if self.average.size else 0.0
+
+    def is_sublinear(self, split: float = 0.5) -> bool:
+        """Whether the average regret of the tail beats the head.
+
+        A crude sublinearity check: the mean per-period regret over the
+        last ``1 - split`` fraction of the run is lower than over the
+        first ``split`` fraction.
+        """
+        n = self.per_period.size
+        if n < 4:
+            return False
+        cut = max(1, int(n * split))
+        head = float(np.mean(self.per_period[:cut]))
+        tail = float(np.mean(self.per_period[cut:]))
+        return tail < head
+
+
+def regret_against_constant_oracle(
+    log: RunLog, oracle_cost: float
+) -> RegretCurves:
+    """Regret curves for a fixed-context run with a known oracle cost."""
+    costs = np.asarray(log.cost, dtype=float)
+    per_period = np.maximum(costs - float(oracle_cost), 0.0)
+    cumulative = np.cumsum(per_period)
+    steps = np.arange(1, per_period.size + 1)
+    average = cumulative / steps
+
+    delays = np.asarray(log.delay_s, dtype=float)
+    maps = np.asarray(log.map_score, dtype=float)
+    d_max = np.asarray(log.d_max_s, dtype=float)
+    rho = np.asarray(log.rho_min, dtype=float)
+    finite_delays = np.where(np.isfinite(delays), delays, d_max + 2.0)
+    violations = np.maximum(finite_delays - d_max, 0.0) + np.maximum(
+        rho - maps, 0.0
+    )
+    return RegretCurves(
+        per_period=per_period,
+        cumulative=cumulative,
+        average=average,
+        safety_cumulative=np.cumsum(violations),
+    )
+
+
+def regret_for_static_run(
+    log: RunLog,
+    oracle: ExhaustiveOracle,
+    constraints: ServiceConstraints,
+    snrs_db,
+) -> RegretCurves:
+    """Convenience: look up the oracle for a static context, then score."""
+    best = oracle.best(constraints, snrs_db=snrs_db)
+    return regret_against_constant_oracle(log, best.cost)

@@ -1,0 +1,112 @@
+"""Generic agent-environment loop used by every learning experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.experiments.recorder import RunLog
+from repro.testbed.config import ServiceConstraints
+from repro.testbed.env import EdgeAIEnvironment
+from repro.utils.stats import percentile_band
+
+
+@dataclass(frozen=True)
+class ConstraintSchedule:
+    """Piecewise-constant constraint settings over time.
+
+    ``changes`` maps period indices to the constraints that become
+    active *at* that period (Fig. 14 uses switches at t=1000 and
+    t=2000).
+    """
+
+    initial: ServiceConstraints
+    changes: tuple[tuple[int, ServiceConstraints], ...] = ()
+
+    def at(self, t: int) -> ServiceConstraints:
+        """Constraints active at period ``t``."""
+        active = self.initial
+        for start, constraints in sorted(self.changes):
+            if t >= start:
+                active = constraints
+        return active
+
+
+def run_agent(
+    env: EdgeAIEnvironment,
+    agent,
+    n_periods: int,
+    schedule: ConstraintSchedule | None = None,
+    track_safe_set: bool = False,
+) -> RunLog:
+    """Drive ``agent`` in ``env`` for ``n_periods`` and log everything.
+
+    The agent must expose ``select`` / ``observe`` and, when a schedule
+    is given, ``set_constraints``.  ``track_safe_set`` additionally logs
+    |S_t| for agents exposing ``last_safe_set_size`` (EdgeBOL).
+    """
+    if n_periods < 0:
+        raise ValueError(f"n_periods must be non-negative, got {n_periods}")
+    log = RunLog()
+    active = schedule.initial if schedule is not None else getattr(
+        agent, "constraints", ServiceConstraints()
+    )
+    for t in range(n_periods):
+        if schedule is not None:
+            new_constraints = schedule.at(t)
+            if new_constraints != active:
+                agent.set_constraints(new_constraints)
+                active = new_constraints
+        snr = float(np.mean(env.current_snrs_db))
+        context = env.observe_context()
+        policy = agent.select(context)
+        observation = env.step(policy)
+        cost = agent.observe(context, policy, observation)
+        safe_size = (
+            getattr(agent, "last_safe_set_size", None) if track_safe_set else None
+        )
+        log.append(
+            cost=cost,
+            policy=policy,
+            observation=observation,
+            safe_set_size=safe_size,
+            snr_db=snr,
+            d_max_s=active.d_max_s,
+            rho_min=active.rho_min,
+        )
+    return log
+
+
+def run_repetitions(
+    make_env_and_agent: Callable[[int], tuple[EdgeAIEnvironment, object]],
+    n_repetitions: int,
+    n_periods: int,
+    schedule: ConstraintSchedule | None = None,
+    track_safe_set: bool = False,
+) -> list[RunLog]:
+    """Run independent repetitions (fresh env + agent per seed)."""
+    if n_repetitions < 1:
+        raise ValueError(f"n_repetitions must be >= 1, got {n_repetitions}")
+    logs = []
+    for seed in range(n_repetitions):
+        env, agent = make_env_and_agent(seed)
+        logs.append(
+            run_agent(
+                env, agent, n_periods, schedule=schedule,
+                track_safe_set=track_safe_set,
+            )
+        )
+    return logs
+
+
+def band(logs: Sequence[RunLog], field_name: str,
+         low: float = 10.0, high: float = 90.0):
+    """Median and percentile band of one series across repetitions.
+
+    This is the visual convention of the paper's plots (median with
+    10th/90th percentile shading).
+    """
+    rows = np.array([getattr(log, field_name) for log in logs], dtype=float)
+    return percentile_band(rows, low=low, high=high)

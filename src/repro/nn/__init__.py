@@ -1,0 +1,25 @@
+"""Minimal neural-network framework (numpy only).
+
+Supports the DDPG benchmark of Section 6.5: dense layers with
+backpropagation, common activations, mean-squared-error loss, the Adam
+optimiser and a sequential MLP container.  No external deep-learning
+dependency is available in this environment, so the framework is
+implemented from scratch with gradient-checked correctness.
+"""
+
+from repro.nn.layers import Dense, Identity, ReLU, Sigmoid, Tanh
+from repro.nn.losses import mse_loss
+from repro.nn.mlp import MLP
+from repro.nn.optim import Adam, SGD
+
+__all__ = [
+    "Dense",
+    "Identity",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "mse_loss",
+    "MLP",
+    "Adam",
+    "SGD",
+]

@@ -1,0 +1,141 @@
+"""Differentiable layers with explicit forward/backward passes.
+
+Each layer caches what it needs during ``forward`` and consumes it in
+``backward``, returning the gradient with respect to its input.
+Parameters and their gradients are exposed as parallel lists so any
+optimiser can update them in place.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+class Layer(abc.ABC):
+    """Base layer: stateless by default (no parameters)."""
+
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute outputs for a batch ``(n, d_in)`` and cache state."""
+
+    @abc.abstractmethod
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate ``dL/dy`` and return ``dL/dx``."""
+
+    def parameters(self) -> list[np.ndarray]:
+        """Trainable arrays (updated in place by optimisers)."""
+        return []
+
+    def gradients(self) -> list[np.ndarray]:
+        """Gradients aligned with :meth:`parameters`."""
+        return []
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x W + b``.
+
+    Weights use He-uniform initialisation scaled for the fan-in, which
+    behaves well for both ReLU and saturating activations at the scale
+    of our small actor/critic networks.
+    """
+
+    def __init__(self, n_in: int, n_out: int, rng=None) -> None:
+        if n_in < 1 or n_out < 1:
+            raise ValueError(f"layer dims must be >= 1, got {n_in}, {n_out}")
+        generator = ensure_rng(rng)
+        bound = np.sqrt(6.0 / n_in)
+        self.weight = generator.uniform(-bound, bound, size=(n_in, n_out))
+        self.bias = np.zeros(n_out)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.weight.shape[0]:
+            raise ValueError(
+                f"expected input (n, {self.weight.shape[0]}), got {x.shape}"
+            )
+        self._x = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.grad_weight[...] = self._x.T @ grad_output
+        self.grad_bias[...] = grad_output.sum(axis=0)
+        return grad_output @ self.weight.T
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic-tangent activation."""
+
+    def __init__(self) -> None:
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * (1.0 - self._y**2)
+
+
+class Sigmoid(Layer):
+    """Logistic activation (the paper's actor output squashing)."""
+
+    def __init__(self) -> None:
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # Numerically stable piecewise formulation.
+        out = np.empty_like(x, dtype=float)
+        positive = x >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+        exp_x = np.exp(x[~positive])
+        out[~positive] = exp_x / (1.0 + exp_x)
+        self._y = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._y * (1.0 - self._y)
+
+
+class Identity(Layer):
+    """Pass-through (linear output head)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output

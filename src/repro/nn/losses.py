@@ -1,0 +1,25 @@
+"""Loss functions returning (value, gradient) pairs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mse_loss(predictions: np.ndarray, targets: np.ndarray):
+    """Mean squared error and its gradient w.r.t. the predictions.
+
+    Returns
+    -------
+    (loss, grad):
+        Scalar loss and an array shaped like ``predictions``.
+    """
+    predictions = np.asarray(predictions, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    if predictions.shape != targets.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape} vs targets {targets.shape}"
+        )
+    diff = predictions - targets
+    loss = float(np.mean(diff**2))
+    grad = 2.0 * diff / diff.size
+    return loss, grad

@@ -1,0 +1,101 @@
+"""Sequential multi-layer perceptron container."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.nn.layers import Dense, Identity, Layer, ReLU, Sigmoid, Tanh
+from repro.utils.rng import ensure_rng
+
+_ACTIVATIONS = {
+    "relu": ReLU,
+    "tanh": Tanh,
+    "sigmoid": Sigmoid,
+    "linear": Identity,
+}
+
+
+class MLP:
+    """Feed-forward network built from :class:`repro.nn.layers.Layer`.
+
+    Parameters
+    ----------
+    layer_sizes:
+        ``[n_in, h1, ..., n_out]``.
+    hidden_activation:
+        Activation between hidden layers (``relu``/``tanh``).
+    output_activation:
+        Activation of the final layer (``linear``/``sigmoid``/``tanh``).
+    rng:
+        Seed or generator for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        hidden_activation: str = "relu",
+        output_activation: str = "linear",
+        rng=None,
+    ) -> None:
+        sizes = list(layer_sizes)
+        if len(sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        if hidden_activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown hidden activation {hidden_activation!r}")
+        if output_activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown output activation {output_activation!r}")
+        generator = ensure_rng(rng)
+        self.layers: list[Layer] = []
+        for i, (n_in, n_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+            self.layers.append(Dense(n_in, n_out, rng=generator))
+            is_last = i == len(sizes) - 2
+            activation = output_activation if is_last else hidden_activation
+            self.layers.append(_ACTIVATIONS[activation]())
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Batch forward pass; caches activations for backward."""
+        out = np.asarray(x, dtype=float)
+        if out.ndim == 1:
+            out = out[None, :]
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    __call__ = forward
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate through every layer; returns ``dL/dx``."""
+        grad = np.asarray(grad_output, dtype=float)
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> list[np.ndarray]:
+        params: list[np.ndarray] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def gradients(self) -> list[np.ndarray]:
+        grads: list[np.ndarray] = []
+        for layer in self.layers:
+            grads.extend(layer.gradients())
+        return grads
+
+    def copy_weights_from(self, other: "MLP", tau: float = 1.0) -> None:
+        """Polyak-average weights from ``other``: ``w <- tau*w' + (1-tau)*w``.
+
+        ``tau = 1`` is a hard copy (target-network initialisation).
+        """
+        if not 0.0 <= tau <= 1.0:
+            raise ValueError(f"tau must be in [0, 1], got {tau}")
+        mine, theirs = self.parameters(), other.parameters()
+        if len(mine) != len(theirs):
+            raise ValueError("networks have different parameter structures")
+        for w, w_other in zip(mine, theirs):
+            if w.shape != w_other.shape:
+                raise ValueError("parameter shape mismatch between networks")
+            w *= 1.0 - tau
+            w += tau * w_other

@@ -1,0 +1,73 @@
+"""First-order optimisers operating on parameter/gradient lists."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+class SGD:
+    """Vanilla stochastic gradient descent (optionally with momentum)."""
+
+    def __init__(self, parameters, learning_rate: float = 1e-2,
+                 momentum: float = 0.0) -> None:
+        check_positive(learning_rate, "learning_rate")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.parameters = list(parameters)
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p) for p in self.parameters]
+
+    def step(self, gradients) -> None:
+        """Apply one update given gradients aligned with the parameters."""
+        gradients = list(gradients)
+        if len(gradients) != len(self.parameters):
+            raise ValueError("gradients must align with parameters")
+        for p, g, v in zip(self.parameters, gradients, self._velocity):
+            v *= self.momentum
+            v -= self.learning_rate * g
+            p += v
+
+
+class Adam:
+    """Adam optimiser (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(
+        self,
+        parameters,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        check_positive(learning_rate, "learning_rate")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("beta1/beta2 must be in [0, 1)")
+        check_positive(epsilon, "epsilon")
+        self.parameters = list(parameters)
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m = [np.zeros_like(p) for p in self.parameters]
+        self._v = [np.zeros_like(p) for p in self.parameters]
+        self._t = 0
+
+    def step(self, gradients) -> None:
+        """Apply one Adam update."""
+        gradients = list(gradients)
+        if len(gradients) != len(self.parameters):
+            raise ValueError("gradients must align with parameters")
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(self.parameters, gradients, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,63 @@
+"""O-RAN compliant orchestration plane (Fig. 7 of the paper).
+
+In-process implementations of the O-RAN components EdgeBOL plugs into:
+
+* the **A1 interface** (Policy Management Service) between the non-RT
+  RIC and the near-RT RIC,
+* the **E2 interface** (subscription / indication / control) between
+  the near-RT RIC and the O-eNB,
+* the **O1 interface** reporting KPIs up to the SMO / non-RT RIC,
+* **rApps** (policy service, data collector) hosted by the non-RT RIC
+  and **xApps** (policy service, database/KPI) hosted by the near-RT
+  RIC,
+* the **SMO framework** that wires everything together and runs the
+  orchestration loop.
+
+Every control decision of the learning agent travels A1 -> E2 to the
+base station, and every KPI sample travels E2 -> O1 back to the agent,
+exactly as laid out in Section 4.1.
+"""
+
+from repro.oran.bus import MessageBus
+from repro.oran.messages import (
+    A1PolicyRequest,
+    A1PolicyResponse,
+    E2ControlRequest,
+    E2Indication,
+    E2Subscription,
+    O1Report,
+)
+from repro.oran.a1 import A1PolicyService, PolicyType
+from repro.oran.e2 import E2Node, E2Termination
+from repro.oran.o1 import O1Termination
+from repro.oran.ric import NearRTRIC, NonRTRIC
+from repro.oran.apps import (
+    DataCollectorRApp,
+    KPIDatabaseXApp,
+    PolicyServiceRApp,
+    PolicyServiceXApp,
+)
+from repro.oran.smo import OranSystem, SMOFramework
+
+__all__ = [
+    "MessageBus",
+    "A1PolicyRequest",
+    "A1PolicyResponse",
+    "E2ControlRequest",
+    "E2Indication",
+    "E2Subscription",
+    "O1Report",
+    "A1PolicyService",
+    "PolicyType",
+    "E2Node",
+    "E2Termination",
+    "O1Termination",
+    "NearRTRIC",
+    "NonRTRIC",
+    "DataCollectorRApp",
+    "KPIDatabaseXApp",
+    "PolicyServiceRApp",
+    "PolicyServiceXApp",
+    "OranSystem",
+    "SMOFramework",
+]

@@ -1,0 +1,68 @@
+"""Topic-based synchronous message bus.
+
+The O-RAN interfaces are transported over an in-process bus: components
+publish to named topics ("a1", "e2.control", "o1", ...) and subscribers
+are invoked synchronously in registration order.  A bounded history per
+topic supports test assertions and debugging without unbounded memory
+growth.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from collections.abc import Callable
+
+
+class MessageBus:
+    """Minimal synchronous pub/sub transport.
+
+    Parameters
+    ----------
+    history_limit:
+        Messages retained per topic for inspection.
+    """
+
+    def __init__(self, history_limit: int = 1000) -> None:
+        if history_limit < 1:
+            raise ValueError(f"history_limit must be >= 1, got {history_limit}")
+        self._subscribers: dict[str, list[Callable[[object], None]]] = defaultdict(list)
+        self._history: dict[str, deque] = defaultdict(
+            lambda: deque(maxlen=history_limit)
+        )
+
+    def subscribe(self, topic: str, handler: Callable[[object], None]) -> None:
+        """Register ``handler`` for messages published on ``topic``."""
+        if not topic:
+            raise ValueError("topic must be non-empty")
+        if not callable(handler):
+            raise TypeError("handler must be callable")
+        self._subscribers[topic].append(handler)
+
+    def unsubscribe(self, topic: str, handler: Callable[[object], None]) -> None:
+        """Remove a previously registered handler (no-op if absent)."""
+        handlers = self._subscribers.get(topic, [])
+        if handler in handlers:
+            handlers.remove(handler)
+
+    def publish(self, topic: str, message: object) -> int:
+        """Deliver ``message`` to every subscriber of ``topic``.
+
+        Returns the number of handlers invoked.  Handlers run
+        synchronously; exceptions propagate to the publisher (fail
+        fast — silent loss of a control message would be worse).
+        """
+        if not topic:
+            raise ValueError("topic must be non-empty")
+        self._history[topic].append(message)
+        handlers = list(self._subscribers.get(topic, []))
+        for handler in handlers:
+            handler(message)
+        return len(handlers)
+
+    def history(self, topic: str) -> list:
+        """Messages published on ``topic`` (oldest first, bounded)."""
+        return list(self._history.get(topic, []))
+
+    def topics(self) -> list[str]:
+        """Topics that have seen at least one subscriber or message."""
+        return sorted(set(self._subscribers) | set(self._history))

@@ -1,0 +1,125 @@
+"""E2 interface: RIC services toward the base station.
+
+The E2 node (the srsRAN-based O-eNB in the prototype) terminates two
+RIC services used by EdgeBOL:
+
+* **RIC Control** — the near-RT RIC pushes the airtime / max-MCS radio
+  policies, which the node's MAC scheduler must respect;
+* **RIC Subscription / Indication** — the node periodically reports
+  KPIs (BS power consumption in the paper) to subscribed xApps.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.oran.bus import MessageBus
+from repro.oran.messages import E2ControlRequest, E2Indication, E2Subscription
+from repro.ran.mac import RadioPolicy
+from repro.ran.phy import MAX_MCS
+
+
+class E2Node:
+    """Base-station side E2 termination.
+
+    Holds the currently enforced radio policy and produces KPI
+    indications when polled by the host environment loop.
+
+    Parameters
+    ----------
+    node_id:
+        E2 node identifier.
+    bus:
+        Transport used for indications (topic ``e2.indication``).
+    """
+
+    def __init__(self, node_id: str, bus: MessageBus) -> None:
+        self.node_id = node_id
+        self.bus = bus
+        self._policy = RadioPolicy(airtime=1.0, max_mcs=MAX_MCS)
+        self._subscriptions: list[E2Subscription] = []
+        self._period = 0
+        bus.subscribe("e2.control", self._on_control)
+        bus.subscribe("e2.subscription", self._on_subscription)
+
+    @property
+    def radio_policy(self) -> RadioPolicy:
+        """The policy currently enforced by the MAC scheduler."""
+        return self._policy
+
+    @property
+    def subscriptions(self) -> list[E2Subscription]:
+        return list(self._subscriptions)
+
+    def _on_control(self, message: object) -> None:
+        if not isinstance(message, E2ControlRequest):
+            raise TypeError(f"unexpected message on e2.control: {message!r}")
+        self._policy = RadioPolicy(
+            airtime=message.airtime, max_mcs=message.max_mcs
+        )
+
+    def _on_subscription(self, message: object) -> None:
+        if not isinstance(message, E2Subscription):
+            raise TypeError(f"unexpected message on e2.subscription: {message!r}")
+        self._subscriptions.append(message)
+
+    def report_kpis(self, kpis: dict[str, float]) -> None:
+        """Emit one RIC Indication carrying the measured KPIs.
+
+        Only KPIs requested by at least one subscription are included;
+        with no subscribers, nothing is sent.
+        """
+        if not self._subscriptions:
+            return
+        requested: set[str] = set()
+        for sub in self._subscriptions:
+            requested.update(sub.kpi_names)
+        payload = {k: v for k, v in kpis.items() if k in requested}
+        if not payload:
+            return
+        self._period += 1
+        self.bus.publish(
+            "e2.indication",
+            E2Indication(node_id=self.node_id, kpis=payload, period=self._period),
+        )
+
+
+class E2Termination:
+    """Near-RT RIC side of E2: sends control/subscriptions, fans out
+    indications to registered xApp handlers."""
+
+    def __init__(self, bus: MessageBus) -> None:
+        self.bus = bus
+        self._handlers: list[Callable[[E2Indication], None]] = []
+        bus.subscribe("e2.indication", self._on_indication)
+
+    def send_control(self, airtime: float, max_mcs: int) -> None:
+        """Issue a RIC Control enforcing radio policies on the node."""
+        self.bus.publish(
+            "e2.control", E2ControlRequest(airtime=airtime, max_mcs=max_mcs)
+        )
+
+    def subscribe_kpis(
+        self, subscriber: str, kpi_names: tuple[str, ...],
+        report_period_s: float = 1.0,
+    ) -> None:
+        """Create a RIC Subscription on behalf of an xApp."""
+        self.bus.publish(
+            "e2.subscription",
+            E2Subscription(
+                subscriber=subscriber,
+                kpi_names=tuple(kpi_names),
+                report_period_s=report_period_s,
+            ),
+        )
+
+    def register_indication_handler(
+        self, handler: Callable[[E2Indication], None]
+    ) -> None:
+        self._handlers.append(handler)
+
+    def _on_indication(self, message: object) -> None:
+        if not isinstance(message, E2Indication):
+            raise TypeError(f"unexpected message on e2.indication: {message!r}")
+        for handler in list(self._handlers):
+            handler(message)

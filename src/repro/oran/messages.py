@@ -1,0 +1,107 @@
+"""Message types exchanged over the O-RAN interfaces.
+
+Simplified but structurally faithful renderings of the O-RAN WG2/WG3
+protocol objects: A1 policy management (O-RAN.WG2.A1AP), E2 RIC
+services (O-RAN.WG3.E2GAP) and O1 performance reporting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_message_counter = itertools.count(1)
+
+
+def next_message_id() -> int:
+    """Monotonically increasing id shared by all message types."""
+    return next(_message_counter)
+
+
+@dataclass(frozen=True)
+class A1PolicyRequest:
+    """A1-P policy create/update/delete request (non-RT RIC -> near-RT RIC).
+
+    Attributes
+    ----------
+    operation:
+        ``"PUT"`` creates or replaces a policy instance, ``"DELETE"``
+        removes it, ``"GET"`` queries it.
+    policy_type_id:
+        Registered policy type the instance conforms to.
+    policy_id:
+        Instance identifier, unique per type.
+    body:
+        Policy payload (JSON-like dict) validated against the type's
+        schema.
+    """
+
+    operation: str
+    policy_type_id: int
+    policy_id: str
+    body: dict[str, Any] = field(default_factory=dict)
+    message_id: int = field(default_factory=next_message_id)
+
+    def __post_init__(self) -> None:
+        if self.operation not in ("PUT", "DELETE", "GET"):
+            raise ValueError(f"unsupported A1 operation {self.operation!r}")
+
+
+@dataclass(frozen=True)
+class A1PolicyResponse:
+    """A1-P response carrying status and optional payload."""
+
+    request_id: int
+    status: int
+    body: dict[str, Any] = field(default_factory=dict)
+    message_id: int = field(default_factory=next_message_id)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+@dataclass(frozen=True)
+class E2Subscription:
+    """RIC Subscription: ask an E2 node to report KPIs periodically."""
+
+    subscriber: str
+    kpi_names: tuple[str, ...]
+    report_period_s: float = 1.0
+    message_id: int = field(default_factory=next_message_id)
+
+    def __post_init__(self) -> None:
+        if not self.kpi_names:
+            raise ValueError("subscription must request at least one KPI")
+        if self.report_period_s <= 0:
+            raise ValueError("report_period_s must be positive")
+
+
+@dataclass(frozen=True)
+class E2ControlRequest:
+    """RIC Control: enforce radio policies on the E2 node."""
+
+    airtime: float
+    max_mcs: int
+    message_id: int = field(default_factory=next_message_id)
+
+
+@dataclass(frozen=True)
+class E2Indication:
+    """RIC Indication: one KPI report from an E2 node."""
+
+    node_id: str
+    kpis: dict[str, float]
+    period: int
+    message_id: int = field(default_factory=next_message_id)
+
+
+@dataclass(frozen=True)
+class O1Report:
+    """O1 performance-management report forwarded to the SMO/non-RT RIC."""
+
+    source: str
+    kpis: dict[str, float]
+    period: int
+    message_id: int = field(default_factory=next_message_id)

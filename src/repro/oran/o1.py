@@ -1,0 +1,38 @@
+"""O1 interface: performance reporting toward the SMO / non-RT RIC."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.oran.bus import MessageBus
+from repro.oran.messages import O1Report
+
+
+class O1Termination:
+    """Both ends of the O1 reporting path.
+
+    The near-RT RIC (or any managed element) forwards KPI reports
+    upward; the non-RT RIC registers handlers that consume them.
+    """
+
+    def __init__(self, bus: MessageBus) -> None:
+        self.bus = bus
+        self._handlers: list[Callable[[O1Report], None]] = []
+        self._period = 0
+        bus.subscribe("o1.report", self._on_report)
+
+    def forward(self, source: str, kpis: dict[str, float]) -> None:
+        """Publish one performance report upward."""
+        self._period += 1
+        self.bus.publish(
+            "o1.report", O1Report(source=source, kpis=dict(kpis), period=self._period)
+        )
+
+    def register_handler(self, handler: Callable[[O1Report], None]) -> None:
+        self._handlers.append(handler)
+
+    def _on_report(self, message: object) -> None:
+        if not isinstance(message, O1Report):
+            raise TypeError(f"unexpected message on o1.report: {message!r}")
+        for handler in list(self._handlers):
+            handler(message)

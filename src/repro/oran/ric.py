@@ -1,0 +1,48 @@
+"""RAN Intelligent Controllers.
+
+Thin composition layers: the near-RT RIC terminates A1 (provider side)
+and E2 (consumer side) and hosts xApps; the non-RT RIC hosts rApps and
+consumes O1 reports.  The classes mostly wire interfaces together —
+the behaviour lives in :mod:`repro.oran.apps`.
+"""
+
+from __future__ import annotations
+
+from repro.oran.a1 import A1PolicyService, radio_policy_type
+from repro.oran.bus import MessageBus
+from repro.oran.e2 import E2Termination
+from repro.oran.o1 import O1Termination
+
+
+class NearRTRIC:
+    """Near-real-time RIC: A1 provider, E2 consumer, xApp host."""
+
+    def __init__(self, bus: MessageBus) -> None:
+        self.bus = bus
+        self.a1_service = A1PolicyService()
+        self.a1_service.register_type(radio_policy_type())
+        self.e2 = E2Termination(bus)
+        self.o1 = O1Termination(bus)
+        self.xapps: list[object] = []
+
+    def host_xapp(self, xapp: object) -> None:
+        """Register a running xApp (already wired to the terminations)."""
+        self.xapps.append(xapp)
+
+
+class NonRTRIC:
+    """Non-real-time RIC: rApp host, A1 consumer, O1 consumer."""
+
+    def __init__(self, near_rt: NearRTRIC) -> None:
+        self.near_rt = near_rt
+        self.o1 = near_rt.o1
+        self.rapps: list[object] = []
+
+    def host_rapp(self, rapp: object) -> None:
+        """Register a running rApp."""
+        self.rapps.append(rapp)
+
+    @property
+    def a1_service(self) -> A1PolicyService:
+        """The A1-P service exposed by the near-RT RIC."""
+        return self.near_rt.a1_service

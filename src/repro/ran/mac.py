@@ -1,0 +1,167 @@
+"""MAC-layer radio scheduler.
+
+The orchestrator (EdgeBOL) sets *policies* at second-level timescale; the
+MAC scheduler operating at millisecond granularity must respect them
+(Policies 2 and 4 of the paper).  As in the multi-user experiments of
+Section 6.4, the low-level mechanism is a round-robin scheduler: the
+airtime budget is divided equally among backlogged users, and each user
+transmits with the highest MCS its channel supports, capped by the MCS
+policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.ran import phy
+from repro.utils.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class RadioPolicy:
+    """Radio policies enforced on the vBS slice.
+
+    Attributes
+    ----------
+    airtime:
+        Uplink duty-cycle budget for the slice, in [0, 1] (Policy 2).
+    max_mcs:
+        Highest MCS the scheduler may select (Policy 4).
+    """
+
+    airtime: float
+    max_mcs: int
+
+    def __post_init__(self) -> None:
+        check_fraction(self.airtime, "airtime")
+        if not 0 <= self.max_mcs <= phy.MAX_MCS:
+            raise ValueError(
+                f"max_mcs must be in 0..{phy.MAX_MCS}, got {self.max_mcs}"
+            )
+
+    @classmethod
+    def from_normalized(cls, airtime: float, mcs_fraction: float) -> "RadioPolicy":
+        """Build from the normalised [0, 1] control-space representation."""
+        return cls(airtime=airtime, max_mcs=phy.mcs_from_fraction(mcs_fraction))
+
+
+@dataclass(frozen=True)
+class UserAllocation:
+    """Per-user outcome of one scheduling epoch.
+
+    Attributes
+    ----------
+    user_id:
+        Position of the user in the input sequence.
+    snr_db:
+        Channel quality the allocation was computed for.
+    mcs:
+        Transport MCS actually used (policy cap AND channel limited).
+    airtime_share:
+        Fraction of total subframes granted to this user.
+    goodput_bps:
+        Achievable uplink goodput in bits/s under this allocation.
+    """
+
+    user_id: int
+    snr_db: float
+    mcs: int
+    airtime_share: float
+    goodput_bps: float
+
+
+class RoundRobinScheduler:
+    """Equal-airtime round-robin scheduler with per-user link adaptation.
+
+    Parameters
+    ----------
+    bandwidth_mhz:
+        LTE channel bandwidth (20 MHz in the testbed).
+    mac_efficiency:
+        Fraction of the nominal PHY rate a *single* closed-loop UE
+        achieves end-to-end (grant latency, HARQ round trips,
+        segmentation).  Calibrated in :mod:`repro.testbed.config`.
+    pipelining_gain:
+        Multi-user efficiency recovery per additional UE.  A lone
+        stop-and-wait UE is latency-limited: subframes it cannot fill
+        (while waiting for grants/HARQ) are wasted.  With several UEs
+        the scheduler interleaves their grants, so the per-user
+        efficiency grows as ``mac_efficiency * (1 + gain * (n - 1))``,
+        capped at ``max_efficiency``.
+    max_efficiency:
+        Upper bound of the recovered per-user MAC efficiency.
+    """
+
+    def __init__(
+        self,
+        bandwidth_mhz: float = 20.0,
+        mac_efficiency: float = 1.0,
+        pipelining_gain: float = 0.35,
+        max_efficiency: float = 0.85,
+    ) -> None:
+        if bandwidth_mhz <= 0:
+            raise ValueError(f"bandwidth_mhz must be positive, got {bandwidth_mhz}")
+        if not 0 < mac_efficiency <= 1:
+            raise ValueError(f"mac_efficiency must be in (0, 1], got {mac_efficiency}")
+        if pipelining_gain < 0:
+            raise ValueError(f"pipelining_gain must be >= 0, got {pipelining_gain}")
+        if not 0 < max_efficiency <= 1:
+            raise ValueError(f"max_efficiency must be in (0, 1], got {max_efficiency}")
+        self.bandwidth_mhz = float(bandwidth_mhz)
+        self.mac_efficiency = float(mac_efficiency)
+        self.pipelining_gain = float(pipelining_gain)
+        self.max_efficiency = float(max_efficiency)
+
+    def effective_mac_efficiency(self, n_users: int) -> float:
+        """Per-user MAC efficiency for an ``n_users``-UE round robin."""
+        if n_users < 1:
+            raise ValueError(f"n_users must be >= 1, got {n_users}")
+        recovered = self.mac_efficiency * (
+            1.0 + self.pipelining_gain * (n_users - 1)
+        )
+        return float(min(self.max_efficiency, recovered))
+
+    def allocate(
+        self, policy: RadioPolicy, snrs_db: Sequence[float]
+    ) -> list[UserAllocation]:
+        """Allocate the airtime budget equally across users.
+
+        Each user's goodput follows from its share of subframes and the
+        effective MCS (policy bound clipped by link adaptation for the
+        user's SNR).  An empty user list yields an empty allocation.
+        """
+        users = list(snrs_db)
+        if not users:
+            return []
+        share = policy.airtime / len(users)
+        efficiency = self.effective_mac_efficiency(len(users))
+        allocations = []
+        for user_id, snr_db in enumerate(users):
+            mcs = phy.effective_mcs(policy.max_mcs, float(snr_db))
+            goodput = phy.uplink_capacity_bps(
+                mcs,
+                share,
+                bandwidth_mhz=self.bandwidth_mhz,
+                mac_efficiency=efficiency,
+            )
+            allocations.append(
+                UserAllocation(
+                    user_id=user_id,
+                    snr_db=float(snr_db),
+                    mcs=mcs,
+                    airtime_share=share,
+                    goodput_bps=goodput,
+                )
+            )
+        return allocations
+
+    def cell_capacity_bps(self, policy: RadioPolicy, snr_db: float) -> float:
+        """Aggregate slice capacity if the whole budget served one channel."""
+        mcs = phy.effective_mcs(policy.max_mcs, snr_db)
+        return phy.uplink_capacity_bps(
+            mcs,
+            policy.airtime,
+            bandwidth_mhz=self.bandwidth_mhz,
+            mac_efficiency=self.mac_efficiency,
+        )

@@ -1,0 +1,97 @@
+"""Alternative MAC scheduling disciplines.
+
+The paper's multi-user experiments use round robin
+(:class:`repro.ran.mac.RoundRobinScheduler`); these variants let the
+low-level mechanism be swapped while the EdgeBOL policies stay the
+same — the orchestrator sets *bounds*, the scheduler chooses within
+them (Section 3's O-RAN split).
+
+* :class:`ProportionalFairScheduler` — airtime shares proportional to a
+  fairness-exponent power of each user's spectral efficiency;
+  ``alpha=0`` degenerates to equal airtime (round robin), ``alpha=1``
+  gives rate-proportional shares (max-throughput-leaning).
+* :class:`EqualRateScheduler` — inverse-rate airtime shares so every
+  user gets (approximately) the same goodput; what a worst-user-delay
+  objective would ask for.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.ran import phy
+from repro.ran.mac import RadioPolicy, RoundRobinScheduler, UserAllocation
+
+
+class ProportionalFairScheduler(RoundRobinScheduler):
+    """Airtime shares proportional to ``efficiency ** alpha``.
+
+    Parameters
+    ----------
+    alpha:
+        Fairness exponent; 0 = equal airtime, 1 = rate-proportional.
+    Remaining parameters as in :class:`RoundRobinScheduler`.
+    """
+
+    def __init__(self, *args, alpha: float = 0.5, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = float(alpha)
+
+    def _shares(self, policy: RadioPolicy, snrs_db: Sequence[float]) -> np.ndarray:
+        efficiencies = np.array([
+            max(phy.mcs_efficiency(phy.effective_mcs(policy.max_mcs, s)), 1e-6)
+            for s in snrs_db
+        ])
+        weights = efficiencies**self.alpha
+        return policy.airtime * weights / weights.sum()
+
+    def allocate(
+        self, policy: RadioPolicy, snrs_db: Sequence[float]
+    ) -> list[UserAllocation]:
+        users = list(snrs_db)
+        if not users:
+            return []
+        shares = self._shares(policy, users)
+        efficiency = self.effective_mac_efficiency(len(users))
+        allocations = []
+        for user_id, (snr_db, share) in enumerate(zip(users, shares)):
+            mcs = phy.effective_mcs(policy.max_mcs, float(snr_db))
+            goodput = phy.uplink_capacity_bps(
+                mcs,
+                float(share),
+                bandwidth_mhz=self.bandwidth_mhz,
+                mac_efficiency=efficiency,
+            )
+            allocations.append(UserAllocation(
+                user_id=user_id,
+                snr_db=float(snr_db),
+                mcs=mcs,
+                airtime_share=float(share),
+                goodput_bps=goodput,
+            ))
+        return allocations
+
+
+class EqualRateScheduler(ProportionalFairScheduler):
+    """Inverse-efficiency shares: every user gets the same goodput.
+
+    Equivalent to ``alpha = -1`` in the proportional-fair family; kept
+    as its own class because the negative exponent inverts the usual
+    fairness intuition.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs.pop("alpha", None)
+        super().__init__(*args, alpha=0.0, **kwargs)
+
+    def _shares(self, policy: RadioPolicy, snrs_db: Sequence[float]) -> np.ndarray:
+        efficiencies = np.array([
+            max(phy.mcs_efficiency(phy.effective_mcs(policy.max_mcs, s)), 1e-6)
+            for s in snrs_db
+        ])
+        weights = 1.0 / efficiencies
+        return policy.airtime * weights / weights.sum()

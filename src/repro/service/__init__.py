@@ -1,0 +1,42 @@
+"""Mobile video analytics (MVA) service substrate.
+
+Replaces the Detectron2-on-COCO object-recognition service of the paper
+with (i) a synthetic COCO-like image/ground-truth generator, (ii) a
+resolution-sensitive synthetic detector, and (iii) a *real* mAP
+evaluator (greedy IoU matching, PR-curve average precision, mean over
+classes) identical in definition to the paper's Performance Indicator 2.
+"""
+
+from repro.service.detection import (
+    Detection,
+    GroundTruthObject,
+    SyntheticDetector,
+    average_precision,
+    evaluate_map,
+    iou,
+)
+from repro.service.dataset_io import (
+    load_profiling_dataset,
+    save_profiling_dataset,
+)
+from repro.service.images import ImageSpec, SyntheticCocoDataset, encoded_bits
+from repro.service.profiles import expected_map, map_observation_std
+from repro.service.pipeline import ServiceModel, UserEquipment
+
+__all__ = [
+    "Detection",
+    "GroundTruthObject",
+    "SyntheticDetector",
+    "average_precision",
+    "evaluate_map",
+    "iou",
+    "load_profiling_dataset",
+    "save_profiling_dataset",
+    "ImageSpec",
+    "SyntheticCocoDataset",
+    "encoded_bits",
+    "expected_map",
+    "map_observation_std",
+    "ServiceModel",
+    "UserEquipment",
+]

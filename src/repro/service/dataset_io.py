@@ -1,0 +1,80 @@
+"""Profiling-dataset persistence.
+
+The paper released its measurement dataset "to enable reproducibility
+and to facilitate further research".  This module does the equivalent
+for the simulated testbed: save/load
+:class:`repro.experiments.hyperfit.ProfilingDataset` objects as plain
+CSV so fitted hyperparameters and profiling sweeps can be shared and
+re-used across runs without re-simulating.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # avoid a circular import at package-init time
+    from repro.experiments.hyperfit import ProfilingDataset
+
+#: Column layout: joint-input coordinates then the three KPI targets.
+_INPUT_PREFIX = "z"
+_TARGET_COLUMNS = ("cost", "delay_s", "map")
+
+
+def save_profiling_dataset(dataset: "ProfilingDataset", path: "str | Path") -> Path:
+    """Write a profiling dataset to CSV (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    n_dims = dataset.inputs.shape[1]
+    header = [f"{_INPUT_PREFIX}{i}" for i in range(n_dims)] + list(_TARGET_COLUMNS)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for row, cost, delay, map_score in zip(
+            dataset.inputs, dataset.costs, dataset.delays, dataset.maps
+        ):
+            writer.writerow(
+                [f"{float(v):.17g}" for v in row]
+                + [f"{float(v):.17g}" for v in (cost, delay, map_score)]
+            )
+    return path
+
+
+def load_profiling_dataset(path: "str | Path") -> "ProfilingDataset":
+    """Read a profiling dataset previously written by
+    :func:`save_profiling_dataset`."""
+    path = Path(path)
+    with path.open() as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        input_columns = [h for h in header if h.startswith(_INPUT_PREFIX)]
+        expected = input_columns + list(_TARGET_COLUMNS)
+        if header != expected:
+            raise ValueError(
+                f"unexpected profiling CSV header {header!r}"
+            )
+        inputs, costs, delays, maps = [], [], [], []
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise ValueError(
+                    f"{path}:{line_no}: expected {len(header)} cells, got {len(row)}"
+                )
+            values = [float(v) for v in row]
+            n = len(input_columns)
+            inputs.append(values[:n])
+            costs.append(values[n])
+            delays.append(values[n + 1])
+            maps.append(values[n + 2])
+    if not inputs:
+        raise ValueError(f"{path}: dataset is empty")
+    from repro.experiments.hyperfit import ProfilingDataset
+
+    return ProfilingDataset(
+        inputs=np.array(inputs),
+        costs=np.array(costs),
+        delays=np.array(delays),
+        maps=np.array(maps),
+    )

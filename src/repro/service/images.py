@@ -1,0 +1,151 @@
+"""Synthetic COCO-like image stream.
+
+The prototype streams COCO images from the UE to the edge server.  This
+module generates statistically similar content: images at a base
+resolution of 640x480 containing a variable number of objects from a
+fixed set of categories, with the small/medium/large area mix of COCO.
+Policy 1 (image resolution) scales the encoded pixel count; the encoded
+size in bits follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.service.detection import GroundTruthObject
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fraction
+
+#: Base (100% resolution) frame geometry of the testbed.
+BASE_WIDTH = 640
+BASE_HEIGHT = 480
+
+#: Number of object categories in the synthetic dataset (COCO has 80;
+#: a smaller fixed set keeps per-class AP estimates stable at the
+#: 150-image measurement batches the paper uses).
+N_CLASSES = 12
+
+#: COCO-like object size mix: (min_rel_area, max_rel_area, probability).
+_SIZE_BUCKETS = (
+    ("small", 0.0005, 0.004, 0.42),
+    ("medium", 0.004, 0.03, 0.34),
+    ("large", 0.03, 0.25, 0.24),
+)
+
+#: Effective encoded bits per pixel at the quality the service uses
+#: (high-quality encoding so the detector sees clean frames).
+BITS_PER_PIXEL = 7.3
+
+#: Fixed per-frame protocol/header overhead in bits.
+FRAME_OVERHEAD_BITS = 20_000.0
+
+
+def encoded_bits(resolution: float, bits_per_pixel: float = BITS_PER_PIXEL,
+                 overhead_bits: float = FRAME_OVERHEAD_BITS) -> float:
+    """Mean encoded size (bits) of one frame at a resolution policy.
+
+    ``resolution`` scales the *pixel count* relative to 640x480; the
+    encoded size is linear in pixels plus a constant header overhead.
+    """
+    check_fraction(resolution, "resolution")
+    pixels = BASE_WIDTH * BASE_HEIGHT * resolution
+    return float(pixels * bits_per_pixel + overhead_bits)
+
+
+@dataclass(frozen=True)
+class ImageSpec:
+    """One synthetic frame: geometry plus ground-truth annotations.
+
+    Attributes
+    ----------
+    width, height:
+        Pixel geometry at 100% resolution (annotations use these
+        coordinates regardless of the encoding policy).
+    objects:
+        Ground-truth objects present in the frame.
+    """
+
+    width: int
+    height: int
+    objects: tuple[GroundTruthObject, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("image dimensions must be positive")
+
+
+class SyntheticCocoDataset:
+    """Endless generator of COCO-like annotated frames.
+
+    Parameters
+    ----------
+    rng:
+        Seed or generator controlling the stream.
+    mean_objects:
+        Mean number of ground-truth objects per frame (COCO averages
+        ~7); sampled Poisson, clipped to at least 1.
+    n_classes:
+        Number of object categories.
+    class_skew:
+        Zipf-like skew of the category distribution (0 = uniform).
+    """
+
+    def __init__(
+        self,
+        rng=None,
+        mean_objects: float = 7.0,
+        n_classes: int = N_CLASSES,
+        class_skew: float = 0.7,
+    ) -> None:
+        if mean_objects <= 0:
+            raise ValueError(f"mean_objects must be positive, got {mean_objects}")
+        if n_classes < 1:
+            raise ValueError(f"n_classes must be >= 1, got {n_classes}")
+        if class_skew < 0:
+            raise ValueError(f"class_skew must be >= 0, got {class_skew}")
+        self._rng = ensure_rng(rng)
+        self.mean_objects = float(mean_objects)
+        self.n_classes = int(n_classes)
+        weights = (1.0 + np.arange(n_classes)) ** (-class_skew)
+        self._class_probs = weights / weights.sum()
+        names, lows, highs, probs = zip(*_SIZE_BUCKETS)
+        self._bucket_names = names
+        self._bucket_lows = np.array(lows)
+        self._bucket_highs = np.array(highs)
+        self._bucket_probs = np.array(probs) / np.sum(probs)
+
+    def sample_image(self) -> ImageSpec:
+        """Draw one annotated frame."""
+        n_objects = max(1, int(self._rng.poisson(self.mean_objects)))
+        objects = []
+        frame_area = BASE_WIDTH * BASE_HEIGHT
+        for _ in range(n_objects):
+            class_id = int(self._rng.choice(self.n_classes, p=self._class_probs))
+            bucket = int(self._rng.choice(len(self._bucket_probs), p=self._bucket_probs))
+            rel_area = self._rng.uniform(
+                self._bucket_lows[bucket], self._bucket_highs[bucket]
+            )
+            area = rel_area * frame_area
+            aspect = self._rng.uniform(0.5, 2.0)
+            w = float(np.sqrt(area * aspect))
+            h = float(np.sqrt(area / aspect))
+            w = min(w, BASE_WIDTH - 2.0)
+            h = min(h, BASE_HEIGHT - 2.0)
+            x = float(self._rng.uniform(0, BASE_WIDTH - w))
+            y = float(self._rng.uniform(0, BASE_HEIGHT - h))
+            objects.append(
+                GroundTruthObject(
+                    class_id=class_id,
+                    bbox=(x, y, w, h),
+                    size_bucket=self._bucket_names[bucket],
+                )
+            )
+        return ImageSpec(width=BASE_WIDTH, height=BASE_HEIGHT, objects=tuple(objects))
+
+    def sample_batch(self, n_images: int) -> list[ImageSpec]:
+        """Draw ``n_images`` annotated frames (a measurement batch)."""
+        if n_images < 0:
+            raise ValueError(f"n_images must be non-negative, got {n_images}")
+        return [self.sample_image() for _ in range(n_images)]

@@ -1,0 +1,229 @@
+"""End-to-end service model: the closed-loop MVA pipeline.
+
+Couples the virtualized BS (uplink), the edge server (GPU) and the
+user-side think time into the closed queueing network described in
+DESIGN.md, and produces every performance indicator of the paper for a
+steady-state orchestration period:
+
+* per-user service delay (PI 1) — full capture-to-response cycle,
+* aggregate/frame rates, GPU residence times,
+* server power (PI 3) and BS baseband power (PI 4).
+
+mAP (PI 2) is independent of the queueing dynamics and handled by
+:mod:`repro.service.detection` / :mod:`repro.service.profiles`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.edge.queueing import (
+    ClosedNetwork,
+    DelayStation,
+    QueueingStation,
+    solve_exact_mva,
+    solve_schweitzer,
+)
+from repro.edge.server import EdgeServer, ServerLoadReport
+from repro.ran.mac import RadioPolicy
+from repro.ran.vbs import VirtualizedBS
+from repro.service.images import encoded_bits
+from repro.utils.validation import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class UserEquipment:
+    """User-side device model.
+
+    Attributes
+    ----------
+    snr_db:
+        Current uplink SNR of this user.
+    preprocess_base_s:
+        Fixed frame-capture/encode overhead on the device.
+    preprocess_per_res_s:
+        Additional encode time at full resolution (scales linearly with
+        the pixel count, i.e. with the resolution policy).
+    downlink_time_s:
+        Time to return bounding boxes and labels (tiny payload, mostly
+        RTT).
+    """
+
+    snr_db: float
+    preprocess_base_s: float = 0.008
+    preprocess_per_res_s: float = 0.018
+    downlink_time_s: float = 0.006
+
+    def think_time_s(self, resolution: float) -> float:
+        """Per-cycle user-side time outside radio and GPU."""
+        check_fraction(resolution, "resolution")
+        return float(
+            self.preprocess_base_s
+            + self.preprocess_per_res_s * resolution
+            + self.downlink_time_s
+        )
+
+
+@dataclass(frozen=True)
+class ServiceSteadyState:
+    """All steady-state KPIs for one orchestration period.
+
+    Delays are ``inf`` and rates 0 when a user's allocation carries no
+    goodput (dead link / zero airtime).
+    """
+
+    per_user_delay_s: np.ndarray
+    per_user_rate_hz: np.ndarray
+    per_user_tx_time_s: np.ndarray
+    per_user_gpu_delay_s: np.ndarray
+    max_delay_s: float
+    total_rate_hz: float
+    offered_load_bps: float
+    mean_mcs: float
+    server: ServerLoadReport
+    bs_power_w: float
+
+
+class ServiceModel:
+    """The measurable system: (policies, channel states) -> KPIs.
+
+    Parameters
+    ----------
+    vbs:
+        Virtualized base station instance.
+    server:
+        Edge server instance.
+    exact_mva_max_users:
+        Population threshold above which the Bard-Schweitzer
+        approximation replaces exact MVA.
+    load_multiplier:
+        Background-load emulation factor for the BS (Fig. 6 uses 10x).
+    """
+
+    def __init__(
+        self,
+        vbs: VirtualizedBS | None = None,
+        server: EdgeServer | None = None,
+        exact_mva_max_users: int = 8,
+        load_multiplier: float = 1.0,
+    ) -> None:
+        self.vbs = vbs if vbs is not None else VirtualizedBS()
+        self.server = server if server is not None else EdgeServer()
+        if exact_mva_max_users < 1:
+            raise ValueError("exact_mva_max_users must be >= 1")
+        self.exact_mva_max_users = int(exact_mva_max_users)
+        self.load_multiplier = check_positive(load_multiplier, "load_multiplier")
+
+    @classmethod
+    def from_config(cls, config) -> "ServiceModel":
+        """Build the calibrated deployment described by a
+        :class:`repro.testbed.config.TestbedConfig`."""
+        from repro.edge.gpu import GpuModel
+        from repro.ran.power import BSPowerModel
+
+        vbs = VirtualizedBS(
+            bandwidth_mhz=config.bandwidth_mhz,
+            mac_efficiency=config.mac_efficiency,
+            power_model=BSPowerModel(
+                idle_power_w=config.bs_idle_power_w,
+                base_busy_power_w=config.bs_base_busy_power_w,
+                mcs_busy_power_w=config.bs_mcs_busy_power_w,
+                grant_utilization=config.bs_grant_utilization,
+            ),
+        )
+        server = EdgeServer(
+            gpu=GpuModel(
+                min_power_cap_w=config.gpu_min_power_cap_w,
+                max_power_cap_w=config.gpu_max_power_cap_w,
+                idle_power_w=config.gpu_idle_power_w,
+                speed_exponent=config.gpu_speed_exponent,
+                base_inference_time_s=config.gpu_base_inference_time_s,
+                resolution_ease_s=config.gpu_resolution_ease_s,
+                busy_draw_fraction=config.gpu_busy_draw_fraction,
+            ),
+            host_idle_power_w=config.host_idle_power_w,
+            host_per_request_j=config.host_per_request_j,
+        )
+        return cls(vbs=vbs, server=server, load_multiplier=config.load_multiplier)
+
+    def steady_state(
+        self,
+        resolution: float,
+        radio_policy: RadioPolicy,
+        gpu_speed: float,
+        users: Sequence[UserEquipment],
+    ) -> ServiceSteadyState:
+        """Solve one orchestration period to steady state."""
+        check_fraction(resolution, "resolution")
+        check_fraction(gpu_speed, "gpu_speed")
+        if not users:
+            raise ValueError("at least one user is required")
+
+        grant = self.vbs.grant(radio_policy, [u.snr_db for u in users])
+        image_bits = encoded_bits(resolution)
+        tx_times = np.array(
+            [
+                self.vbs.transmission_time_s(image_bits, alloc)
+                for alloc in grant.allocations
+            ]
+        )
+        n = len(users)
+
+        if not np.all(np.isfinite(tx_times)):
+            # At least one user cannot transmit at all: its delay is
+            # unbounded and it contributes no load.
+            rates = np.zeros(n)
+            delays = np.full(n, np.inf)
+            gpu_delays = np.full(n, np.inf)
+            report = self.server.load_report(0.0, resolution, gpu_speed)
+            bs_power = self.vbs.baseband_power_w(radio_policy, grant, 0.0)
+            return ServiceSteadyState(
+                per_user_delay_s=delays,
+                per_user_rate_hz=rates,
+                per_user_tx_time_s=tx_times,
+                per_user_gpu_delay_s=gpu_delays,
+                max_delay_s=float("inf"),
+                total_rate_hz=0.0,
+                offered_load_bps=0.0,
+                mean_mcs=grant.mean_mcs,
+                server=report,
+                bs_power_w=bs_power,
+            )
+
+        gpu_service = self.server.inference_time_s(resolution, gpu_speed)
+        network = ClosedNetwork(
+            populations=tuple(1 for _ in range(n)),
+            stations=(
+                DelayStation(name="radio", demands_s=tuple(float(t) for t in tx_times)),
+                QueueingStation(name="gpu", demands_s=tuple(gpu_service for _ in range(n))),
+            ),
+            think_times_s=tuple(u.think_time_s(resolution) for u in users),
+        )
+        if n <= self.exact_mva_max_users:
+            solution = solve_exact_mva(network)
+        else:
+            solution = solve_schweitzer(network)
+
+        rates = solution.throughputs
+        delays = solution.cycle_times
+        gpu_delays = solution.response_times[1, :]
+        total_rate = float(rates.sum())
+        offered_load = float(total_rate * image_bits * self.load_multiplier)
+
+        report = self.server.load_report(total_rate, resolution, gpu_speed)
+        bs_power = self.vbs.baseband_power_w(radio_policy, grant, offered_load)
+        return ServiceSteadyState(
+            per_user_delay_s=delays,
+            per_user_rate_hz=rates,
+            per_user_tx_time_s=tx_times,
+            per_user_gpu_delay_s=gpu_delays,
+            max_delay_s=float(delays.max()),
+            total_rate_hz=total_rate,
+            offered_load_bps=offered_load,
+            mean_mcs=grant.mean_mcs,
+            server=report,
+            bs_power_w=bs_power,
+        )

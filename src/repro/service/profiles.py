@@ -1,0 +1,54 @@
+"""Closed-form service profiles fitted to the paper's measurements.
+
+The full synthetic-detector pipeline is stochastic and relatively slow;
+long learning experiments use these closed-form expectations plus
+calibrated observation noise instead.  A regression test keeps the
+closed form and the synthetic detector consistent.
+
+Fit targets (Fig. 1 of the paper):
+
+========  ==========
+res (%)     mAP
+========  ==========
+25         ~0.25
+50         ~0.42
+75         ~0.57
+100        ~0.66
+========  ==========
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_fraction
+
+#: mAP achieved at full resolution.
+MAP_AT_FULL_RES = 0.66
+
+#: mAP penalty coefficient and exponent of the resolution drop.
+_MAP_DROP_COEFF = 0.60
+_MAP_DROP_EXP = 1.35
+
+
+def expected_map(resolution: float) -> float:
+    """Expected mAP for a mean image-resolution policy (Policy 1).
+
+    Monotone increasing, concave near full resolution — Fig. 1's shape:
+    a 75% resolution cut costs 10-50% of precision depending on the
+    operating point.
+    """
+    check_fraction(resolution, "resolution")
+    value = MAP_AT_FULL_RES - _MAP_DROP_COEFF * (1.0 - resolution) ** _MAP_DROP_EXP
+    return float(np.clip(value, 0.0, 1.0))
+
+
+def map_observation_std(n_images: int = 150) -> float:
+    """Standard deviation of a batch mAP measurement.
+
+    Sampling noise of the PR-curve estimate shrinks with the batch
+    size; the paper averages 150 images per measurement point.
+    """
+    if n_images < 1:
+        raise ValueError(f"n_images must be >= 1, got {n_images}")
+    return float(0.25 / np.sqrt(n_images))

@@ -1,0 +1,54 @@
+"""The experimental testbed, in software.
+
+Glues the RAN, edge and service substrates into the measurable system
+of the paper's Fig. 8: an environment that, each orchestration period,
+exposes a context (user count + CQI statistics), accepts a joint
+control policy (image resolution, airtime, GPU speed, MCS cap) and
+returns noisy KPI observations (service delay, mAP, server power, BS
+power).
+"""
+
+from repro.testbed.config import (
+    ControlPolicy,
+    CostWeights,
+    ServiceConstraints,
+    TestbedConfig,
+    default_control_grid,
+)
+from repro.testbed.context import Context
+from repro.testbed.env import EdgeAIEnvironment, TestbedObservation
+from repro.testbed.powermeter import ObservationNoise, PowerMeter
+from repro.testbed.multiservice import MultiServiceEnvironment, SliceSpec
+from repro.testbed.scenarios import (
+    dynamic_scenario,
+    heterogeneous_scenario,
+    static_scenario,
+)
+from repro.testbed.tariffs import (
+    DayNightTariff,
+    EnergyTariff,
+    FlatTariff,
+    SolarTariff,
+)
+
+__all__ = [
+    "ControlPolicy",
+    "CostWeights",
+    "ServiceConstraints",
+    "TestbedConfig",
+    "default_control_grid",
+    "Context",
+    "EdgeAIEnvironment",
+    "TestbedObservation",
+    "ObservationNoise",
+    "PowerMeter",
+    "dynamic_scenario",
+    "heterogeneous_scenario",
+    "static_scenario",
+    "MultiServiceEnvironment",
+    "SliceSpec",
+    "DayNightTariff",
+    "EnergyTariff",
+    "FlatTariff",
+    "SolarTariff",
+]

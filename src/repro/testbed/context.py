@@ -1,0 +1,86 @@
+"""Context vectors (Section 4.2 of the paper).
+
+The context at period ``t`` is ``c_t = [n_t, cqi_mean, cqi_var]``: the
+number of users in the slice plus the mean and variance of the uplink
+CQI across users during the previous period.  Aggregating per-user
+channel state into two statistics keeps the GP input dimension constant
+regardless of the user count (the design decision validated in
+Section 6.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.ran.phy import snr_to_cqi
+
+#: Largest CQI value, used for normalisation.
+_CQI_MAX = 15.0
+
+#: Variance normalisation scale: variance of CQIs spread over the full
+#: range is at most (15-1)^2 / 4 = 49.
+_CQI_VAR_SCALE = 49.0
+
+
+@dataclass(frozen=True)
+class Context:
+    """Aggregated slice context.
+
+    Attributes
+    ----------
+    n_users:
+        Number of active users in the slice.
+    cqi_mean:
+        Mean uplink CQI across users (1..15).
+    cqi_var:
+        Population variance of the uplink CQI across users.
+    """
+
+    n_users: int
+    cqi_mean: float
+    cqi_var: float
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1:
+            raise ValueError(f"n_users must be >= 1, got {self.n_users}")
+        if not 1.0 <= self.cqi_mean <= _CQI_MAX:
+            raise ValueError(f"cqi_mean must be in [1, 15], got {self.cqi_mean}")
+        if self.cqi_var < 0:
+            raise ValueError(f"cqi_var must be >= 0, got {self.cqi_var}")
+
+    @classmethod
+    def from_snrs(cls, snrs_db: Sequence[float]) -> "Context":
+        """Aggregate per-user SNRs into the CQI-statistics context."""
+        snrs = list(snrs_db)
+        if not snrs:
+            raise ValueError("at least one user SNR is required")
+        cqis = np.array([snr_to_cqi(s) for s in snrs], dtype=float)
+        return cls(
+            n_users=len(cqis),
+            cqi_mean=float(cqis.mean()),
+            cqi_var=float(cqis.var()),
+        )
+
+    def to_array(self, max_users: int = 8) -> np.ndarray:
+        """Normalised 3-vector for the GP input space.
+
+        Each coordinate is scaled to roughly [0, 1] so a single set of
+        kernel lengthscales covers all context dimensions.
+        """
+        if max_users < 1:
+            raise ValueError(f"max_users must be >= 1, got {max_users}")
+        return np.array(
+            [
+                self.n_users / max_users,
+                self.cqi_mean / _CQI_MAX,
+                self.cqi_var / _CQI_VAR_SCALE,
+            ]
+        )
+
+    @classmethod
+    def dimension(cls) -> int:
+        """Length of the normalised context vector."""
+        return 3

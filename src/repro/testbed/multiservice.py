@@ -1,0 +1,245 @@
+"""Multi-service slicing (Section 4.4 of the paper).
+
+The paper discusses extending EdgeBOL to jointly optimise several AI
+services and concludes the joint problem is impractical (the
+context-action dimensionality grows as 4S + 3), advocating instead one
+pre-configured slice per service, each with its own EdgeBOL instance.
+This module implements that multi-slice system so the claim can be
+evaluated:
+
+* each slice has its own users, image-resolution / airtime / MCS
+  policies, and service constraints;
+* the slices **share the GPU** (one FCFS station serving all slices'
+  requests — the coupled resource the paper worries about) and the
+  GPU speed policy of the *hosting* slice applies to the pool;
+* the airtime budgets are coupled through the cell: the per-slice
+  airtime policies are scaled down proportionally if they sum past 1.
+
+The steady state is one closed multi-class MVA over all slices'
+customers, so the cross-slice GPU contention is captured exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.edge.queueing import (
+    ClosedNetwork,
+    DelayStation,
+    QueueingStation,
+    solve_exact_mva,
+    solve_schweitzer,
+)
+from repro.service.images import encoded_bits
+from repro.service.pipeline import ServiceModel, UserEquipment
+from repro.service.profiles import expected_map, map_observation_std
+from repro.testbed.config import ControlPolicy, TestbedConfig
+from repro.testbed.context import Context
+from repro.testbed.env import TestbedObservation
+from repro.testbed.powermeter import ObservationNoise, PowerMeter
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class SliceSpec:
+    """Static description of one service slice."""
+
+    name: str
+    channels: tuple
+    # The slice's nominal share when airtime budgets oversubscribe.
+    priority: float = 1.0
+
+
+class MultiServiceEnvironment:
+    """Several AI-service slices on one vBS + one GPU server.
+
+    Parameters
+    ----------
+    slices:
+        Slice specifications (channels evolve independently).
+    config:
+        Shared deployment calibration.
+    rng:
+        Seed for measurement noise.
+    """
+
+    def __init__(
+        self,
+        slices: Sequence[SliceSpec],
+        config: TestbedConfig | None = None,
+        rng=None,
+    ) -> None:
+        if not slices:
+            raise ValueError("at least one slice is required")
+        self.config = config if config is not None else TestbedConfig()
+        self.slices = list(slices)
+        total_users = sum(len(s.channels) for s in self.slices)
+        if total_users == 0:
+            raise ValueError("slices must contain at least one user")
+        self._service = ServiceModel.from_config(self.config)
+        noise_rng, meter_rng = spawn_rngs(ensure_rng(rng), 2)
+        self._noise = ObservationNoise(
+            delay_noise_rel=self.config.delay_noise_rel,
+            map_noise_std=map_observation_std(self.config.images_per_measurement),
+            rng=noise_rng,
+        )
+        self._meter = PowerMeter(noise_rel=self.config.power_noise_rel, rng=meter_rng)
+        self._snrs: list[list[float]] = [
+            [float(ch.step()) for ch in s.channels] for s in self.slices
+        ]
+
+    @property
+    def n_slices(self) -> int:
+        return len(self.slices)
+
+    def observe_contexts(self) -> list[Context]:
+        """Per-slice contexts (each agent sees only its own slice)."""
+        return [Context.from_snrs(snrs) for snrs in self._snrs]
+
+    def _normalised_airtimes(self, policies: Sequence[ControlPolicy]) -> list[float]:
+        """Scale airtime budgets down if slices oversubscribe the cell.
+
+        Oversubscription is resolved proportionally to the
+        priority-weighted requests (an admission-control rule the slice
+        orchestrator would enforce).
+        """
+        requested = np.array([p.airtime for p in policies])
+        total = requested.sum()
+        if total <= 1.0:
+            return [float(a) for a in requested]
+        priorities = np.array([s.priority for s in self.slices])
+        weights = requested * priorities
+        scaled = weights / weights.sum()
+        return [float(a) for a in scaled]
+
+    def step(self, policies: Sequence[ControlPolicy]) -> list[TestbedObservation]:
+        """One orchestration period for every slice simultaneously.
+
+        The GPU speed applied to the shared pool is the *maximum* of the
+        slices' GPU policies (the pool must honour the most demanding
+        slice's latency needs; the power limit follows the busiest
+        request).
+        """
+        if len(policies) != self.n_slices:
+            raise ValueError(
+                f"need {self.n_slices} policies, got {len(policies)}"
+            )
+        airtimes = self._normalised_airtimes(policies)
+        gpu_speed = max(p.gpu_speed for p in policies)
+
+        # Build one closed network across all slices' users.
+        tx_times: list[float] = []
+        gpu_demands: list[float] = []
+        think_times: list[float] = []
+        slice_of_class: list[int] = []
+        mean_mcs_per_slice: list[float] = []
+        for idx, (spec, policy, airtime) in enumerate(
+            zip(self.slices, policies, airtimes)
+        ):
+            radio = ControlPolicy(
+                resolution=policy.resolution,
+                airtime=airtime,
+                gpu_speed=policy.gpu_speed,
+                mcs_fraction=policy.mcs_fraction,
+            ).radio_policy()
+            grant = self._service.vbs.grant(radio, self._snrs[idx])
+            mean_mcs_per_slice.append(grant.mean_mcs)
+            bits = encoded_bits(policy.resolution)
+            service_time = self._service.server.inference_time_s(
+                policy.resolution, gpu_speed
+            )
+            for alloc, snr in zip(grant.allocations, self._snrs[idx]):
+                tx_times.append(
+                    self._service.vbs.transmission_time_s(bits, alloc)
+                )
+                gpu_demands.append(service_time)
+                think_times.append(
+                    UserEquipment(snr_db=snr).think_time_s(policy.resolution)
+                )
+                slice_of_class.append(idx)
+
+        n = len(tx_times)
+        finite = np.isfinite(tx_times)
+        observations: list[TestbedObservation] = []
+        if not np.all(finite):
+            # Degenerate allocation: report unserved for every slice.
+            for idx, policy in enumerate(policies):
+                observations.append(self._unserved_observation(idx, policy))
+            self._advance_channels()
+            return observations
+
+        network = ClosedNetwork(
+            populations=tuple(1 for _ in range(n)),
+            stations=(
+                DelayStation("radio", tuple(float(t) for t in tx_times)),
+                QueueingStation("gpu", tuple(gpu_demands)),
+            ),
+            think_times_s=tuple(think_times),
+        )
+        if n <= self._service.exact_mva_max_users:
+            solution = solve_exact_mva(network)
+        else:
+            solution = solve_schweitzer(network)
+
+        total_rate = float(solution.throughputs.sum())
+        report = self._service.server.load_report(
+            total_rate,
+            float(np.mean([p.resolution for p in policies])),
+            gpu_speed,
+        )
+        for idx, (policy, airtime) in enumerate(zip(policies, airtimes)):
+            members = [k for k, s in enumerate(slice_of_class) if s == idx]
+            delays = solution.cycle_times[members]
+            rates = solution.throughputs[members]
+            bits = encoded_bits(policy.resolution)
+            offered = float(rates.sum() * bits * self.config.load_multiplier)
+            radio = ControlPolicy(
+                resolution=policy.resolution, airtime=airtime,
+                gpu_speed=policy.gpu_speed, mcs_fraction=policy.mcs_fraction,
+            ).radio_policy()
+            grant = self._service.vbs.grant(radio, self._snrs[idx])
+            bs_power = self._service.vbs.baseband_power_w(radio, grant, offered)
+            # Server power attributed proportionally to GPU demand.
+            slice_rate = float(rates.sum())
+            share = slice_rate / total_rate if total_rate > 0 else 0.0
+            observations.append(TestbedObservation(
+                delay_s=self._noise.noisy_delay(float(delays.max())),
+                map_score=self._noise.noisy_map(expected_map(policy.resolution)),
+                server_power_w=self._meter.read(report.server_power_w * share),
+                bs_power_w=self._meter.read(bs_power),
+                gpu_delay_s=float(solution.response_times[1, members].max()),
+                gpu_utilization=report.gpu_utilization,
+                total_rate_hz=slice_rate,
+                mean_mcs=mean_mcs_per_slice[idx],
+                offered_load_bps=offered,
+                per_user_delay_s=tuple(float(d) for d in delays),
+                per_user_rate_hz=tuple(float(r) for r in rates),
+            ))
+        self._advance_channels()
+        return observations
+
+    def _unserved_observation(self, idx: int, policy: ControlPolicy):
+        report = self._service.server.load_report(0.0, policy.resolution, 0.0)
+        return TestbedObservation(
+            delay_s=float("inf"),
+            map_score=expected_map(policy.resolution),
+            server_power_w=report.server_power_w,
+            bs_power_w=self._service.vbs.power_model.idle_power_w,
+            gpu_delay_s=float("inf"),
+            gpu_utilization=0.0,
+            total_rate_hz=0.0,
+            mean_mcs=0.0,
+            offered_load_bps=0.0,
+            per_user_delay_s=tuple(
+                float("inf") for _ in self.slices[idx].channels
+            ),
+            per_user_rate_hz=tuple(0.0 for _ in self.slices[idx].channels),
+        )
+
+    def _advance_channels(self) -> None:
+        self._snrs = [
+            [float(ch.step()) for ch in s.channels] for s in self.slices
+        ]

@@ -1,0 +1,85 @@
+"""Measurement instruments: power meter and KPI observation noise.
+
+The prototype measures BBU and server power with a GW-Instek GPM-8213
+digital power meter.  Physical measurements are noisy even in static
+setups (the paper stresses that its learner must cope with noisy
+observations); this module centralises the noise models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_non_negative
+
+
+class PowerMeter:
+    """Digital power meter with multiplicative Gaussian reading noise.
+
+    Parameters
+    ----------
+    noise_rel:
+        Relative standard deviation of one reading.
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(self, noise_rel: float = 0.02, rng=None) -> None:
+        self.noise_rel = check_non_negative(noise_rel, "noise_rel")
+        self._rng = ensure_rng(rng)
+
+    def read(self, true_power_w: float) -> float:
+        """One noisy reading of a non-negative true power."""
+        check_non_negative(true_power_w, "true_power_w")
+        if self.noise_rel == 0:
+            return float(true_power_w)
+        reading = true_power_w * (1.0 + self._rng.normal(0.0, self.noise_rel))
+        return float(max(reading, 0.0))
+
+    def read_average(self, true_power_w: float, n_samples: int) -> float:
+        """Average of ``n_samples`` independent readings."""
+        if n_samples < 1:
+            raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+        return float(np.mean([self.read(true_power_w) for _ in range(n_samples)]))
+
+
+class ObservationNoise:
+    """Noise applied to the per-period KPI observations.
+
+    * delay: multiplicative log-normal (timing jitter scales with the
+      magnitude of the delay);
+    * mAP: additive Gaussian truncated to [0, 1] (PR-curve sampling
+      noise of a finite measurement batch).
+    """
+
+    def __init__(
+        self,
+        delay_noise_rel: float = 0.05,
+        map_noise_std: float = 0.02,
+        rng=None,
+    ) -> None:
+        self.delay_noise_rel = check_non_negative(delay_noise_rel, "delay_noise_rel")
+        self.map_noise_std = check_non_negative(map_noise_std, "map_noise_std")
+        self._rng = ensure_rng(rng)
+
+    def noisy_delay(self, delay_s: float) -> float:
+        """Noisy observation of a (possibly infinite) service delay."""
+        if not np.isfinite(delay_s):
+            return float(delay_s)
+        check_non_negative(delay_s, "delay_s")
+        if self.delay_noise_rel == 0:
+            return float(delay_s)
+        sigma = self.delay_noise_rel
+        factor = self._rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma)
+        return float(delay_s * factor)
+
+    def noisy_map(self, map_score: float) -> float:
+        """Noisy observation of a mAP score, clipped to [0, 1]."""
+        if not 0.0 <= map_score <= 1.0:
+            raise ValueError(f"map_score must be in [0, 1], got {map_score}")
+        if self.map_noise_std == 0:
+            return float(map_score)
+        return float(
+            np.clip(map_score + self._rng.normal(0.0, self.map_noise_std), 0.0, 1.0)
+        )

@@ -1,0 +1,111 @@
+"""Time-varying energy tariffs (Section 4.3 of the paper).
+
+The paper motivates the cost weights delta1/delta2 with scenarios where
+the price of a watt differs between the edge server and the vBS and
+*changes over time*: grid electricity priced by day/night bands, or a
+solar-powered small cell whose energy scarcity follows the sun.  These
+tariff models produce a :class:`repro.testbed.config.CostWeights` per
+orchestration period and drive the tariff-tracking experiment.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+from repro.testbed.config import CostWeights
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class EnergyTariff(abc.ABC):
+    """A schedule of energy prices over orchestration periods."""
+
+    @abc.abstractmethod
+    def weights_at(self, period: int) -> CostWeights:
+        """Cost weights in effect at period ``period``."""
+
+    def changes_at(self, period: int) -> bool:
+        """Whether the weights differ from the previous period."""
+        if period <= 0:
+            return True
+        return self.weights_at(period) != self.weights_at(period - 1)
+
+
+class FlatTariff(EnergyTariff):
+    """Constant prices (the baseline setting of the paper)."""
+
+    def __init__(self, delta1: float = 1.0, delta2: float = 1.0) -> None:
+        self._weights = CostWeights(delta1, delta2)
+
+    def weights_at(self, period: int) -> CostWeights:
+        return self._weights
+
+
+class DayNightTariff(EnergyTariff):
+    """Two-band grid tariff: cheap nights, expensive days.
+
+    Both prices scale; the BS band can differ from the server band
+    (e.g. the BS is on a separate metered supply).
+    """
+
+    def __init__(
+        self,
+        day_weights: CostWeights = CostWeights(1.0, 8.0),
+        night_weights: CostWeights = CostWeights(1.0, 1.0),
+        periods_per_day: int = 100,
+        day_fraction: float = 0.6,
+    ) -> None:
+        if periods_per_day < 2:
+            raise ValueError("periods_per_day must be >= 2")
+        if not 0.0 < day_fraction < 1.0:
+            raise ValueError("day_fraction must be in (0, 1)")
+        self.day_weights = day_weights
+        self.night_weights = night_weights
+        self.periods_per_day = int(periods_per_day)
+        self.day_fraction = float(day_fraction)
+
+    def weights_at(self, period: int) -> CostWeights:
+        check_non_negative(period, "period")
+        phase = (period % self.periods_per_day) / self.periods_per_day
+        return self.day_weights if phase < self.day_fraction else self.night_weights
+
+
+class SolarTariff(EnergyTariff):
+    """Solar-powered small cell: BS watts get scarce as output drops.
+
+    delta2 oscillates sinusoidally between a cheap noon value and an
+    expensive night value (quantised so weights change in steps, not
+    every period).
+    """
+
+    def __init__(
+        self,
+        delta1: float = 1.0,
+        delta2_min: float = 1.0,
+        delta2_max: float = 32.0,
+        periods_per_day: int = 120,
+        n_steps: int = 8,
+    ) -> None:
+        check_non_negative(delta1, "delta1")
+        check_positive(delta2_min, "delta2_min")
+        if delta2_max <= delta2_min:
+            raise ValueError("delta2_max must exceed delta2_min")
+        if periods_per_day < 2 or n_steps < 2:
+            raise ValueError("periods_per_day and n_steps must be >= 2")
+        self.delta1 = float(delta1)
+        self.delta2_min = float(delta2_min)
+        self.delta2_max = float(delta2_max)
+        self.periods_per_day = int(periods_per_day)
+        self.n_steps = int(n_steps)
+
+    def weights_at(self, period: int) -> CostWeights:
+        check_non_negative(period, "period")
+        phase = 2.0 * math.pi * (period % self.periods_per_day) / self.periods_per_day
+        # Noon (phase pi) -> minimum price; midnight -> maximum.
+        level = 0.5 * (1.0 + math.cos(phase))
+        delta2 = self.delta2_min + (self.delta2_max - self.delta2_min) * level
+        # Quantise to n_steps bands so the agent sees discrete changes.
+        span = self.delta2_max - self.delta2_min
+        step = span / (self.n_steps - 1)
+        delta2 = self.delta2_min + round((delta2 - self.delta2_min) / step) * step
+        return CostWeights(self.delta1, float(delta2))

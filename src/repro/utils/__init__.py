@@ -1,0 +1,27 @@
+"""General-purpose utilities shared by every subsystem.
+
+This package intentionally has no dependency on the rest of :mod:`repro`
+so any module may import from it without creating cycles.
+"""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.stats import RunningStats, percentile_band
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "RunningStats",
+    "percentile_band",
+    "check_fraction",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+]

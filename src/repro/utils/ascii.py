@@ -1,0 +1,116 @@
+"""Plain-text rendering for experiment outputs.
+
+The evaluation harness reproduces the paper's *figures*; with no plotting
+dependency available we render each series as an ASCII line chart plus a
+numeric table, which is what the benchmark targets print.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 float_fmt: str = "{:.4g}") -> str:
+    """Render rows as a fixed-width text table.
+
+    Floats are formatted with ``float_fmt``; everything else with ``str``.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float) or isinstance(cell, np.floating):
+            if math.isnan(cell):
+                return "nan"
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_chart(series: "Mapping[str, Sequence[float]]", width: int = 72,
+                 height: int = 16, title: str = "") -> str:
+    """Render one or more numeric series as an ASCII line chart.
+
+    Each series is resampled onto ``width`` columns; distinct series use
+    distinct marker characters.  A y-axis with min/mid/max labels is drawn
+    on the left.
+    """
+    if not series:
+        raise ValueError("series mapping is empty")
+    markers = "*o+x#@%&"
+    arrays = {}
+    for name, values in series.items():
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            raise ValueError(f"series {name!r} is empty")
+        arrays[name] = arr
+
+    finite = np.concatenate([a[np.isfinite(a)] for a in arrays.values()])
+    if finite.size == 0:
+        return f"{title}\n(all values non-finite)"
+    lo, hi = float(finite.min()), float(finite.max())
+    if hi == lo:
+        hi = lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (name, arr) in enumerate(arrays.items()):
+        marker = markers[idx % len(markers)]
+        xs = np.linspace(0, arr.size - 1, width)
+        resampled = np.interp(xs, np.arange(arr.size), arr)
+        for col, v in enumerate(resampled):
+            if not math.isfinite(v):
+                continue
+            row = int(round((v - lo) / (hi - lo) * (height - 1)))
+            canvas[height - 1 - row][col] = marker
+
+    label_w = max(len(f"{x:.3g}") for x in (lo, hi, (lo + hi) / 2))
+    lines = []
+    if title:
+        lines.append(title)
+    for r, rowchars in enumerate(canvas):
+        if r == 0:
+            label = f"{hi:.3g}".rjust(label_w)
+        elif r == height - 1:
+            label = f"{lo:.3g}".rjust(label_w)
+        elif r == height // 2:
+            label = f"{(lo + hi) / 2:.3g}".rjust(label_w)
+        else:
+            label = " " * label_w
+        lines.append(f"{label} |{''.join(rowchars)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(arrays)
+    )
+    lines.append(" " * label_w + "   " + legend)
+    return "\n".join(lines)
+
+
+def render_histogram(values: Sequence[float], bins: int = 10, width: int = 50,
+                     title: str = "") -> str:
+    """Render a horizontal-bar histogram of ``values``."""
+    arr = np.asarray(list(values), dtype=float)
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        return f"{title}\n(no finite values)"
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = max(int(counts.max()), 1)
+    lines = [title] if title else []
+    for count, left, right in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"[{left:10.4g}, {right:10.4g}) {bar} {count}")
+    return "\n".join(lines)

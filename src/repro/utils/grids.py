@@ -1,0 +1,52 @@
+"""Dense control-grid construction.
+
+EdgeBOL searches a discretised control space ``X = H x A x Gamma x M``
+(the paper uses 11 levels per dimension, |X| = 14641).  These helpers
+build such grids as flat ``(n_points, n_dims)`` arrays so GP posteriors
+can be evaluated with one vectorised kernel call.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+
+def linear_levels(n_levels: int, low: float = 0.0, high: float = 1.0) -> np.ndarray:
+    """Return ``n_levels`` equally spaced values in ``[low, high]``."""
+    if n_levels < 1:
+        raise ValueError(f"n_levels must be >= 1, got {n_levels}")
+    if high < low:
+        raise ValueError(f"high ({high}) must be >= low ({low})")
+    if n_levels == 1:
+        return np.array([high], dtype=float)
+    return np.linspace(low, high, n_levels)
+
+
+def cartesian_grid(*axes: np.ndarray) -> np.ndarray:
+    """Cartesian product of 1-D axes as an ``(n_points, n_axes)`` array.
+
+    The first axis varies slowest (row-major order), matching
+    ``itertools.product`` semantics.
+    """
+    if not axes:
+        raise ValueError("at least one axis is required")
+    arrays = [np.asarray(a, dtype=float).ravel() for a in axes]
+    for i, a in enumerate(arrays):
+        if a.size == 0:
+            raise ValueError(f"axis {i} is empty")
+    mesh = np.array(list(itertools.product(*arrays)), dtype=float)
+    return mesh
+
+
+def nearest_grid_index(grid: np.ndarray, point: np.ndarray) -> int:
+    """Index of the grid row closest (Euclidean) to ``point``."""
+    grid = np.asarray(grid, dtype=float)
+    point = np.asarray(point, dtype=float).ravel()
+    if grid.ndim != 2 or grid.shape[1] != point.size:
+        raise ValueError(
+            f"grid shape {grid.shape} incompatible with point of size {point.size}"
+        )
+    distances = np.sum((grid - point[None, :]) ** 2, axis=1)
+    return int(np.argmin(distances))

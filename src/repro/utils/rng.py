@@ -1,0 +1,44 @@
+"""Random-number helpers.
+
+Every stochastic component in the library accepts either a seed or a
+:class:`numpy.random.Generator`.  Centralising the coercion here keeps the
+whole simulator reproducible: two runs with the same seed produce
+identical traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(rng: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh nondeterministic generator), an integer seed, or an
+        existing generator (returned unchanged).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"expected None, int or numpy Generator, got {type(rng)!r}")
+
+
+def spawn_rngs(rng: "int | np.random.Generator | None", n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Uses the SeedSequence spawning protocol so children are statistically
+    independent and stable across runs for a given parent seed.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    parent = ensure_rng(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

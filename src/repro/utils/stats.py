@@ -1,0 +1,111 @@
+"""Streaming statistics used by KPI collectors and experiment recorders."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class RunningStats:
+    """Welford online mean/variance accumulator.
+
+    Numerically stable single-pass computation; supports merging two
+    accumulators (parallel collection) and weighted updates.
+    """
+
+    def __init__(self) -> None:
+        self._n = 0.0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def push(self, value: float, weight: float = 1.0) -> None:
+        """Add one observation with optional positive weight."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        value = float(value)
+        self._n += weight
+        delta = value - self._mean
+        self._mean += delta * weight / self._n
+        self._m2 += weight * delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def extend(self, values) -> None:
+        """Push every element of an iterable."""
+        for v in values:
+            self.push(v)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Return a new accumulator equivalent to both streams combined."""
+        merged = RunningStats()
+        n = self._n + other._n
+        if n == 0:
+            return merged
+        delta = other._mean - self._mean
+        merged._n = n
+        merged._mean = self._mean + delta * other._n / n
+        merged._m2 = self._m2 + other._m2 + delta**2 * self._n * other._n / n
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        return merged
+
+    @property
+    def count(self) -> float:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self._n > 0 else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the stream."""
+        return self._m2 / self._n if self._n > 0 else math.nan
+
+    @property
+    def std(self) -> float:
+        v = self.variance
+        return math.sqrt(v) if v == v else math.nan
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._n > 0 else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._n > 0 else math.nan
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunningStats(n={self._n:g}, mean={self.mean:.6g}, "
+            f"std={self.std:.6g}, min={self.minimum:.6g}, max={self.maximum:.6g})"
+        )
+
+
+def percentile_band(runs: np.ndarray, low: float = 10.0, high: float = 90.0):
+    """Median and percentile band across repetitions.
+
+    Parameters
+    ----------
+    runs:
+        Array of shape ``(n_runs, n_steps)`` — one row per repetition.
+    low, high:
+        Percentiles of the shaded band (the paper uses 10th/90th).
+
+    Returns
+    -------
+    (median, lower, upper):
+        Three arrays of length ``n_steps``.
+    """
+    runs = np.asarray(runs, dtype=float)
+    if runs.ndim != 2:
+        raise ValueError(f"runs must be 2-D (n_runs, n_steps), got shape {runs.shape}")
+    if not 0 <= low < high <= 100:
+        raise ValueError(f"need 0 <= low < high <= 100, got {low}, {high}")
+    median = np.median(runs, axis=0)
+    lower = np.percentile(runs, low, axis=0)
+    upper = np.percentile(runs, high, axis=0)
+    return median, lower, upper

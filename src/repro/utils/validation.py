@@ -1,0 +1,36 @@
+"""Argument-validation helpers with informative error messages."""
+
+from __future__ import annotations
+
+import math
+
+
+def check_positive(value: float, name: str) -> float:
+    """Return ``value`` if strictly positive and finite, else raise."""
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return float(value)
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if non-negative and finite, else raise."""
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return float(value)
+
+
+def check_in_range(value: float, name: str, low: float, high: float) -> float:
+    """Return ``value`` if ``low <= value <= high``, else raise."""
+    if not math.isfinite(value) or value < low or value > high:
+        raise ValueError(f"{name} must be within [{low}, {high}], got {value!r}")
+    return float(value)
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Return ``value`` if in [0, 1], else raise."""
+    return check_in_range(value, name, 0.0, 1.0)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Alias of :func:`check_fraction` with probability semantics."""
+    return check_in_range(value, name, 0.0, 1.0)

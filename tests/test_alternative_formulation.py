@@ -1,0 +1,114 @@
+"""Tests for the power-budgeted (delay-minimising) formulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.alternative import PowerBudgetedEdgeBOL, PowerBudgets
+from repro.experiments.runner import run_agent
+from repro.testbed.config import TestbedConfig
+from repro.testbed.scenarios import static_scenario
+
+
+def make_problem(n_levels=7, seed=0):
+    testbed = TestbedConfig(n_levels=n_levels)
+    env = static_scenario(mean_snr_db=35.0, rng=seed, config=testbed)
+    return testbed, env
+
+
+class TestPowerBudgets:
+    def test_satisfied(self):
+        budgets = PowerBudgets(server_max_w=120.0, bs_max_w=6.0, rho_min=0.5)
+        assert budgets.satisfied(100.0, 5.0, 0.6)
+        assert not budgets.satisfied(130.0, 5.0, 0.6)
+        assert not budgets.satisfied(100.0, 7.0, 0.6)
+        assert not budgets.satisfied(100.0, 5.0, 0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerBudgets(server_max_w=0.0, bs_max_w=6.0)
+        with pytest.raises(ValueError):
+            PowerBudgets(server_max_w=100.0, bs_max_w=6.0, rho_min=1.5)
+
+
+class TestPowerBudgetedEdgeBOL:
+    def make_agent(self, testbed, rho_min=0.5):
+        return PowerBudgetedEdgeBOL(
+            testbed.control_grid(),
+            PowerBudgets(server_max_w=120.0, bs_max_w=6.0, rho_min=rho_min),
+        )
+
+    def test_s0_is_minimum_power_corner(self):
+        testbed, _ = make_problem(n_levels=5)
+        agent = self.make_agent(testbed)
+        anchor = agent.control_grid[agent.s0_index]
+        assert anchor[1] == pytest.approx(0.1)   # min airtime
+        assert anchor[2] == pytest.approx(0.0)   # min GPU speed
+        assert anchor[0] == pytest.approx(1.0)   # full res (mAP-safe)
+
+    def test_s0_low_res_without_map_constraint(self):
+        testbed, _ = make_problem(n_levels=5)
+        agent = PowerBudgetedEdgeBOL(
+            testbed.control_grid(),
+            PowerBudgets(server_max_w=120.0, bs_max_w=6.0, rho_min=0.0),
+        )
+        anchor = agent.control_grid[agent.s0_index]
+        assert anchor[0] == pytest.approx(0.25)
+
+    def test_first_pick_is_safe_anchor(self):
+        testbed, env = make_problem(n_levels=5)
+        agent = self.make_agent(testbed)
+        policy = agent.select(env.observe_context())
+        np.testing.assert_allclose(
+            policy.to_array(), agent.control_grid[agent.s0_index]
+        )
+
+    def test_delay_improves_within_budgets(self):
+        testbed, env = make_problem()
+        agent = self.make_agent(testbed)
+        delays, servers, bss = [], [], []
+        for _ in range(90):
+            context = env.observe_context()
+            policy = agent.select(context)
+            obs = env.step(policy)
+            agent.observe(context, policy, obs)
+            delays.append(obs.delay_s)
+            servers.append(obs.server_power_w)
+            bss.append(obs.bs_power_w)
+        assert np.mean(delays[-20:]) < np.mean(delays[:5]) * 0.7
+        assert np.mean([p > 120.0 for p in servers[30:]]) < 0.1
+        assert np.mean([p > 6.0 for p in bss[30:]]) < 0.1
+
+    def test_tighter_budget_means_higher_delay(self):
+        def converged_delay(server_cap):
+            testbed, env = make_problem(seed=1)
+            agent = PowerBudgetedEdgeBOL(
+                testbed.control_grid(),
+                PowerBudgets(server_max_w=server_cap, bs_max_w=6.5,
+                             rho_min=0.5),
+            )
+            delays = []
+            for _ in range(80):
+                context = env.observe_context()
+                policy = agent.select(context)
+                obs = env.step(policy)
+                agent.observe(context, policy, obs)
+                delays.append(obs.delay_s)
+            return float(np.mean(delays[-20:]))
+
+        assert converged_delay(100.0) >= converged_delay(180.0) * 0.95
+
+    def test_set_constraints_updates_priors(self):
+        testbed, _ = make_problem(n_levels=5)
+        agent = self.make_agent(testbed)
+        agent.set_constraints(
+            PowerBudgets(server_max_w=200.0, bs_max_w=8.0, rho_min=0.5)
+        )
+        assert agent._server_gp.prior_mean == pytest.approx(300.0)
+        assert agent._bs_gp.prior_mean == pytest.approx(12.0)
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            PowerBudgetedEdgeBOL(
+                np.zeros((3, 2)),
+                PowerBudgets(server_max_w=100.0, bs_max_w=6.0),
+            )

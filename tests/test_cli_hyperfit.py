@@ -1,0 +1,109 @@
+"""Tests for the CLI and the offline hyperparameter-fit pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import EdgeBOL
+from repro.experiments.hyperfit import (
+    ProfilingDataset,
+    collect_profiling_data,
+    fit_from_profiling,
+)
+from repro.testbed.config import (
+    CostWeights,
+    ServiceConstraints,
+    TestbedConfig,
+)
+from repro.testbed.scenarios import static_scenario
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["profile", "--figure", "3"])
+        assert args.figure == 3
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_profile_writes_csv(self, tmp_path, capsys):
+        code = main(["profile", "--figure", "4", "--out", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "fig04_precision_serverpower.csv").exists()
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+    def test_dynamic_runs_small(self, tmp_path, capsys):
+        code = main([
+            "dynamic", "--periods", "15", "--levels", "5",
+            "--out", str(tmp_path),
+        ])
+        assert code == 0
+        assert (tmp_path / "dynamic.csv").exists()
+
+    def test_heterogeneous_runs_small(self, tmp_path):
+        code = main([
+            "heterogeneous", "--users", "2", "--delta2", "1",
+            "--periods", "15", "--levels", "5", "--out", str(tmp_path),
+        ])
+        assert code == 0
+        assert (tmp_path / "heterogeneous.csv").exists()
+
+    def test_tariff_runs_small(self, tmp_path):
+        code = main([
+            "tariff", "--periods", "20", "--levels", "5",
+            "--out", str(tmp_path),
+        ])
+        assert code == 0
+        assert (tmp_path / "tariff.csv").exists()
+
+
+class TestHyperfit:
+    def make(self, seed=0):
+        testbed = TestbedConfig(n_levels=5)
+        env = static_scenario(mean_snr_db=35.0, rng=seed, config=testbed)
+        agent = EdgeBOL(
+            testbed.control_grid(), ServiceConstraints(0.4, 0.5),
+            CostWeights(1.0, 1.0),
+        )
+        return env, agent
+
+    def test_collect_shapes(self):
+        env, agent = self.make()
+        dataset = collect_profiling_data(env, agent, 12, rng=0)
+        assert len(dataset) == 12
+        assert dataset.inputs.shape == (12, 7)
+        assert np.all(np.isfinite(dataset.inputs))
+        assert np.all(dataset.delays <= 1.5 + 1e-9)
+
+    def test_collect_validation(self):
+        env, agent = self.make()
+        with pytest.raises(ValueError):
+            collect_profiling_data(env, agent, 0)
+
+    def test_fit_changes_hyperparameters(self):
+        env, agent = self.make()
+        before = [gp.kernel.lengthscales.copy() for gp in agent.gps]
+        fit_from_profiling(agent, env, n_samples=25, rng=0)
+        changed = any(
+            not np.allclose(gp.kernel.lengthscales, old)
+            for gp, old in zip(agent.gps, before)
+        )
+        assert changed
+        for gp in agent.gps:
+            assert gp.noise_variance > 0
+
+    def test_fitted_agent_still_learns(self):
+        from repro.experiments.runner import run_agent
+
+        env, agent = self.make(seed=1)
+        fit_from_profiling(agent, env, n_samples=20, rng=1)
+        log = run_agent(env, agent, 30)
+        assert np.all(np.isfinite(log.cost))
+
+    def test_dataset_is_dataclass(self):
+        env, agent = self.make()
+        dataset = collect_profiling_data(env, agent, 3, rng=0)
+        assert isinstance(dataset, ProfilingDataset)

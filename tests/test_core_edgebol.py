@@ -1,0 +1,195 @@
+"""Tests for the EdgeBOL agent (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import EdgeBOL, EdgeBOLConfig
+from repro.experiments.runner import run_agent
+from repro.testbed.config import (
+    ControlPolicy,
+    CostWeights,
+    ServiceConstraints,
+    TestbedConfig,
+)
+from repro.testbed.context import Context
+from repro.testbed.scenarios import static_scenario
+
+
+def make_agent(config=None, n_levels=5, constraints=None, weights=None):
+    testbed = TestbedConfig(n_levels=n_levels)
+    return EdgeBOL(
+        testbed.control_grid(),
+        constraints or ServiceConstraints(0.4, 0.5),
+        weights or CostWeights(1.0, 1.0),
+        config=config,
+    )
+
+
+def fixed_context():
+    return Context.from_snrs([35.0])
+
+
+class TestConstruction:
+    def test_s0_is_max_resources(self):
+        agent = make_agent()
+        np.testing.assert_allclose(
+            agent.control_grid[agent.s0_index], [1, 1, 1, 1]
+        )
+
+    def test_three_gps(self):
+        agent = make_agent()
+        assert len(agent.gps) == 3
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeBOL(
+                np.zeros((3, 5)),
+                ServiceConstraints(),
+                CostWeights(),
+            )
+
+    def test_custom_lengthscales_validated(self):
+        config = EdgeBOLConfig(lengthscales=np.ones(3))
+        with pytest.raises(ValueError):
+            make_agent(config=config)
+
+
+class TestSelectAndUpdate:
+    def test_first_selection_is_s0(self):
+        """With no data the only safe control is S0 (max resources)."""
+        agent = make_agent()
+        policy = agent.select(fixed_context())
+        np.testing.assert_allclose(policy.to_array(), [1, 1, 1, 1])
+        assert agent.last_safe_set_size == 1
+
+    def test_update_grows_observations(self):
+        agent = make_agent()
+        context = fixed_context()
+        policy = agent.select(context)
+        agent.update(context, policy, cost=100.0, delay_s=0.3, map_score=0.6)
+        assert agent.n_observations == 1
+
+    def test_delay_clipping(self):
+        agent = make_agent(config=EdgeBOLConfig(delay_clip_s=1.5))
+        context = fixed_context()
+        policy = agent.select(context)
+        agent.update(context, policy, cost=100.0, delay_s=float("inf"),
+                     map_score=0.6)
+        assert agent.gps[1].targets[0] == 1.5
+
+    def test_observe_computes_cost(self, static_env):
+        agent = make_agent(weights=CostWeights(2.0, 3.0))
+        context = static_env.observe_context()
+        policy = agent.select(context)
+        observation = static_env.step(policy)
+        cost = agent.observe(context, policy, observation)
+        expected = 2.0 * observation.server_power_w + 3.0 * observation.bs_power_w
+        assert cost == pytest.approx(expected)
+
+    def test_safe_set_grows_with_experience(self, static_env):
+        agent = make_agent()
+        sizes = []
+        for _ in range(25):
+            context = static_env.observe_context()
+            policy = agent.select(context)
+            sizes.append(agent.last_safe_set_size)
+            observation = static_env.step(policy)
+            agent.observe(context, policy, observation)
+        assert sizes[-1] > sizes[0]
+
+    def test_safe_mask_includes_s0_always(self):
+        agent = make_agent(constraints=ServiceConstraints(0.001, 0.99))
+        mask = agent.safe_mask(fixed_context())
+        assert mask[agent.s0_index]
+        # Infeasible thresholds: nothing else can be certified.
+        assert mask.sum() == 1
+
+
+class TestRuntimeReconfiguration:
+    def test_set_constraints_keeps_data(self, static_env):
+        agent = make_agent()
+        for _ in range(10):
+            context = static_env.observe_context()
+            policy = agent.select(context)
+            agent.observe(context, policy, static_env.step(policy))
+        n = agent.n_observations
+        agent.set_constraints(ServiceConstraints(0.5, 0.4))
+        assert agent.n_observations == n
+        assert agent.constraints.d_max_s == 0.5
+
+    def test_relaxed_constraints_enlarge_safe_set(self, static_env):
+        agent = make_agent()
+        for _ in range(20):
+            context = static_env.observe_context()
+            policy = agent.select(context)
+            agent.observe(context, policy, static_env.step(policy))
+        context = static_env.observe_context()
+        tight = agent.safe_set_size(context)
+        agent.set_constraints(ServiceConstraints(0.6, 0.3))
+        relaxed = agent.safe_set_size(context)
+        assert relaxed >= tight
+
+    def test_set_cost_weights(self):
+        agent = make_agent()
+        agent.set_cost_weights(CostWeights(1.0, 64.0))
+        assert agent.cost_weights.delta2 == 64.0
+
+
+class TestLearning:
+    def test_cost_decreases(self, testbed_config):
+        """The headline behaviour: converged cost beats the S0 cost."""
+        testbed = TestbedConfig(n_levels=7)
+        env = static_scenario(mean_snr_db=35.0, rng=0, config=testbed)
+        agent = EdgeBOL(
+            testbed.control_grid(),
+            ServiceConstraints(0.4, 0.5),
+            CostWeights(1.0, 1.0),
+        )
+        log = run_agent(env, agent, 100)
+        early = np.mean(log.cost[:5])
+        late = np.mean(log.cost[-20:])
+        assert late < early * 0.94
+
+    def test_constraints_respected_after_convergence(self):
+        testbed = TestbedConfig(n_levels=7)
+        env = static_scenario(mean_snr_db=35.0, rng=1, config=testbed)
+        agent = EdgeBOL(
+            testbed.control_grid(),
+            ServiceConstraints(0.4, 0.5),
+            CostWeights(1.0, 1.0),
+        )
+        log = run_agent(env, agent, 80)
+        delay_viol, map_viol = log.violation_rates(burn_in=30)
+        assert delay_viol < 0.1
+        assert map_viol < 0.1
+
+    def test_max_observations_bounds_memory(self):
+        testbed = TestbedConfig(n_levels=5)
+        env = static_scenario(mean_snr_db=35.0, rng=2, config=testbed)
+        agent = EdgeBOL(
+            testbed.control_grid(),
+            ServiceConstraints(0.4, 0.5),
+            CostWeights(1.0, 1.0),
+            config=EdgeBOLConfig(max_observations=20, ),
+        )
+        run_agent(env, agent, 60)
+        assert agent.n_observations <= 20 + 100  # budget + eviction block
+
+
+class TestHyperparameterFitting:
+    def test_fit_from_profiling_data(self):
+        agent = make_agent()
+        rng = np.random.default_rng(0)
+        n = 30
+        inputs = np.hstack([
+            np.tile(fixed_context().to_array(), (n, 1)),
+            rng.uniform(0, 1, size=(n, 4)),
+        ])
+        costs = 100 + 50 * inputs[:, 5] + rng.normal(0, 2, n)
+        delays = 0.3 + 0.2 * (1 - inputs[:, 4]) + rng.normal(0, 0.01, n)
+        maps = 0.3 + 0.3 * inputs[:, 3] + rng.normal(0, 0.01, n)
+        agent.fit_hyperparameters(inputs, costs, delays, maps,
+                                  n_restarts=1, rng=0)
+        for gp in agent.gps:
+            assert gp.noise_variance > 0
+            assert np.all(np.isfinite(gp.kernel.lengthscales))

@@ -1,0 +1,185 @@
+"""Tests for the exact GP (posterior eqs. 3-4, incremental updates)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gp import GaussianProcess
+from repro.core.kernels import Matern, RBF
+
+
+def make_gp(**kwargs):
+    defaults = dict(
+        kernel=Matern(lengthscales=[1.0], output_scale=1.0),
+        noise_variance=1e-4,
+    )
+    defaults.update(kwargs)
+    return GaussianProcess(**defaults)
+
+
+def reference_posterior(kernel, noise, x_train, y_train, x_star,
+                        prior_mean=0.0):
+    """Direct dense implementation of eqs. (3)-(4)."""
+    gram = kernel(x_train, x_train) + noise * np.eye(len(x_train))
+    k_star = kernel(x_train, x_star)
+    inv = np.linalg.inv(gram)
+    mean = prior_mean + k_star.T @ inv @ (y_train - prior_mean)
+    var = kernel.diag(x_star) - np.sum(k_star * (inv @ k_star), axis=0)
+    return mean, var
+
+
+class TestPrior:
+    def test_prior_mean_and_variance(self):
+        gp = make_gp(prior_mean=2.0)
+        mean, var = gp.predict(np.array([[0.0], [1.0]]))
+        np.testing.assert_allclose(mean, [2.0, 2.0])
+        np.testing.assert_allclose(var, [1.0, 1.0])
+
+    def test_invalid_prior_mean(self):
+        with pytest.raises(ValueError):
+            make_gp(prior_mean=float("nan"))
+
+
+class TestPosterior:
+    def test_matches_direct_formula(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-2, 2, size=(15, 2))
+        y = np.sin(x[:, 0]) + 0.5 * x[:, 1]
+        kernel = Matern(lengthscales=[0.8, 1.2], output_scale=1.5)
+        gp = GaussianProcess(kernel, noise_variance=0.01)
+        gp.fit(x, y)
+        x_star = rng.uniform(-2, 2, size=(7, 2))
+        mean, var = gp.predict(x_star)
+        ref_mean, ref_var = reference_posterior(kernel, 0.01, x, y, x_star)
+        np.testing.assert_allclose(mean, ref_mean, rtol=1e-8, atol=1e-10)
+        np.testing.assert_allclose(var, ref_var, rtol=1e-6, atol=1e-10)
+
+    def test_interpolates_training_data(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1.0, -1.0, 0.5])
+        gp = make_gp(noise_variance=1e-8)
+        gp.fit(x, y)
+        mean, var = gp.predict(x)
+        np.testing.assert_allclose(mean, y, atol=1e-4)
+        assert np.all(var < 1e-4)
+
+    def test_variance_shrinks_near_data(self):
+        gp = make_gp()
+        gp.fit(np.array([[0.0]]), np.array([1.0]))
+        _, var_near = gp.predict(np.array([[0.1]]))
+        _, var_far = gp.predict(np.array([[5.0]]))
+        assert var_near[0] < var_far[0]
+
+    def test_mean_reverts_to_prior_far_away(self):
+        gp = make_gp(prior_mean=3.0)
+        gp.fit(np.array([[0.0]]), np.array([10.0]))
+        mean, _ = gp.predict(np.array([[100.0]]))
+        assert mean[0] == pytest.approx(3.0, abs=1e-6)
+
+    def test_variance_never_negative(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, size=(40, 3))
+        y = rng.normal(size=40)
+        gp = GaussianProcess(
+            Matern(lengthscales=[0.5, 0.5, 0.5]), noise_variance=1e-6
+        )
+        gp.fit(x, y)
+        _, var = gp.predict(rng.uniform(0, 1, size=(100, 3)))
+        assert np.all(var >= 0)
+
+
+class TestIncrementalUpdates:
+    def test_add_matches_batch_fit(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-1, 1, size=(20, 2))
+        y = rng.normal(size=20)
+        kernel = Matern(lengthscales=[0.7, 0.9])
+
+        batch = GaussianProcess(kernel, noise_variance=0.01)
+        batch.fit(x, y)
+        online = GaussianProcess(kernel, noise_variance=0.01)
+        for xi, yi in zip(x, y):
+            online.add(xi, yi)
+
+        x_star = rng.uniform(-1, 1, size=(9, 2))
+        m1, v1 = batch.predict(x_star)
+        m2, v2 = online.predict(x_star)
+        np.testing.assert_allclose(m1, m2, rtol=1e-7, atol=1e-9)
+        np.testing.assert_allclose(v1, v2, rtol=1e-5, atol=1e-9)
+
+    def test_duplicate_points_stay_stable(self):
+        gp = make_gp(noise_variance=1e-6)
+        for _ in range(10):
+            gp.add(np.array([0.5]), 1.0)
+        mean, var = gp.predict(np.array([[0.5]]))
+        assert mean[0] == pytest.approx(1.0, abs=1e-3)
+        assert np.isfinite(var[0])
+
+    def test_add_rejects_nonfinite(self):
+        gp = make_gp()
+        with pytest.raises(ValueError):
+            gp.add(np.array([np.inf]), 1.0)
+        with pytest.raises(ValueError):
+            gp.add(np.array([0.0]), float("nan"))
+
+    def test_n_observations(self):
+        gp = make_gp()
+        assert gp.n_observations == 0
+        gp.add(np.array([0.0]), 1.0)
+        gp.add(np.array([1.0]), 2.0)
+        assert gp.n_observations == 2
+
+
+class TestEviction:
+    def test_budget_enforced(self):
+        gp = make_gp(max_observations=10, eviction_block=5)
+        for i in range(30):
+            gp.add(np.array([float(i)]), float(i))
+        assert gp.n_observations <= 15
+
+    def test_keeps_most_recent(self):
+        gp = make_gp(max_observations=5, eviction_block=2)
+        for i in range(20):
+            gp.add(np.array([float(i)]), float(i))
+        assert gp.inputs[-1, 0] == 19.0
+        # Predictions near recent data stay accurate.
+        mean, _ = gp.predict(np.array([[19.0]]))
+        assert mean[0] == pytest.approx(19.0, abs=0.5)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            make_gp(max_observations=0)
+
+
+class TestValidationAndMisc:
+    def test_fit_shape_checks(self):
+        gp = make_gp()
+        with pytest.raises(ValueError):
+            gp.fit(np.zeros((3, 1)), np.zeros(2))
+        with pytest.raises(ValueError):
+            gp.fit(np.zeros((3, 2)), np.zeros(3))
+
+    def test_predict_dim_check(self):
+        gp = make_gp()
+        with pytest.raises(ValueError):
+            gp.predict(np.zeros((2, 3)))
+
+    def test_predict_std(self):
+        gp = make_gp()
+        gp.add(np.array([0.0]), 1.0)
+        mean, std = gp.predict_std(np.array([[0.0]]))
+        _, var = gp.predict(np.array([[0.0]]))
+        assert std[0] == pytest.approx(np.sqrt(var[0]))
+
+    def test_posterior_samples_distribution(self):
+        gp = GaussianProcess(RBF(lengthscales=[1.0]), noise_variance=1e-4)
+        gp.fit(np.array([[0.0], [1.0]]), np.array([0.0, 1.0]))
+        x_star = np.array([[0.5]])
+        draws = gp.sample_posterior(x_star, n_samples=4000, rng=0)
+        mean, var = gp.predict(x_star)
+        assert draws.mean() == pytest.approx(mean[0], abs=0.05)
+        assert draws.var() == pytest.approx(var[0], abs=0.05)
+
+    def test_targets_property(self):
+        gp = make_gp()
+        gp.add(np.array([0.0]), 5.0)
+        np.testing.assert_array_equal(gp.targets, [5.0])

@@ -1,0 +1,112 @@
+"""Property-based tests for the GP's structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gp import GaussianProcess
+from repro.core.kernels import Matern
+
+datasets = st.lists(
+    st.tuples(
+        st.floats(-2.0, 2.0, allow_nan=False),
+        st.floats(-3.0, 3.0, allow_nan=False),
+    ),
+    min_size=2,
+    max_size=12,
+)
+
+
+def make_gp():
+    return GaussianProcess(
+        Matern(lengthscales=[0.7], output_scale=1.0), noise_variance=0.01
+    )
+
+
+class TestGPInvariants:
+    @given(datasets, st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_training_order_irrelevant(self, data, shuffler):
+        """The posterior is invariant to the order observations arrive."""
+        forward, shuffled = make_gp(), make_gp()
+        for x, y in data:
+            forward.add(np.array([x]), y)
+        permuted = list(data)
+        shuffler.shuffle(permuted)
+        for x, y in permuted:
+            shuffled.add(np.array([x]), y)
+        queries = np.linspace(-2, 2, 7)[:, None]
+        m1, v1 = forward.predict(queries)
+        m2, v2 = shuffled.predict(queries)
+        np.testing.assert_allclose(m1, m2, rtol=1e-6, atol=1e-8)
+        np.testing.assert_allclose(v1, v2, rtol=1e-5, atol=1e-8)
+
+    @given(datasets)
+    @settings(max_examples=30, deadline=None)
+    def test_posterior_variance_never_exceeds_prior(self, data):
+        gp = make_gp()
+        for x, y in data:
+            gp.add(np.array([x]), y)
+        queries = np.linspace(-3, 3, 15)[:, None]
+        _, variance = gp.predict(queries)
+        prior = gp.kernel.diag(queries)
+        assert np.all(variance <= prior + 1e-9)
+
+    @given(datasets)
+    @settings(max_examples=30, deadline=None)
+    def test_more_data_never_raises_variance(self, data):
+        """Conditioning on extra observations only shrinks uncertainty."""
+        half = max(1, len(data) // 2)
+        small, large = make_gp(), make_gp()
+        for x, y in data[:half]:
+            small.add(np.array([x]), y)
+        for x, y in data:
+            large.add(np.array([x]), y)
+        queries = np.linspace(-2, 2, 9)[:, None]
+        _, v_small = small.predict(queries)
+        _, v_large = large.predict(queries)
+        assert np.all(v_large <= v_small + 1e-7)
+
+    @given(
+        datasets,
+        st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_prior_mean_shift_equivariance(self, data, shift):
+        """Shifting targets and prior mean together shifts the posterior
+        mean by the same amount and leaves the variance unchanged."""
+        base = make_gp()
+        shifted = GaussianProcess(
+            Matern(lengthscales=[0.7], output_scale=1.0),
+            noise_variance=0.01,
+            prior_mean=shift,
+        )
+        for x, y in data:
+            base.add(np.array([x]), y)
+            shifted.add(np.array([x]), y + shift)
+        queries = np.linspace(-2, 2, 7)[:, None]
+        m1, v1 = base.predict(queries)
+        m2, v2 = shifted.predict(queries)
+        np.testing.assert_allclose(m2, m1 + shift, rtol=1e-6, atol=1e-7)
+        np.testing.assert_allclose(v2, v1, rtol=1e-8, atol=1e-10)
+
+    def test_eviction_matches_window_refit(self):
+        """After eviction, predictions equal a fresh fit on the kept
+        window (subset-of-data is exact on the retained points)."""
+        rng = np.random.default_rng(0)
+        xs = rng.uniform(-2, 2, size=40)
+        ys = np.sin(xs) + rng.normal(0, 0.05, size=40)
+        online = GaussianProcess(
+            Matern(lengthscales=[0.7]), noise_variance=0.01,
+            max_observations=10, eviction_block=5,
+        )
+        for x, y in zip(xs, ys):
+            online.add(np.array([x]), y)
+        fresh = GaussianProcess(Matern(lengthscales=[0.7]), noise_variance=0.01)
+        fresh.fit(online.inputs, online.targets)
+        queries = np.linspace(-2, 2, 11)[:, None]
+        m1, v1 = online.predict(queries)
+        m2, v2 = fresh.predict(queries)
+        np.testing.assert_allclose(m1, m2, rtol=1e-8)
+        np.testing.assert_allclose(v1, v2, rtol=1e-8)

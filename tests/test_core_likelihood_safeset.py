@@ -1,0 +1,203 @@
+"""Tests for LML hyperparameter fitting, safe set and acquisition."""
+
+import numpy as np
+import pytest
+
+from repro.core.acquisition import (
+    greedy_mean_index,
+    max_variance_index,
+    random_safe_index,
+    safe_lcb_index,
+)
+from repro.core.gp import GaussianProcess
+from repro.core.kernels import Matern
+from repro.core.likelihood import fit_hyperparameters, log_marginal_likelihood
+from repro.core.safeset import SafeSetEstimator
+
+
+def sample_function(rng, n=40, lengthscale=0.4, noise=0.05):
+    x = rng.uniform(0, 1, size=(n, 1))
+    y = np.sin(x[:, 0] * 6.0) + rng.normal(0, noise, size=n)
+    return x, y
+
+
+class TestLogMarginalLikelihood:
+    def test_matches_manual_computation(self):
+        kernel = Matern(lengthscales=[1.0], output_scale=1.0)
+        x = np.array([[0.0], [1.0]])
+        y = np.array([0.5, -0.5])
+        noise = 0.1
+        gram = kernel(x, x) + noise * np.eye(2)
+        manual = (
+            -0.5 * y @ np.linalg.inv(gram) @ y
+            - 0.5 * np.log(np.linalg.det(gram))
+            - np.log(2 * np.pi)
+        )
+        assert log_marginal_likelihood(kernel, noise, x, y) == pytest.approx(manual)
+
+    def test_good_hyperparams_score_higher(self):
+        rng = np.random.default_rng(0)
+        x, y = sample_function(rng)
+        good = Matern(lengthscales=[0.3], output_scale=1.0)
+        bad = Matern(lengthscales=[100.0], output_scale=1e-4)
+        assert (
+            log_marginal_likelihood(good, 0.01, x, y)
+            > log_marginal_likelihood(bad, 0.01, x, y)
+        )
+
+    def test_invalid_noise(self):
+        kernel = Matern(lengthscales=[1.0])
+        with pytest.raises(ValueError):
+            log_marginal_likelihood(kernel, 0.0, np.zeros((2, 1)), np.zeros(2))
+
+
+class TestFitHyperparameters:
+    def test_improves_lml(self):
+        rng = np.random.default_rng(1)
+        x, y = sample_function(rng)
+        seed_kernel = Matern(lengthscales=[5.0], output_scale=0.1)
+        initial = log_marginal_likelihood(seed_kernel, 0.5, x, y)
+        fitted_kernel, fitted_noise, final = fit_hyperparameters(
+            seed_kernel, x, y, noise_variance=0.5, n_restarts=2, rng=0
+        )
+        assert final >= initial
+        assert fitted_noise > 0
+        assert np.all(fitted_kernel.lengthscales > 0)
+
+    def test_recovers_noise_scale(self):
+        rng = np.random.default_rng(2)
+        x, y = sample_function(rng, n=80, noise=0.1)
+        _, fitted_noise, _ = fit_hyperparameters(
+            Matern(lengthscales=[0.5]), x, y, noise_variance=0.01,
+            n_restarts=2, rng=0,
+        )
+        assert 0.001 < fitted_noise < 0.1
+
+    def test_fixed_noise_mode(self):
+        rng = np.random.default_rng(3)
+        x, y = sample_function(rng)
+        _, noise, _ = fit_hyperparameters(
+            Matern(lengthscales=[1.0]), x, y,
+            noise_variance=0.123, optimize_noise=False, rng=0, n_restarts=1,
+        )
+        assert noise == 0.123
+
+
+def build_constraint_gps():
+    """Delay GP trained low around x=0.2, high around x=0.8; mAP GP
+    high around x=0.2."""
+    kernel = Matern(lengthscales=[0.2], output_scale=0.04)
+    delay_gp = GaussianProcess(kernel, noise_variance=1e-4, prior_mean=1.0)
+    map_gp = GaussianProcess(kernel, noise_variance=1e-4, prior_mean=0.0)
+    for _ in range(5):
+        delay_gp.add(np.array([0.2]), 0.2)
+        delay_gp.add(np.array([0.8]), 0.9)
+        map_gp.add(np.array([0.2]), 0.7)
+        map_gp.add(np.array([0.8]), 0.7)
+    return delay_gp, map_gp
+
+
+class TestSafeSet:
+    def test_known_safe_point_included(self):
+        delay_gp, map_gp = build_constraint_gps()
+        estimator = SafeSetEstimator(delay_gp, map_gp, beta=2.0)
+        grid = np.linspace(0, 1, 21)[:, None]
+        mask = estimator.safe_mask(grid, d_max_s=0.4, rho_min=0.5)
+        idx_02 = 4  # x = 0.2
+        idx_08 = 16  # x = 0.8
+        assert mask[idx_02]
+        assert not mask[idx_08]  # delay 0.9 > 0.4
+
+    def test_unexplored_region_unsafe(self):
+        """Pessimistic priors keep far regions out of the safe set."""
+        delay_gp, map_gp = build_constraint_gps()
+        estimator = SafeSetEstimator(delay_gp, map_gp, beta=2.0)
+        mask = estimator.safe_mask(
+            np.array([[10.0]]), d_max_s=0.4, rho_min=0.5
+        )
+        assert not mask[0]
+
+    def test_always_safe_indices(self):
+        delay_gp, map_gp = build_constraint_gps()
+        estimator = SafeSetEstimator(delay_gp, map_gp, beta=2.0)
+        grid = np.array([[10.0], [20.0]])
+        mask = estimator.safe_mask(
+            grid, d_max_s=0.4, rho_min=0.5, always_safe=np.array([1])
+        )
+        assert not mask[0] and mask[1]
+
+    def test_always_safe_boolean_mask(self):
+        delay_gp, map_gp = build_constraint_gps()
+        estimator = SafeSetEstimator(delay_gp, map_gp)
+        grid = np.array([[10.0], [20.0]])
+        mask = estimator.safe_mask(
+            grid, 0.4, 0.5, always_safe=np.array([True, False])
+        )
+        assert mask[0] and not mask[1]
+
+    def test_larger_beta_shrinks_safe_set(self):
+        delay_gp, map_gp = build_constraint_gps()
+        grid = np.linspace(0, 1, 51)[:, None]
+        small = SafeSetEstimator(delay_gp, map_gp, beta=0.5).safe_mask(grid, 0.4, 0.5)
+        large = SafeSetEstimator(delay_gp, map_gp, beta=3.5).safe_mask(grid, 0.4, 0.5)
+        assert small.sum() >= large.sum()
+
+    def test_safe_set_size(self):
+        delay_gp, map_gp = build_constraint_gps()
+        estimator = SafeSetEstimator(delay_gp, map_gp, beta=2.0)
+        grid = np.linspace(0, 1, 21)[:, None]
+        size = estimator.safe_set_size(grid, 0.4, 0.5)
+        assert size == estimator.safe_mask(grid, 0.4, 0.5).sum()
+
+
+class TestAcquisition:
+    def build_cost_gp(self):
+        kernel = Matern(lengthscales=[0.2], output_scale=1.0)
+        gp = GaussianProcess(kernel, noise_variance=1e-4)
+        gp.add(np.array([0.2]), 5.0)
+        gp.add(np.array([0.5]), 1.0)
+        gp.add(np.array([0.8]), 3.0)
+        return gp
+
+    def test_lcb_picks_cheapest_when_certain(self):
+        gp = self.build_cost_gp()
+        grid = np.array([[0.2], [0.5], [0.8]])
+        mask = np.array([True, True, True])
+        assert safe_lcb_index(gp, grid, mask, beta=0.0) == 1
+
+    def test_lcb_respects_mask(self):
+        gp = self.build_cost_gp()
+        grid = np.array([[0.2], [0.5], [0.8]])
+        mask = np.array([True, False, True])
+        assert safe_lcb_index(gp, grid, mask, beta=0.0) == 2
+
+    def test_lcb_explores_uncertain_points(self):
+        """With large beta an unexplored point's LCB wins."""
+        gp = self.build_cost_gp()
+        grid = np.array([[0.5], [10.0]])  # 10.0 unexplored
+        mask = np.array([True, True])
+        assert safe_lcb_index(gp, grid, mask, beta=5.0) == 1
+
+    def test_empty_mask_raises(self):
+        gp = self.build_cost_gp()
+        with pytest.raises(ValueError):
+            safe_lcb_index(gp, np.array([[0.0]]), np.array([False]))
+
+    def test_greedy_is_beta_zero(self):
+        gp = self.build_cost_gp()
+        grid = np.array([[0.2], [0.5], [0.8], [100.0]])
+        mask = np.ones(4, dtype=bool)
+        assert greedy_mean_index(gp, grid, mask) == safe_lcb_index(
+            gp, grid, mask, beta=0.0
+        )
+
+    def test_random_safe_in_mask(self):
+        mask = np.array([False, True, False, True])
+        for _ in range(20):
+            assert random_safe_index(mask, rng=0) in (1, 3)
+
+    def test_max_variance_prefers_unexplored(self):
+        gp = self.build_cost_gp()
+        grid = np.array([[0.5], [10.0]])
+        mask = np.array([True, True])
+        assert max_variance_index(gp, grid, mask) == 1

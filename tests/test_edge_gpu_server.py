@@ -1,0 +1,110 @@
+"""Tests for the GPU model and edge server."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edge.gpu import GpuModel
+from repro.edge.server import EdgeServer
+
+fractions = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestGpuModel:
+    def setup_method(self):
+        self.gpu = GpuModel()
+
+    def test_power_cap_endpoints(self):
+        assert self.gpu.power_cap_w(0.0) == pytest.approx(100.0)
+        assert self.gpu.power_cap_w(1.0) == pytest.approx(280.0)
+
+    def test_speed_factor_one_at_full(self):
+        assert self.gpu.speed_factor(1.0) == pytest.approx(1.0)
+
+    def test_speed_factor_monotone(self):
+        speeds = [self.gpu.speed_factor(g) for g in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert all(b > a for a, b in zip(speeds, speeds[1:]))
+
+    def test_inference_time_decreases_with_speed(self):
+        slow = self.gpu.inference_time_s(1.0, 0.0)
+        fast = self.gpu.inference_time_s(1.0, 1.0)
+        assert slow > fast
+        assert fast == pytest.approx(self.gpu.base_inference_time_s)
+
+    def test_higher_resolution_eases_inference(self):
+        """Fig. 3 bottom: higher-res images ease the GPU's work."""
+        low = self.gpu.inference_time_s(0.25, 1.0)
+        high = self.gpu.inference_time_s(1.0, 1.0)
+        assert low > high
+
+    def test_mean_power_endpoints(self):
+        assert self.gpu.mean_power_w(0.0, 1.0) == pytest.approx(
+            self.gpu.idle_power_w
+        )
+        full = self.gpu.mean_power_w(1.0, 1.0)
+        assert full == pytest.approx(
+            self.gpu.busy_draw_fraction * self.gpu.max_power_cap_w, rel=0.01
+        )
+
+    def test_mean_power_monotone_in_cap(self):
+        busy_low = self.gpu.mean_power_w(0.5, 0.0)
+        busy_high = self.gpu.mean_power_w(0.5, 1.0)
+        assert busy_high > busy_low
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GpuModel(min_power_cap_w=300.0, max_power_cap_w=280.0)
+        with pytest.raises(ValueError):
+            GpuModel(speed_exponent=0.0)
+        with pytest.raises(ValueError):
+            GpuModel(busy_draw_fraction=1.5)
+
+    @given(fractions, fractions)
+    @settings(max_examples=60, deadline=None)
+    def test_property_power_within_physical_bounds(self, util, speed):
+        p = self.gpu.mean_power_w(util, speed)
+        assert self.gpu.idle_power_w <= p <= self.gpu.max_power_cap_w
+
+    @given(fractions, fractions)
+    @settings(max_examples=60, deadline=None)
+    def test_property_inference_time_positive(self, resolution, speed):
+        assert self.gpu.inference_time_s(resolution, speed) > 0
+
+
+class TestEdgeServer:
+    def setup_method(self):
+        self.server = EdgeServer()
+
+    def test_idle_report(self):
+        report = self.server.load_report(0.0, 1.0, 1.0)
+        assert report.gpu_utilization == 0.0
+        assert report.server_power_w == pytest.approx(
+            self.server.host_idle_power_w + self.server.gpu.idle_power_w
+        )
+
+    def test_utilization_clipped_at_one(self):
+        report = self.server.load_report(1e6, 1.0, 1.0)
+        assert report.gpu_utilization == 1.0
+
+    def test_power_monotone_in_rate(self):
+        low = self.server.load_report(1.0, 1.0, 1.0).server_power_w
+        high = self.server.load_report(4.0, 1.0, 1.0).server_power_w
+        assert high > low
+
+    def test_lower_resolution_raises_utilization(self):
+        """Same rate, lower res -> longer per-image time -> higher util."""
+        low_res = self.server.load_report(3.0, 0.25, 1.0)
+        high_res = self.server.load_report(3.0, 1.0, 1.0)
+        assert low_res.gpu_utilization > high_res.gpu_utilization
+
+    def test_power_in_measured_range(self):
+        """Wall power spans roughly the 60-250 W of the measurements."""
+        for rate in (0.5, 2.0, 5.0):
+            for resolution in (0.25, 1.0):
+                for speed in (0.0, 0.5, 1.0):
+                    report = self.server.load_report(rate, resolution, speed)
+                    assert 50.0 < report.server_power_w < 280.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            self.server.load_report(-1.0, 1.0, 1.0)

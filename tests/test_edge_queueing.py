@@ -1,0 +1,183 @@
+"""Tests for the MVA closed-network solvers.
+
+Exact MVA has textbook closed forms for small cases; the approximate
+solver is validated against the exact one.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edge.queueing import (
+    ClosedNetwork,
+    DelayStation,
+    QueueingStation,
+    solve_exact_mva,
+    solve_schweitzer,
+)
+
+
+def single_class_network(n_customers, service_s, think_s):
+    return ClosedNetwork(
+        populations=(n_customers,),
+        stations=(QueueingStation("gpu", (service_s,)),),
+        think_times_s=(think_s,),
+    )
+
+
+class TestExactMVASingleClass:
+    def test_one_customer_no_queueing(self):
+        """With one customer the response time equals the service time."""
+        net = single_class_network(1, 0.1, 0.4)
+        sol = solve_exact_mva(net)
+        assert sol.response_times[0, 0] == pytest.approx(0.1)
+        assert sol.throughputs[0] == pytest.approx(1.0 / 0.5)
+        assert sol.cycle_times[0] == pytest.approx(0.5)
+
+    def test_machine_repairman_two_customers(self):
+        """N=2, service 1, no think: known MVA recursion values.
+
+        R(1) = 1, X(1) = 1; R(2) = 1 * (1 + Q(1)) = 2, X(2) = 2/2 = 1.
+        """
+        net = single_class_network(2, 1.0, 0.0)
+        sol = solve_exact_mva(net)
+        assert sol.response_times[0, 0] == pytest.approx(2.0)
+        assert sol.throughputs[0] == pytest.approx(1.0)
+
+    def test_utilization_below_one(self):
+        net = single_class_network(5, 0.2, 0.1)
+        sol = solve_exact_mva(net)
+        assert sol.utilizations[0] <= 1.0 + 1e-9
+
+    def test_queue_lengths_sum_to_population(self):
+        """Customers are either at stations or thinking."""
+        think = 0.3
+        net = single_class_network(4, 0.2, think)
+        sol = solve_exact_mva(net)
+        thinking = sol.throughputs[0] * think
+        assert sol.queue_lengths.sum() + thinking == pytest.approx(4.0)
+
+    def test_delay_station_never_queues(self):
+        net = ClosedNetwork(
+            populations=(5,),
+            stations=(DelayStation("radio", (0.2,)),),
+            think_times_s=(0.0,),
+        )
+        sol = solve_exact_mva(net)
+        assert sol.response_times[0, 0] == pytest.approx(0.2)
+        assert sol.throughputs[0] == pytest.approx(5.0 / 0.2)
+
+    def test_empty_population(self):
+        net = single_class_network(0, 0.2, 0.1)
+        sol = solve_exact_mva(net)
+        assert sol.throughputs[0] == 0.0
+        assert sol.queue_lengths[0] == 0.0
+
+
+class TestExactMVAMultiClass:
+    def make_two_class(self, tx_a=0.1, tx_b=0.4, gpu=0.15, think=0.03):
+        return ClosedNetwork(
+            populations=(1, 1),
+            stations=(
+                DelayStation("radio", (tx_a, tx_b)),
+                QueueingStation("gpu", (gpu, gpu)),
+            ),
+            think_times_s=(think, think),
+        )
+
+    def test_symmetric_classes_equal(self):
+        net = self.make_two_class(tx_a=0.2, tx_b=0.2)
+        sol = solve_exact_mva(net)
+        assert sol.throughputs[0] == pytest.approx(sol.throughputs[1])
+        assert sol.cycle_times[0] == pytest.approx(sol.cycle_times[1])
+
+    def test_slower_radio_user_cycles_slower(self):
+        sol = solve_exact_mva(self.make_two_class())
+        assert sol.cycle_times[1] > sol.cycle_times[0]
+
+    def test_gpu_queueing_increases_response(self):
+        """Shared-GPU response exceeds the bare service time with 2 users."""
+        sol = solve_exact_mva(self.make_two_class())
+        assert sol.response_times[1, 0] > 0.15
+        assert sol.response_times[1, 1] > 0.15
+
+    def test_station_demand_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ClosedNetwork(
+                populations=(1, 1),
+                stations=(QueueingStation("gpu", (0.1,)),),
+            )
+
+    def test_zero_population_class_ignored(self):
+        net = ClosedNetwork(
+            populations=(1, 0),
+            stations=(QueueingStation("gpu", (0.2, 0.3)),),
+            think_times_s=(0.1, 0.1),
+        )
+        sol = solve_exact_mva(net)
+        assert sol.throughputs[1] == 0.0
+        assert sol.cycle_times[1] == 0.0
+        assert sol.throughputs[0] == pytest.approx(1.0 / 0.3)
+
+
+class TestSchweitzer:
+    def test_matches_exact_single_class(self):
+        net = single_class_network(3, 0.2, 0.1)
+        exact = solve_exact_mva(net)
+        approx = solve_schweitzer(net)
+        np.testing.assert_allclose(
+            approx.throughputs, exact.throughputs, rtol=0.05
+        )
+
+    def test_matches_exact_multiclass(self):
+        net = ClosedNetwork(
+            populations=(1, 1, 1),
+            stations=(
+                DelayStation("radio", (0.1, 0.2, 0.4)),
+                QueueingStation("gpu", (0.15, 0.15, 0.15)),
+            ),
+            think_times_s=(0.03, 0.03, 0.03),
+        )
+        exact = solve_exact_mva(net)
+        approx = solve_schweitzer(net)
+        np.testing.assert_allclose(
+            approx.throughputs, exact.throughputs, rtol=0.12
+        )
+        np.testing.assert_allclose(
+            approx.cycle_times, exact.cycle_times, rtol=0.12
+        )
+
+    def test_empty_network(self):
+        net = single_class_network(0, 0.2, 0.1)
+        sol = solve_schweitzer(net)
+        assert sol.throughputs[0] == 0.0
+
+    @given(
+        st.integers(1, 5),
+        st.floats(0.01, 0.5),
+        st.floats(0.0, 0.5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_schweitzer_close_to_exact(self, n, service, think):
+        net = single_class_network(n, service, think)
+        exact = solve_exact_mva(net)
+        approx = solve_schweitzer(net)
+        assert approx.throughputs[0] == pytest.approx(
+            exact.throughputs[0], rel=0.15
+        )
+
+    @given(st.integers(1, 6), st.floats(0.01, 0.3), st.floats(0.01, 0.3))
+    @settings(max_examples=30, deadline=None)
+    def test_property_utilization_at_most_one(self, n, service, think):
+        net = single_class_network(n, service, think)
+        for sol in (solve_exact_mva(net), solve_schweitzer(net)):
+            assert sol.utilizations[0] <= 1.0 + 1e-6
+
+    @given(st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_throughput_increases_with_population(self, n):
+        """More closed-loop customers never decrease total throughput."""
+        smaller = solve_exact_mva(single_class_network(n - 1, 0.1, 0.2))
+        larger = solve_exact_mva(single_class_network(n, 0.1, 0.2))
+        assert larger.throughputs[0] >= smaller.throughputs[0] - 1e-9

@@ -1,0 +1,65 @@
+"""Integration of the HARQ model with the scheduler abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.ran import phy
+from repro.ran.harq import HarqModel
+from repro.ran.mac import RadioPolicy, RoundRobinScheduler
+
+
+class TestHarqComposition:
+    """The HARQ goodput factor composes with scheduler allocations."""
+
+    def setup_method(self):
+        self.harq = HarqModel()
+        self.scheduler = RoundRobinScheduler(mac_efficiency=0.21)
+
+    def effective_goodput(self, snr_db, policy):
+        alloc = self.scheduler.allocate(policy, [snr_db])[0]
+        return alloc.goodput_bps * self.harq.goodput_factor(alloc.mcs, snr_db)
+
+    def test_good_channel_no_penalty(self):
+        policy = RadioPolicy(1.0, 20)
+        alloc = self.scheduler.allocate(policy, [35.0])[0]
+        effective = self.effective_goodput(35.0, policy)
+        assert effective == pytest.approx(alloc.goodput_bps, rel=0.02)
+
+    def test_marginal_channel_penalised(self):
+        """At an SNR near the MCS threshold the HARQ factor bites."""
+        policy = RadioPolicy(1.0, 28)
+        alloc = self.scheduler.allocate(policy, [14.0])[0]
+        factor = self.harq.goodput_factor(alloc.mcs, 14.0)
+        assert factor < 0.999
+
+    def test_cqi_link_adaptation_is_conservative(self):
+        """The CQI table picks MCSs whose first-transmission BLER at the
+        reporting SNR stays moderate (the 10%-BLER design rule)."""
+        from repro.ran.harq import first_transmission_bler
+
+        for snr in np.linspace(2, 35, 12):
+            mcs = phy.effective_mcs(phy.MAX_MCS, snr)
+            assert first_transmission_bler(mcs, snr) < 0.5
+
+    def test_explicit_link_adaptation_at_least_as_aggressive(self):
+        """Maximising HARQ-aware throughput never picks a *lower* MCS
+        than it would without retransmissions to fall back on."""
+        one_shot = HarqModel(max_transmissions=1)
+        with_harq = HarqModel(max_transmissions=4)
+        for snr in (5.0, 12.0, 20.0, 30.0):
+            assert with_harq.best_mcs(snr) >= one_shot.best_mcs(snr)
+
+    def test_throughput_optimal_mcs_tracks_cqi_mcs(self):
+        """The HARQ-optimal MCS stays within a few steps of the CQI
+        table's choice across the SNR range."""
+        for snr in np.linspace(4, 32, 8):
+            cqi_mcs = phy.effective_mcs(phy.MAX_MCS, snr)
+            harq_mcs = self.harq.best_mcs(snr)
+            assert abs(harq_mcs - cqi_mcs) <= 6
+
+    def test_retransmission_delay_accounting(self):
+        """Head-of-line delay in seconds from the subframe RTT."""
+        extra_sf = self.harq.mean_hol_delay_subframes(24, 18.0)
+        assert extra_sf >= 0.0
+        seconds = extra_sf * 1e-3
+        assert seconds < 0.1  # bounded by max_transmissions * rtt

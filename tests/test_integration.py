@@ -1,0 +1,164 @@
+"""End-to-end integration tests: the paper's headline behaviours.
+
+These are scaled-down versions of the evaluation scenarios; the full
+parameterisations live in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bandit import DDPGController, DDPGConfig, ExhaustiveOracle
+from repro.core import EdgeBOL, EdgeBOLConfig
+from repro.experiments.comparison import (
+    ComparisonSetting,
+    run_ddpg_comparison,
+    run_edgebol_comparison,
+    violation_series,
+)
+from repro.experiments.dynamic import DynamicSetting, run_dynamic
+from repro.experiments.heterogeneous import run_heterogeneous_cell
+from repro.experiments.runner import run_agent
+from repro.testbed.config import (
+    CostWeights,
+    ServiceConstraints,
+    TestbedConfig,
+)
+from repro.testbed.scenarios import static_scenario
+
+
+class TestConvergenceBehaviour:
+    """Fig. 9 shape: convergence in tens of periods, constraints hold."""
+
+    def test_converges_and_respects_constraints(self):
+        testbed = TestbedConfig(n_levels=9)
+        env = static_scenario(mean_snr_db=35.0, rng=0, config=testbed)
+        agent = EdgeBOL(
+            testbed.control_grid(),
+            ServiceConstraints(0.4, 0.5),
+            CostWeights(1.0, 1.0),
+        )
+        log = run_agent(env, agent, 100, track_safe_set=True)
+        assert np.mean(log.cost[-20:]) < np.mean(log.cost[:5]) * 0.95
+        delay_viol, map_viol = log.violation_rates(burn_in=30)
+        assert delay_viol <= 0.1 and map_viol <= 0.05
+        assert log.safe_set_size[-1] > log.safe_set_size[0]
+
+    def test_higher_delta2_shifts_power_to_server(self):
+        """Fig. 9/10: large delta2 lowers BS power at the server's
+        expense (relative shift)."""
+        def converged_powers(delta2):
+            testbed = TestbedConfig(n_levels=9)
+            env = static_scenario(mean_snr_db=35.0, rng=1, config=testbed)
+            agent = EdgeBOL(
+                testbed.control_grid(),
+                ServiceConstraints(0.5, 0.4),
+                CostWeights(1.0, delta2),
+            )
+            log = run_agent(env, agent, 100)
+            return (
+                log.tail_mean("server_power_w", 20),
+                log.tail_mean("bs_power_w", 20),
+            )
+
+        server_low, bs_low = converged_powers(1.0)
+        server_high, bs_high = converged_powers(64.0)
+        assert bs_high < bs_low
+        assert server_high > server_low * 0.9  # server power not also cut
+
+
+class TestOptimalityGap:
+    def test_near_oracle_static(self):
+        """Fig. 10: EdgeBOL converges near the offline optimum."""
+        testbed = TestbedConfig(n_levels=9)
+        weights = CostWeights(1.0, 1.0)
+        constraints = ServiceConstraints(0.4, 0.5)
+
+        env = static_scenario(mean_snr_db=35.0, rng=2, config=testbed)
+        agent = EdgeBOL(testbed.control_grid(), constraints, weights)
+        log = run_agent(env, agent, 120)
+        cost = log.tail_mean("cost", 30)
+
+        oracle_env = static_scenario(mean_snr_db=35.0, rng=3, config=testbed)
+        oracle = ExhaustiveOracle(oracle_env, weights)
+        best = oracle.best(constraints, snrs_db=[35.0])
+        assert best.feasible
+        assert cost <= best.cost * 1.25  # within 25% on the short run
+
+
+class TestHeterogeneousUsers:
+    def test_gap_small_with_aggregated_context(self):
+        """Fig. 12: aggregated CQI context keeps the gap small."""
+        result = run_heterogeneous_cell(
+            n_users=3, delta2=1.0, n_periods=80, seed=0,
+            testbed=TestbedConfig(n_levels=7),
+        )
+        assert result.oracle_cost > 0
+        assert result.gap < 0.30
+        assert result.delay_violation_rate < 0.15
+
+
+class TestDynamicContexts:
+    def test_safe_set_tracks_context(self):
+        """Fig. 13: the safe set fluctuates with the SNR sweep but the
+        agent keeps selecting feasible controls."""
+        setting = DynamicSetting(n_periods=100)
+        log = run_dynamic(setting, seed=0, testbed=TestbedConfig(n_levels=7))
+        assert len(log) == 100
+        sizes = np.array(log.safe_set_size)
+        assert sizes.max() > 5
+        # SNR range actually covered.
+        assert max(log.snr_db) - min(log.snr_db) > 20
+
+
+class TestConstraintSwitching:
+    def test_edgebol_adapts_faster_than_ddpg(self):
+        """Fig. 14 shape (scaled down): after a constraint switch,
+        EdgeBOL's violation magnitude stays below DDPG's."""
+        setting = ComparisonSetting(
+            n_periods=240, first_switch=80, second_switch=160, n_levels=7,
+            max_observations=300,
+        )
+        edgebol_log = run_edgebol_comparison(setting, seed=0)
+        ddpg_log = run_ddpg_comparison(setting, seed=0)
+
+        edgebol_viol = violation_series(edgebol_log)
+        ddpg_viol = violation_series(ddpg_log)
+        # Compare mean violation magnitude over the run.
+        e_total = (
+            edgebol_viol["delay_violation"].mean()
+            + edgebol_viol["map_violation"].mean()
+        )
+        d_total = (
+            ddpg_viol["delay_violation"].mean()
+            + ddpg_viol["map_violation"].mean()
+        )
+        assert e_total < d_total
+
+    def test_edgebol_recovers_after_switch(self):
+        setting = ComparisonSetting(
+            n_periods=160, first_switch=80, second_switch=150, n_levels=7,
+            max_observations=300,
+        )
+        log = run_edgebol_comparison(setting, seed=1)
+        violations = violation_series(log)
+        # Shortly after the switch at t=80 the agent is feasible again.
+        post = slice(90, 140)
+        assert violations["delay_violation"][post].mean() < 0.05
+        assert violations["map_violation"][post].mean() < 0.05
+
+
+class TestDetectorModeEndToEnd:
+    def test_learning_with_real_map_pipeline(self):
+        """EdgeBOL learns against the full synthetic-detector mAP."""
+        testbed = TestbedConfig(n_levels=5, images_per_measurement=60)
+        env = static_scenario(
+            mean_snr_db=35.0, rng=4, config=testbed, map_mode="detector"
+        )
+        agent = EdgeBOL(
+            testbed.control_grid(),
+            ServiceConstraints(0.4, 0.45),
+            CostWeights(1.0, 1.0),
+        )
+        log = run_agent(env, agent, 30)
+        assert np.all(np.isfinite(log.map_score))
+        assert log.tail_mean("map_score", 10) > 0.4

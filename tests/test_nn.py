@@ -1,0 +1,207 @@
+"""Tests for the numpy NN framework, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Adam, Dense, ReLU, SGD, Sigmoid, Tanh, mse_loss
+
+
+def numerical_gradient(f, param, eps=1e-6):
+    """Central-difference gradient of scalar f w.r.t. an array param."""
+    grad = np.zeros_like(param)
+    it = np.nditer(param, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = param[idx]
+        param[idx] = original + eps
+        plus = f()
+        param[idx] = original - eps
+        minus = f()
+        param[idx] = original
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(3, 5, rng=0)
+        out = layer.forward(np.zeros((7, 3)))
+        assert out.shape == (7, 5)
+
+    def test_forward_values(self):
+        layer = Dense(2, 2, rng=0)
+        layer.weight[:] = np.array([[1.0, 0.0], [0.0, 2.0]])
+        layer.bias[:] = np.array([0.5, -0.5])
+        out = layer.forward(np.array([[1.0, 1.0]]))
+        np.testing.assert_allclose(out, [[1.5, 1.5]])
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        target = rng.normal(size=(5, 3))
+
+        def loss():
+            return mse_loss(layer.forward(x), target)[0]
+
+        loss_value, grad_out = mse_loss(layer.forward(x), target)
+        grad_in = layer.backward(grad_out)
+        num_w = numerical_gradient(loss, layer.weight)
+        num_b = numerical_gradient(loss, layer.bias)
+        np.testing.assert_allclose(layer.grad_weight, num_w, atol=1e-6)
+        np.testing.assert_allclose(layer.grad_bias, num_b, atol=1e-6)
+        # Input gradient via a wrapper function.
+        x_var = x.copy()
+
+        def loss_x():
+            return mse_loss(layer.forward(x_var), target)[0]
+
+        num_x = numerical_gradient(loss_x, x_var)
+        np.testing.assert_allclose(grad_in, num_x, atol=1e-6)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            Dense(2, 2, rng=0).backward(np.zeros((1, 2)))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+
+
+@pytest.mark.parametrize("activation_cls", [ReLU, Tanh, Sigmoid])
+def test_activation_gradient_check(activation_cls):
+    rng = np.random.default_rng(1)
+    layer = activation_cls()
+    x = rng.normal(size=(4, 3)) + 0.1  # avoid ReLU kink at exactly 0
+    target = rng.normal(size=(4, 3))
+    x_var = x.copy()
+
+    def loss():
+        return mse_loss(layer.forward(x_var), target)[0]
+
+    _, grad_out = mse_loss(layer.forward(x_var), target)
+    grad_in = layer.backward(grad_out)
+    num = numerical_gradient(loss, x_var)
+    np.testing.assert_allclose(grad_in, num, atol=1e-5)
+
+
+class TestSigmoidStability:
+    def test_extreme_inputs(self):
+        s = Sigmoid()
+        out = s.forward(np.array([[-1000.0, 1000.0]]))
+        np.testing.assert_allclose(out, [[0.0, 1.0]], atol=1e-12)
+        assert np.all(np.isfinite(out))
+
+
+class TestMLP:
+    def test_end_to_end_gradient_check(self):
+        rng = np.random.default_rng(2)
+        net = MLP([3, 8, 2], hidden_activation="tanh",
+                  output_activation="linear", rng=rng)
+        x = rng.normal(size=(6, 3))
+        target = rng.normal(size=(6, 2))
+
+        def loss():
+            return mse_loss(net.forward(x), target)[0]
+
+        _, grad = mse_loss(net.forward(x), target)
+        net.backward(grad)
+        for param, grad_analytic in zip(net.parameters(), net.gradients()):
+            num = numerical_gradient(loss, param)
+            np.testing.assert_allclose(grad_analytic, num, atol=1e-5)
+
+    def test_sigmoid_output_range(self):
+        net = MLP([2, 4, 3], output_activation="sigmoid", rng=0)
+        out = net(np.random.default_rng(0).normal(size=(10, 2)) * 10)
+        assert np.all(out > 0) and np.all(out < 1)
+
+    def test_1d_input_promoted(self):
+        net = MLP([3, 2], rng=0)
+        assert net(np.zeros(3)).shape == (1, 2)
+
+    def test_copy_weights(self):
+        a = MLP([2, 4, 1], rng=0)
+        b = MLP([2, 4, 1], rng=1)
+        b.copy_weights_from(a, tau=1.0)
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            np.testing.assert_array_equal(pa, pb)
+
+    def test_polyak_average(self):
+        a = MLP([2, 2], rng=0)
+        b = MLP([2, 2], rng=1)
+        before = [p.copy() for p in b.parameters()]
+        b.copy_weights_from(a, tau=0.5)
+        for pa, pb, pb0 in zip(a.parameters(), b.parameters(), before):
+            np.testing.assert_allclose(pb, 0.5 * pa + 0.5 * pb0)
+
+    def test_invalid_architecture(self):
+        with pytest.raises(ValueError):
+            MLP([3])
+        with pytest.raises(ValueError):
+            MLP([3, 2], hidden_activation="bogus")
+
+    def test_learns_xor(self):
+        """Sanity: the framework can fit a non-linear function."""
+        rng = np.random.default_rng(3)
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([[0.0], [1.0], [1.0], [0.0]])
+        net = MLP([2, 16, 1], hidden_activation="tanh",
+                  output_activation="sigmoid", rng=rng)
+        optim = Adam(net.parameters(), learning_rate=0.05)
+        for _ in range(500):
+            pred = net(x)
+            _, grad = mse_loss(pred, y)
+            net.backward(grad)
+            optim.step(net.gradients())
+        final = net(x)
+        assert np.all(np.abs(final - y) < 0.2)
+
+
+class TestOptimisers:
+    def test_sgd_descends_quadratic(self):
+        param = np.array([5.0])
+        opt = SGD([param], learning_rate=0.1)
+        for _ in range(100):
+            opt.step([2 * param])  # grad of x^2
+        assert abs(param[0]) < 1e-3
+
+    def test_sgd_momentum_accelerates(self):
+        def run(momentum):
+            p = np.array([5.0])
+            opt = SGD([p], learning_rate=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.step([2 * p])
+            return abs(p[0])
+        assert run(0.9) < run(0.0)
+
+    def test_adam_descends(self):
+        param = np.array([3.0, -4.0])
+        opt = Adam([param], learning_rate=0.1)
+        for _ in range(300):
+            opt.step([2 * param])
+        assert np.all(np.abs(param) < 1e-2)
+
+    def test_gradient_count_mismatch(self):
+        opt = Adam([np.zeros(2)])
+        with pytest.raises(ValueError):
+            opt.step([np.zeros(2), np.zeros(2)])
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            Adam([np.zeros(1)], learning_rate=0.0)
+
+
+class TestMseLoss:
+    def test_value(self):
+        loss, _ = mse_loss(np.array([[1.0, 2.0]]), np.array([[0.0, 0.0]]))
+        assert loss == pytest.approx(2.5)
+
+    def test_gradient(self):
+        pred = np.array([[1.0, 2.0]])
+        _, grad = mse_loss(pred, np.zeros((1, 2)))
+        np.testing.assert_allclose(grad, [[1.0, 2.0]])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse_loss(np.zeros((2, 1)), np.zeros((1, 2)))

@@ -1,0 +1,286 @@
+"""Tests for the O-RAN orchestration plane."""
+
+import numpy as np
+import pytest
+
+from repro.oran import (
+    A1PolicyRequest,
+    A1PolicyService,
+    E2Node,
+    E2Termination,
+    MessageBus,
+    O1Termination,
+    OranSystem,
+    SMOFramework,
+)
+from repro.oran.a1 import RADIO_POLICY_TYPE_ID, PolicyType, radio_policy_type
+from repro.oran.apps import (
+    DataCollectorRApp,
+    KPIDatabaseXApp,
+    PolicyServiceRApp,
+    PolicyServiceXApp,
+)
+from repro.core import EdgeBOL
+from repro.testbed.config import (
+    ControlPolicy,
+    CostWeights,
+    ServiceConstraints,
+    TestbedConfig,
+)
+from repro.testbed.scenarios import static_scenario
+
+
+class TestMessageBus:
+    def test_publish_subscribe(self):
+        bus = MessageBus()
+        received = []
+        bus.subscribe("topic", received.append)
+        n = bus.publish("topic", "hello")
+        assert n == 1 and received == ["hello"]
+
+    def test_multiple_subscribers_in_order(self):
+        bus = MessageBus()
+        log = []
+        bus.subscribe("t", lambda m: log.append(("a", m)))
+        bus.subscribe("t", lambda m: log.append(("b", m)))
+        bus.publish("t", 1)
+        assert log == [("a", 1), ("b", 1)]
+
+    def test_unsubscribe(self):
+        bus = MessageBus()
+        received = []
+        bus.subscribe("t", received.append)
+        bus.unsubscribe("t", received.append)
+        bus.publish("t", 1)
+        assert received == []
+
+    def test_history_bounded(self):
+        bus = MessageBus(history_limit=3)
+        for i in range(10):
+            bus.publish("t", i)
+        assert bus.history("t") == [7, 8, 9]
+
+    def test_empty_topic_rejected(self):
+        bus = MessageBus()
+        with pytest.raises(ValueError):
+            bus.publish("", 1)
+
+    def test_topics_listing(self):
+        bus = MessageBus()
+        bus.publish("a", 1)
+        bus.subscribe("b", lambda m: None)
+        assert bus.topics() == ["a", "b"]
+
+
+class TestA1PolicyService:
+    def make(self):
+        service = A1PolicyService()
+        service.register_type(radio_policy_type())
+        return service
+
+    def put(self, service, airtime=0.5, max_mcs=20, policy_id="p1"):
+        return service.handle(A1PolicyRequest(
+            operation="PUT",
+            policy_type_id=RADIO_POLICY_TYPE_ID,
+            policy_id=policy_id,
+            body={"airtime": airtime, "max_mcs": max_mcs},
+        ))
+
+    def test_put_creates(self):
+        service = self.make()
+        response = self.put(service)
+        assert response.status == 201
+        assert service.instances(RADIO_POLICY_TYPE_ID) == ["p1"]
+
+    def test_put_replaces(self):
+        service = self.make()
+        self.put(service)
+        response = self.put(service, airtime=0.9)
+        assert response.status == 200
+
+    def test_get(self):
+        service = self.make()
+        self.put(service, airtime=0.7)
+        response = service.handle(A1PolicyRequest(
+            operation="GET", policy_type_id=RADIO_POLICY_TYPE_ID,
+            policy_id="p1",
+        ))
+        assert response.ok and response.body["airtime"] == 0.7
+
+    def test_get_missing_404(self):
+        service = self.make()
+        response = service.handle(A1PolicyRequest(
+            operation="GET", policy_type_id=RADIO_POLICY_TYPE_ID,
+            policy_id="nope",
+        ))
+        assert response.status == 404
+
+    def test_delete(self):
+        service = self.make()
+        self.put(service)
+        response = service.handle(A1PolicyRequest(
+            operation="DELETE", policy_type_id=RADIO_POLICY_TYPE_ID,
+            policy_id="p1",
+        ))
+        assert response.status == 204
+        assert service.instances(RADIO_POLICY_TYPE_ID) == []
+
+    def test_schema_validation(self):
+        service = self.make()
+        response = service.handle(A1PolicyRequest(
+            operation="PUT", policy_type_id=RADIO_POLICY_TYPE_ID,
+            policy_id="p1", body={"airtime": 2.0, "max_mcs": 20},
+        ))
+        assert response.status == 400
+        assert any("airtime" in e for e in response.body["errors"])
+
+    def test_unknown_field_rejected(self):
+        service = self.make()
+        response = service.handle(A1PolicyRequest(
+            operation="PUT", policy_type_id=RADIO_POLICY_TYPE_ID,
+            policy_id="p1",
+            body={"airtime": 0.5, "max_mcs": 20, "bogus": 1},
+        ))
+        assert response.status == 400
+
+    def test_unknown_type_404(self):
+        service = self.make()
+        response = service.handle(A1PolicyRequest(
+            operation="PUT", policy_type_id=99999, policy_id="p1",
+        ))
+        assert response.status == 404
+
+    def test_enforcer_called(self):
+        service = self.make()
+        calls = []
+        service.register_enforcer(lambda t, p, b: calls.append((t, p, b)))
+        self.put(service, airtime=0.4)
+        assert calls[-1][2]["airtime"] == 0.4
+        service.handle(A1PolicyRequest(
+            operation="DELETE", policy_type_id=RADIO_POLICY_TYPE_ID,
+            policy_id="p1",
+        ))
+        assert calls[-1][2] is None
+
+    def test_policy_type_validate(self):
+        ptype = PolicyType(1, "t", {"x": (0.0, 1.0)})
+        assert ptype.validate({"x": 0.5}) == []
+        assert ptype.validate({}) == ["missing field 'x'"]
+        assert "must be numeric" in ptype.validate({"x": "str"})[0]
+
+
+class TestE2:
+    def test_control_sets_mac_policy(self):
+        bus = MessageBus()
+        node = E2Node("enb", bus)
+        termination = E2Termination(bus)
+        termination.send_control(airtime=0.3, max_mcs=12)
+        assert node.radio_policy.airtime == 0.3
+        assert node.radio_policy.max_mcs == 12
+
+    def test_indication_requires_subscription(self):
+        bus = MessageBus()
+        node = E2Node("enb", bus)
+        termination = E2Termination(bus)
+        received = []
+        termination.register_indication_handler(received.append)
+        node.report_kpis({"bs_power_w": 5.0})
+        assert received == []  # no subscription yet
+        termination.subscribe_kpis("xapp", ("bs_power_w",))
+        node.report_kpis({"bs_power_w": 5.0})
+        assert len(received) == 1
+        assert received[0].kpis == {"bs_power_w": 5.0}
+
+    def test_indication_filters_kpis(self):
+        bus = MessageBus()
+        node = E2Node("enb", bus)
+        termination = E2Termination(bus)
+        received = []
+        termination.register_indication_handler(received.append)
+        termination.subscribe_kpis("xapp", ("bs_power_w",))
+        node.report_kpis({"bs_power_w": 5.0, "secret": 1.0})
+        assert "secret" not in received[0].kpis
+
+
+class TestO1AndApps:
+    def test_o1_forwarding(self):
+        bus = MessageBus()
+        o1 = O1Termination(bus)
+        received = []
+        o1.register_handler(received.append)
+        o1.forward("src", {"k": 1.0})
+        assert received[0].kpis == {"k": 1.0}
+
+    def test_kpi_xapp_pipeline(self):
+        bus = MessageBus()
+        node = E2Node("enb", bus)
+        e2 = E2Termination(bus)
+        o1 = O1Termination(bus)
+        xapp = KPIDatabaseXApp(e2, o1)
+        collector = DataCollectorRApp(o1)
+        e2.subscribe_kpis(xapp.name, ("bs_power_w",))
+        node.report_kpis({"bs_power_w": 6.2})
+        assert collector.latest_kpis == {"bs_power_w": 6.2}
+        assert len(xapp.records) == 1
+
+    def test_policy_rapp_xapp_path(self):
+        bus = MessageBus()
+        node = E2Node("enb", bus)
+        e2 = E2Termination(bus)
+        a1 = A1PolicyService()
+        a1.register_type(radio_policy_type())
+        PolicyServiceXApp(a1, e2)
+        service_knobs = []
+        rapp = PolicyServiceRApp(
+            a1, on_service_policy=lambda r, g: service_knobs.append((r, g))
+        )
+        decision = ControlPolicy(0.5, 0.6, 0.7, 0.8)
+        rapp.deploy(decision)
+        assert node.radio_policy.airtime == pytest.approx(0.6)
+        assert node.radio_policy.max_mcs == decision.radio_policy().max_mcs
+        assert service_knobs == [(0.5, 0.7)]
+
+
+class TestOranSystem:
+    def test_full_loop_enforces_decision(self):
+        testbed = TestbedConfig(n_levels=5)
+        env = static_scenario(mean_snr_db=35.0, rng=0, config=testbed)
+        agent = EdgeBOL(
+            testbed.control_grid(),
+            ServiceConstraints(0.4, 0.5),
+            CostWeights(1.0, 1.0),
+        )
+        system = OranSystem(env, agent)
+        records = system.run(5)
+        assert len(records) == 5
+        smo = system.smo
+        assert smo.policy_rapp.deployed_policies == 5
+        assert smo.policy_xapp.enforced == 5
+        assert smo.data_rapp.report_count == 5
+        # KPI path delivered the BS power the agent consumed.
+        last = records[-1]
+        assert last.observation.bs_power_w == pytest.approx(
+            smo.data_rapp.latest_kpis["bs_power_w"]
+        )
+
+    def test_loop_matches_direct_drive_structure(self):
+        """Costs through the O-RAN plane stay in the same range as
+        driving the environment directly."""
+        testbed = TestbedConfig(n_levels=5)
+        env = static_scenario(mean_snr_db=35.0, rng=1, config=testbed)
+        agent = EdgeBOL(
+            testbed.control_grid(),
+            ServiceConstraints(0.4, 0.5),
+            CostWeights(1.0, 1.0),
+        )
+        system = OranSystem(env, agent)
+        records = system.run(10)
+        costs = [r.cost for r in records]
+        assert all(80.0 < c < 200.0 for c in costs)
+
+    def test_smo_framework_wiring(self):
+        smo = SMOFramework()
+        assert smo.near_rt_ric.a1_service.policy_types() == [RADIO_POLICY_TYPE_ID]
+        assert len(smo.near_rt_ric.xapps) == 2
+        assert len(smo.non_rt_ric.rapps) == 2
+        assert smo.e2_node.subscriptions  # KPI subscription registered

@@ -1,0 +1,69 @@
+"""Tests for the O-RAN message types."""
+
+import pytest
+
+from repro.oran.messages import (
+    A1PolicyRequest,
+    A1PolicyResponse,
+    E2ControlRequest,
+    E2Indication,
+    E2Subscription,
+    O1Report,
+    next_message_id,
+)
+
+
+class TestMessageIds:
+    def test_monotonically_increasing(self):
+        first = next_message_id()
+        second = next_message_id()
+        assert second > first
+
+    def test_each_message_gets_unique_id(self):
+        a = E2ControlRequest(airtime=0.5, max_mcs=10)
+        b = E2ControlRequest(airtime=0.5, max_mcs=10)
+        assert a.message_id != b.message_id
+
+
+class TestA1Messages:
+    def test_valid_operations(self):
+        for op in ("PUT", "GET", "DELETE"):
+            A1PolicyRequest(operation=op, policy_type_id=1, policy_id="p")
+
+    def test_invalid_operation(self):
+        with pytest.raises(ValueError):
+            A1PolicyRequest(operation="PATCH", policy_type_id=1, policy_id="p")
+
+    def test_response_ok_range(self):
+        assert A1PolicyResponse(request_id=1, status=200).ok
+        assert A1PolicyResponse(request_id=1, status=204).ok
+        assert not A1PolicyResponse(request_id=1, status=404).ok
+        assert not A1PolicyResponse(request_id=1, status=500).ok
+
+    def test_body_defaults_empty(self):
+        request = A1PolicyRequest(
+            operation="GET", policy_type_id=1, policy_id="p"
+        )
+        assert request.body == {}
+
+
+class TestE2Messages:
+    def test_subscription_requires_kpis(self):
+        with pytest.raises(ValueError):
+            E2Subscription(subscriber="x", kpi_names=())
+
+    def test_subscription_period_positive(self):
+        with pytest.raises(ValueError):
+            E2Subscription(subscriber="x", kpi_names=("a",), report_period_s=0)
+
+    def test_indication_carries_kpis(self):
+        ind = E2Indication(node_id="enb", kpis={"bs_power_w": 5.0}, period=3)
+        assert ind.kpis["bs_power_w"] == 5.0
+        assert ind.period == 3
+
+
+class TestO1Messages:
+    def test_report_fields(self):
+        report = O1Report(source="xapp", kpis={"k": 1.0}, period=1)
+        assert report.source == "xapp"
+        assert report.kpis == {"k": 1.0}

@@ -1,0 +1,105 @@
+"""Tests for repro.ran.channel."""
+
+import numpy as np
+import pytest
+
+from repro.ran.channel import (
+    GaussMarkovChannel,
+    SnrTrace,
+    constant_trace,
+    dynamic_context_trace,
+)
+
+
+class TestGaussMarkov:
+    def test_deterministic_with_seed(self):
+        a = GaussMarkovChannel(30.0, rng=1).sample(20)
+        b = GaussMarkovChannel(30.0, rng=1).sample(20)
+        np.testing.assert_array_equal(a, b)
+
+    def test_stationary_mean(self):
+        ch = GaussMarkovChannel(25.0, std_db=2.0, correlation=0.8, rng=0)
+        samples = ch.sample(5000)
+        assert abs(samples.mean() - 25.0) < 0.5
+
+    def test_stationary_std(self):
+        ch = GaussMarkovChannel(25.0, std_db=2.0, correlation=0.8, rng=0)
+        samples = ch.sample(5000)
+        assert 1.5 < samples.std() < 2.5
+
+    def test_zero_std_is_constant(self):
+        ch = GaussMarkovChannel(20.0, std_db=0.0, rng=0)
+        assert np.all(ch.sample(10) == 20.0)
+
+    def test_clipping(self):
+        ch = GaussMarkovChannel(
+            0.0, std_db=20.0, correlation=0.0, rng=0,
+            snr_floor_db=-5.0, snr_ceil_db=5.0,
+        )
+        samples = ch.sample(200)
+        assert samples.min() >= -5.0 and samples.max() <= 5.0
+
+    def test_reset_and_retune(self):
+        ch = GaussMarkovChannel(20.0, rng=0)
+        ch.step()
+        assert ch.reset() == 20.0
+        ch.retune(30.0)
+        assert ch.mean_snr_db == 30.0
+
+    def test_correlation_bounds(self):
+        with pytest.raises(ValueError):
+            GaussMarkovChannel(20.0, correlation=1.0)
+
+    def test_autocorrelation_positive(self):
+        ch = GaussMarkovChannel(25.0, std_db=2.0, correlation=0.95, rng=3)
+        s = ch.sample(3000)
+        x, y = s[:-1] - s.mean(), s[1:] - s.mean()
+        rho = float(np.mean(x * y) / np.mean((s - s.mean()) ** 2))
+        assert rho > 0.8
+
+
+class TestSnrTrace:
+    def test_replay_and_wrap(self):
+        trace = SnrTrace([1.0, 2.0, 3.0])
+        assert [trace.step() for _ in range(5)] == [1.0, 2.0, 3.0, 1.0, 2.0]
+
+    def test_reset(self):
+        trace = SnrTrace([1.0, 2.0])
+        trace.step()
+        trace.reset()
+        assert trace.step() == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SnrTrace([])
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            SnrTrace([1.0, float("nan")])
+
+    def test_constant_trace(self):
+        trace = constant_trace(17.0)
+        assert trace.step() == 17.0 and trace.step() == 17.0
+
+
+class TestDynamicContextTrace:
+    def test_length_and_range(self):
+        trace = dynamic_context_trace(5.0, 38.0, period=50, length=150, rng=0)
+        values = trace.values_db
+        assert values.size == 150
+        assert values.min() >= 5.0 and values.max() <= 38.0
+
+    def test_covers_most_of_range(self):
+        values = dynamic_context_trace(5.0, 38.0, period=50, length=150, rng=0).values_db
+        assert values.max() - values.min() > 25.0
+
+    def test_no_jitter_is_deterministic(self):
+        a = dynamic_context_trace(5, 38, jitter_db=0.0, rng=0).values_db
+        b = dynamic_context_trace(5, 38, jitter_db=0.0, rng=99).values_db
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            dynamic_context_trace(10.0, 5.0)
+        with pytest.raises(ValueError):
+            dynamic_context_trace(5.0, 38.0, period=1)

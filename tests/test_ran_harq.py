@@ -1,0 +1,113 @@
+"""Tests for the HARQ / BLER link-level model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ran import phy
+from repro.ran.harq import HarqModel, first_transmission_bler
+
+snrs = st.floats(min_value=-10.0, max_value=45.0, allow_nan=False)
+mcss = st.integers(0, phy.MAX_MCS)
+
+
+class TestFirstTransmissionBler:
+    def test_waterfall_shape(self):
+        """BLER decreases monotonically with SNR for a fixed MCS."""
+        values = [first_transmission_bler(10, s) for s in np.linspace(-5, 30, 36)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_higher_mcs_needs_more_snr(self):
+        assert first_transmission_bler(20, 10.0) > first_transmission_bler(5, 10.0)
+
+    def test_extremes(self):
+        assert first_transmission_bler(0, 40.0) < 0.01
+        assert first_transmission_bler(28, -10.0) > 0.99
+
+    def test_invalid_mcs(self):
+        with pytest.raises(ValueError):
+            first_transmission_bler(-1, 10.0)
+
+    @given(mcss, snrs)
+    @settings(max_examples=80, deadline=None)
+    def test_property_is_probability(self, mcs, snr):
+        assert 0.0 <= first_transmission_bler(mcs, snr) <= 1.0
+
+
+class TestHarqModel:
+    def setup_method(self):
+        self.harq = HarqModel()
+
+    def test_expected_transmissions_bounds(self):
+        for snr in (-5.0, 5.0, 15.0, 35.0):
+            expected = self.harq.expected_transmissions(15, snr)
+            assert 1.0 <= expected <= self.harq.max_transmissions
+
+    def test_good_channel_single_transmission(self):
+        assert self.harq.expected_transmissions(5, 35.0) == pytest.approx(1.0, abs=1e-3)
+
+    def test_bad_channel_maxes_out(self):
+        expected = self.harq.expected_transmissions(28, -10.0)
+        assert expected > self.harq.max_transmissions - 0.5
+
+    def test_residual_bler_shrinks_with_retransmissions(self):
+        one_shot = HarqModel(max_transmissions=1)
+        four_shot = HarqModel(max_transmissions=4)
+        snr = 18.0
+        assert four_shot.residual_bler(20, snr) < one_shot.residual_bler(20, snr)
+
+    def test_combining_gain_helps(self):
+        weak = HarqModel(combining_gain_db=0.5)
+        strong = HarqModel(combining_gain_db=4.0)
+        assert strong.residual_bler(20, 15.0) <= weak.residual_bler(20, 15.0)
+
+    def test_goodput_factor_bounds(self):
+        for snr in (-5.0, 10.0, 35.0):
+            factor = self.harq.goodput_factor(15, snr)
+            assert 0.0 <= factor <= 1.0
+
+    def test_goodput_factor_near_one_on_good_channel(self):
+        assert self.harq.goodput_factor(10, 35.0) > 0.99
+
+    def test_hol_delay_zero_on_good_channel(self):
+        assert self.harq.mean_hol_delay_subframes(10, 35.0) == pytest.approx(
+            0.0, abs=0.1
+        )
+
+    def test_hol_delay_grows_on_bad_channel(self):
+        good = self.harq.mean_hol_delay_subframes(20, 30.0)
+        bad = self.harq.mean_hol_delay_subframes(20, 14.0)
+        assert bad > good
+
+    def test_best_mcs_monotone_in_snr(self):
+        choices = [self.harq.best_mcs(snr) for snr in np.linspace(0, 35, 15)]
+        assert all(b >= a for a, b in zip(choices, choices[1:]))
+
+    def test_best_mcs_respects_cap(self):
+        assert self.harq.best_mcs(35.0, max_mcs=10) <= 10
+
+    def test_best_mcs_beats_neighbours(self):
+        """The selected MCS maximises effective throughput."""
+        snr = 20.0
+        best = self.harq.best_mcs(snr)
+        def score(m):
+            return phy.mcs_efficiency(m) * self.harq.goodput_factor(m, snr)
+        for other in (best - 1, best + 1):
+            if 0 <= other <= phy.MAX_MCS:
+                assert score(best) >= score(other)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HarqModel(max_transmissions=0)
+        with pytest.raises(ValueError):
+            HarqModel(rtt_subframes=0)
+
+    @given(mcss, snrs)
+    @settings(max_examples=60, deadline=None)
+    def test_property_residual_at_most_first_bler(self, mcs, snr):
+        harq = HarqModel()
+        assert (
+            harq.residual_bler(mcs, snr)
+            <= first_transmission_bler(mcs, snr) + 1e-12
+        )

@@ -1,0 +1,175 @@
+"""Tests for the MAC scheduler, BS power model and virtualized BS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ran import phy
+from repro.ran.mac import RadioPolicy, RoundRobinScheduler
+from repro.ran.power import BSPowerModel
+from repro.ran.vbs import VirtualizedBS
+
+
+class TestRadioPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadioPolicy(airtime=1.5, max_mcs=10)
+        with pytest.raises(ValueError):
+            RadioPolicy(airtime=0.5, max_mcs=99)
+
+    def test_from_normalized(self):
+        policy = RadioPolicy.from_normalized(0.5, 1.0)
+        assert policy.airtime == 0.5
+        assert policy.max_mcs == phy.MAX_MCS
+
+
+class TestRoundRobinScheduler:
+    def setup_method(self):
+        self.scheduler = RoundRobinScheduler(mac_efficiency=0.2)
+
+    def test_empty_users(self):
+        assert self.scheduler.allocate(RadioPolicy(1.0, 20), []) == []
+
+    def test_equal_shares(self):
+        allocs = self.scheduler.allocate(RadioPolicy(0.9, 20), [30.0, 30.0, 30.0])
+        assert all(a.airtime_share == pytest.approx(0.3) for a in allocs)
+
+    def test_goodput_share_with_pipelining_gain(self):
+        one = self.scheduler.allocate(RadioPolicy(1.0, 20), [30.0])[0]
+        two = self.scheduler.allocate(RadioPolicy(1.0, 20), [30.0, 30.0])[0]
+        gain = self.scheduler.effective_mac_efficiency(2) / (
+            self.scheduler.effective_mac_efficiency(1)
+        )
+        assert two.goodput_bps == pytest.approx(one.goodput_bps * gain / 2)
+
+    def test_effective_efficiency_monotone_and_capped(self):
+        effs = [self.scheduler.effective_mac_efficiency(n) for n in range(1, 12)]
+        assert all(b >= a for a, b in zip(effs, effs[1:]))
+        assert effs[0] == self.scheduler.mac_efficiency
+        assert effs[-1] <= self.scheduler.max_efficiency
+
+    def test_low_snr_user_gets_lower_mcs(self):
+        allocs = self.scheduler.allocate(RadioPolicy(1.0, 28), [35.0, 3.0])
+        assert allocs[0].mcs > allocs[1].mcs
+        assert allocs[0].goodput_bps > allocs[1].goodput_bps
+
+    def test_policy_caps_mcs(self):
+        allocs = self.scheduler.allocate(RadioPolicy(1.0, 4), [35.0])
+        assert allocs[0].mcs == 4
+
+    def test_cell_capacity_uses_full_airtime(self):
+        policy = RadioPolicy(0.5, 20)
+        cap = self.scheduler.cell_capacity_bps(policy, 35.0)
+        alloc = self.scheduler.allocate(policy, [35.0])[0]
+        assert cap == pytest.approx(alloc.goodput_bps)
+
+    @given(st.integers(1, 6), st.floats(0.1, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_property_shares_sum_to_airtime(self, n_users, airtime):
+        allocs = self.scheduler.allocate(
+            RadioPolicy(airtime, 20), [30.0] * n_users
+        )
+        total = sum(a.airtime_share for a in allocs)
+        assert total == pytest.approx(airtime)
+
+
+class TestBSPowerModel:
+    def setup_method(self):
+        self.model = BSPowerModel()
+
+    def test_idle_at_zero_load(self):
+        power = self.model.power_w(10, 0.0, 1.0, 1e7)
+        assert power == pytest.approx(self.model.idle_power_w)
+
+    def test_busy_fraction_capped_by_airtime(self):
+        busy = self.model.busy_fraction(1e9, 0.3, 1e7)
+        assert busy == pytest.approx(0.3)
+
+    def test_busy_fraction_load_proportional(self):
+        low = self.model.busy_fraction(1e6, 1.0, 1e7)
+        high = self.model.busy_fraction(2e6, 1.0, 1e7)
+        assert high == pytest.approx(2 * low)
+
+    def test_power_monotone_in_load(self):
+        p1 = self.model.power_w(10, 1e6, 1.0, 1e7)
+        p2 = self.model.power_w(10, 3e6, 1.0, 1e7)
+        assert p2 > p1
+
+    def test_saturated_power_increases_with_mcs(self):
+        # At saturation the per-subframe MCS premium dominates (Fig. 6).
+        low = self.model.power_w(10, 1e12, 1.0, 1e7)
+        high = self.model.power_w(28, 1e12, 1.0, 1e7)
+        assert high > low
+
+    def test_max_power_bound(self):
+        p = self.model.power_w(phy.MAX_MCS, 1e12, 1.0, 1e7)
+        assert p <= self.model.max_power_w + 1e-9
+
+    def test_grant_utilization_validation(self):
+        with pytest.raises(ValueError):
+            BSPowerModel(grant_utilization=0.0)
+
+
+class TestVirtualizedBS:
+    def setup_method(self):
+        self.vbs = VirtualizedBS(mac_efficiency=0.19)
+
+    def test_grant_summary(self):
+        grant = self.vbs.grant(RadioPolicy(1.0, 28), [35.0, 5.0])
+        assert len(grant.allocations) == 2
+        assert grant.slice_capacity_bps == pytest.approx(
+            sum(a.goodput_bps for a in grant.allocations)
+        )
+        assert 0 <= grant.mean_mcs <= phy.MAX_MCS
+
+    def test_empty_grant(self):
+        grant = self.vbs.grant(RadioPolicy(1.0, 28), [])
+        assert grant.allocations == ()
+        assert grant.slice_capacity_bps == 0.0
+
+    def test_transmission_time(self):
+        grant = self.vbs.grant(RadioPolicy(1.0, 28), [35.0])
+        alloc = grant.allocations[0]
+        t = self.vbs.transmission_time_s(1e6, alloc)
+        assert t == pytest.approx(1e6 / alloc.goodput_bps)
+
+    def test_transmission_time_zero_goodput_is_inf(self):
+        grant = self.vbs.grant(RadioPolicy(0.0, 28), [35.0])
+        t = self.vbs.transmission_time_s(1e6, grant.allocations[0])
+        assert t == float("inf")
+
+    def test_power_idle_without_users(self):
+        grant = self.vbs.grant(RadioPolicy(1.0, 28), [])
+        power = self.vbs.baseband_power_w(RadioPolicy(1.0, 28), grant, 0.0)
+        assert power == pytest.approx(self.vbs.power_model.idle_power_w)
+
+    def test_low_load_power_decreases_with_mcs(self):
+        """The Fig. 5 regime: higher MCS -> shorter busy time -> less power."""
+        offered = 3e6  # well below capacity
+        powers = []
+        for max_mcs in (6, 14, 28):
+            policy = RadioPolicy(1.0, max_mcs)
+            grant = self.vbs.grant(policy, [35.0])
+            powers.append(self.vbs.baseband_power_w(policy, grant, offered))
+        assert powers[0] > powers[1] > powers[2]
+
+    def test_saturated_power_increases_with_mcs(self):
+        """The Fig. 6 regime: saturated slice pays the high-MCS premium."""
+        offered = 1e9
+        powers = []
+        for max_mcs in (14, 21, 28):
+            policy = RadioPolicy(1.0, max_mcs)
+            grant = self.vbs.grant(policy, [35.0])
+            powers.append(self.vbs.baseband_power_w(policy, grant, offered))
+        assert powers[0] < powers[1] < powers[2]
+
+    def test_power_within_reported_range(self):
+        """Net BBU power stays in the 4-8 W ballpark of the paper."""
+        for airtime in (0.1, 0.5, 1.0):
+            for max_mcs in (0, 14, 28):
+                for offered in (0.0, 2e6, 1e8):
+                    policy = RadioPolicy(airtime, max_mcs)
+                    grant = self.vbs.grant(policy, [35.0])
+                    p = self.vbs.baseband_power_w(policy, grant, offered)
+                    assert 4.0 <= p <= 12.0

@@ -1,0 +1,181 @@
+"""Tests for the regret curves and GP calibration diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.bandit.oracle import ExhaustiveOracle
+from repro.core import EdgeBOL
+from repro.core.diagnostics import (
+    calibration_report,
+    expected_coverage,
+    interval_coverage,
+    standardised_errors,
+)
+from repro.core.gp import GaussianProcess
+from repro.core.kernels import Matern
+from repro.experiments.recorder import RunLog
+from repro.experiments.regret import (
+    regret_against_constant_oracle,
+    regret_for_static_run,
+)
+from repro.experiments.runner import run_agent
+from repro.testbed.config import (
+    ControlPolicy,
+    CostWeights,
+    ServiceConstraints,
+    TestbedConfig,
+)
+from repro.testbed.env import TestbedObservation
+from repro.testbed.scenarios import static_scenario
+
+
+def make_log(costs, delays=None, d_max=0.4):
+    log = RunLog()
+    delays = delays if delays is not None else [0.3] * len(costs)
+    for cost, delay in zip(costs, delays):
+        log.append(
+            cost=cost,
+            policy=ControlPolicy.max_resources(),
+            observation=TestbedObservation(
+                delay_s=delay, map_score=0.6, server_power_w=cost,
+                bs_power_w=0.0, gpu_delay_s=0.1, gpu_utilization=0.3,
+                total_rate_hz=3.0, mean_mcs=20.0, offered_load_bps=1e6,
+                per_user_delay_s=(delay,), per_user_rate_hz=(3.0,),
+            ),
+            d_max_s=d_max,
+            rho_min=0.5,
+        )
+    return log
+
+
+class TestRegretCurves:
+    def test_per_period_clipping(self):
+        log = make_log([90.0, 110.0, 100.0])
+        curves = regret_against_constant_oracle(log, oracle_cost=100.0)
+        np.testing.assert_allclose(curves.per_period, [0.0, 10.0, 0.0])
+
+    def test_cumulative_monotone(self):
+        log = make_log([110.0, 105.0, 120.0, 100.0])
+        curves = regret_against_constant_oracle(log, 100.0)
+        assert np.all(np.diff(curves.cumulative) >= 0)
+        assert curves.final_cumulative == pytest.approx(35.0)
+
+    def test_average_definition(self):
+        log = make_log([110.0, 130.0])
+        curves = regret_against_constant_oracle(log, 100.0)
+        np.testing.assert_allclose(curves.average, [10.0, 20.0])
+
+    def test_safety_regret_counts_violations(self):
+        log = make_log([100.0] * 3, delays=[0.3, 0.5, 0.45], d_max=0.4)
+        curves = regret_against_constant_oracle(log, 100.0)
+        assert curves.safety_cumulative[-1] == pytest.approx(0.15, abs=1e-9)
+
+    def test_infinite_delay_penalised(self):
+        log = make_log([100.0], delays=[float("inf")], d_max=0.4)
+        curves = regret_against_constant_oracle(log, 100.0)
+        assert curves.safety_cumulative[-1] == pytest.approx(2.0)
+
+    def test_sublinear_detection(self):
+        improving = make_log([150.0] * 20 + [101.0] * 20)
+        flat = make_log([150.0] * 40)
+        assert regret_against_constant_oracle(improving, 100.0).is_sublinear()
+        assert not regret_against_constant_oracle(flat, 100.0).is_sublinear()
+
+    def test_edgebol_regret_is_sublinear(self):
+        """The learner's regret decays over a static run."""
+        testbed = TestbedConfig(n_levels=7)
+        env = static_scenario(mean_snr_db=35.0, rng=0, config=testbed)
+        agent = EdgeBOL(
+            testbed.control_grid(), ServiceConstraints(0.4, 0.5),
+            CostWeights(1.0, 1.0),
+        )
+        log = run_agent(env, agent, 80)
+        oracle_env = static_scenario(mean_snr_db=35.0, rng=1, config=testbed)
+        oracle = ExhaustiveOracle(oracle_env, CostWeights(1.0, 1.0))
+        curves = regret_for_static_run(
+            log, oracle, ServiceConstraints(0.4, 0.5), snrs_db=[35.0]
+        )
+        assert curves.is_sublinear()
+        # Safe learning: tiny cumulative safety regret.
+        assert curves.safety_cumulative[-1] < 1.0
+
+
+class TestCalibrationDiagnostics:
+    def fitted_gp(self, noise=0.05, n=120, rng_seed=0):
+        rng = np.random.default_rng(rng_seed)
+        x = rng.uniform(0, 1, size=(n, 1))
+        y = np.sin(6 * x[:, 0]) + rng.normal(0, noise, size=n)
+        gp = GaussianProcess(
+            Matern(lengthscales=[0.3], output_scale=1.0),
+            noise_variance=noise**2,
+        )
+        gp.fit(x[: n // 2], y[: n // 2])
+        return gp, x[n // 2:], y[n // 2:]
+
+    def test_calibrated_model_covers(self):
+        gp, x_test, y_test = self.fitted_gp()
+        coverage = interval_coverage(gp, x_test, y_test, z=2.0)
+        assert coverage > 0.85
+
+    def test_overconfident_model_undercovers(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, size=(60, 1))
+        y = np.sin(6 * x[:, 0]) + rng.normal(0, 0.3, size=60)
+        overconfident = GaussianProcess(
+            Matern(lengthscales=[0.3], output_scale=1.0),
+            noise_variance=1e-6,   # claims near-noiseless observations
+        )
+        overconfident.fit(x[:30], y[:30])
+        coverage = interval_coverage(overconfident, x[30:], y[30:], z=2.0)
+        assert coverage < 0.85
+
+    def test_standardised_errors_moments(self):
+        gp, x_test, y_test = self.fitted_gp(n=400)
+        errors = standardised_errors(gp, x_test, y_test)
+        assert abs(errors.mean()) < 0.3
+        assert 0.6 < errors.std() < 1.6
+
+    def test_expected_coverage_values(self):
+        assert expected_coverage(1.96) == pytest.approx(0.95, abs=0.001)
+        assert expected_coverage(1.0) == pytest.approx(0.6827, abs=0.001)
+
+    def test_report_fields(self):
+        gp, x_test, y_test = self.fitted_gp()
+        report = calibration_report(gp, x_test, y_test)
+        assert set(report) == {
+            "n", "coverage", "expected_coverage", "z", "error_mean",
+            "error_std", "mean_interval_width",
+        }
+        assert report["n"] == len(y_test)
+        assert report["mean_interval_width"] > 0
+
+    def test_shape_validation(self):
+        gp, x_test, y_test = self.fitted_gp()
+        with pytest.raises(ValueError):
+            standardised_errors(gp, x_test, y_test[:-1])
+        with pytest.raises(ValueError):
+            interval_coverage(gp, x_test, y_test, z=0.0)
+
+    def test_edgebol_delay_gp_reasonably_calibrated(self):
+        """The deployed delay surrogate's intervals cover held-out
+        observations of the real environment."""
+        testbed = TestbedConfig(n_levels=7)
+        env = static_scenario(mean_snr_db=35.0, rng=5, config=testbed)
+        agent = EdgeBOL(
+            testbed.control_grid(), ServiceConstraints(0.4, 0.5),
+            CostWeights(1.0, 1.0),
+        )
+        log = run_agent(env, agent, 60)
+        # Held-out probes around the visited region.
+        xs, ys = [], []
+        for _ in range(30):
+            context = env.observe_context()
+            policy = agent.select(context)
+            obs = env.step(policy)
+            xs.append(agent._joint_point(context, policy))
+            ys.append(min(obs.delay_s, 1.5))
+        coverage = interval_coverage(
+            agent.gps[1], np.array(xs), np.array(ys), z=2.5
+        )
+        assert coverage > 0.7
+        del log

@@ -1,0 +1,182 @@
+"""Tests for the detection substrate: IoU, AP, mAP and the synthetic
+detector calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.detection import (
+    Detection,
+    GroundTruthObject,
+    SyntheticDetector,
+    average_precision,
+    evaluate_map,
+    iou,
+)
+from repro.service.images import SyntheticCocoDataset
+from repro.service.profiles import expected_map
+
+boxes = st.tuples(
+    st.floats(0, 500), st.floats(0, 400),
+    st.floats(1, 200), st.floats(1, 200),
+)
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        assert iou((0, 0, 10, 10), (0, 0, 10, 10)) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        assert iou((0, 0, 10, 10), (20, 20, 5, 5)) == 0.0
+
+    def test_half_overlap(self):
+        # Two 10x10 boxes overlapping in a 5x10 strip: IoU = 50/150.
+        assert iou((0, 0, 10, 10), (5, 0, 10, 10)) == pytest.approx(1 / 3)
+
+    def test_contained_box(self):
+        assert iou((0, 0, 10, 10), (2, 2, 5, 5)) == pytest.approx(25 / 100)
+
+    def test_touching_edges(self):
+        assert iou((0, 0, 10, 10), (10, 0, 10, 10)) == 0.0
+
+    @given(boxes, boxes)
+    @settings(max_examples=100, deadline=None)
+    def test_property_symmetric_and_bounded(self, a, b):
+        v = iou(a, b)
+        assert 0.0 <= v <= 1.0
+        assert v == pytest.approx(iou(b, a))
+
+    @given(boxes)
+    @settings(max_examples=50, deadline=None)
+    def test_property_self_iou_is_one(self, box):
+        assert iou(box, box) == pytest.approx(1.0)
+
+
+class TestAveragePrecision:
+    def test_perfect_detector(self):
+        ap = average_precision([0.9, 0.8, 0.7], [True, True, True], 3)
+        assert ap == pytest.approx(1.0)
+
+    def test_all_false_positives(self):
+        ap = average_precision([0.9, 0.8], [False, False], 2)
+        assert ap == 0.0
+
+    def test_no_detections(self):
+        assert average_precision([], [], 5) == 0.0
+
+    def test_no_ground_truth(self):
+        assert average_precision([0.9], [True], 0) == 0.0
+
+    def test_missed_objects_cap_recall(self):
+        # One match out of two ground truths: AP = 0.5 (precision 1 up
+        # to recall 0.5, nothing beyond).
+        ap = average_precision([0.9], [True], 2)
+        assert ap == pytest.approx(0.5)
+
+    def test_fp_before_tp_lowers_ap(self):
+        clean = average_precision([0.9, 0.8], [True, True], 2)
+        noisy = average_precision([0.95, 0.9, 0.8], [False, True, True], 2)
+        assert noisy < clean
+
+    def test_order_by_score_matters(self):
+        # Same sets, but high-scoring FP hurts more than low-scoring FP.
+        fp_high = average_precision([0.99, 0.5], [False, True], 1)
+        fp_low = average_precision([0.99, 0.5], [True, False], 1)
+        assert fp_low > fp_high
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            average_precision([0.9], [True, False], 1)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.01, 0.99), st.booleans()),
+            min_size=0, max_size=30,
+        ),
+        st.integers(1, 20),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_ap_bounded(self, dets, n_gt):
+        scores = [d[0] for d in dets]
+        matches = [d[1] for d in dets]
+        # matches cannot exceed ground truths
+        capped = []
+        seen = 0
+        for m in matches:
+            if m and seen < n_gt:
+                capped.append(True)
+                seen += 1
+            else:
+                capped.append(False)
+        ap = average_precision(scores, capped, n_gt)
+        assert 0.0 <= ap <= 1.0
+
+
+class TestEvaluateMap:
+    def _gt(self, class_id=0, bbox=(10, 10, 50, 50)):
+        return GroundTruthObject(class_id=class_id, bbox=bbox)
+
+    def _det(self, class_id=0, bbox=(10, 10, 50, 50), score=0.9):
+        return Detection(class_id=class_id, bbox=bbox, score=score)
+
+    def test_perfect_detection(self):
+        gt = [[self._gt()]]
+        det = [[self._det()]]
+        assert evaluate_map(gt, det) == pytest.approx(1.0)
+
+    def test_wrong_class_no_match(self):
+        gt = [[self._gt(class_id=0)]]
+        det = [[self._det(class_id=1)]]
+        assert evaluate_map(gt, det) == 0.0
+
+    def test_poor_localization_below_threshold(self):
+        gt = [[self._gt(bbox=(0, 0, 10, 10))]]
+        det = [[self._det(bbox=(8, 8, 10, 10))]]
+        assert evaluate_map(gt, det, iou_threshold=0.5) == 0.0
+
+    def test_double_detection_counts_one_tp(self):
+        gt = [[self._gt()]]
+        det = [[self._det(score=0.9), self._det(score=0.8)]]
+        # Second detection is an unmatched duplicate -> FP at lower rank;
+        # AP stays 1.0 only if precision envelope unaffected at recall 1.
+        value = evaluate_map(gt, det)
+        assert value == pytest.approx(1.0)
+
+    def test_mean_over_classes(self):
+        gt = [[self._gt(class_id=0), self._gt(class_id=1, bbox=(100, 100, 40, 40))]]
+        det = [[self._det(class_id=0)]]  # class 1 entirely missed
+        assert evaluate_map(gt, det) == pytest.approx(0.5)
+
+    def test_empty_everything(self):
+        assert evaluate_map([], []) == 0.0
+
+    def test_misaligned_batches(self):
+        with pytest.raises(ValueError):
+            evaluate_map([[]], [])
+
+
+class TestSyntheticDetectorCalibration:
+    @pytest.mark.parametrize("resolution", [0.25, 0.5, 0.75, 1.0])
+    def test_matches_profile(self, resolution):
+        """Empirical mAP of the synthetic detector tracks the closed form."""
+        dataset = SyntheticCocoDataset(rng=0)
+        detector = SyntheticDetector(rng=1)
+        batch = dataset.sample_batch(250)
+        measured = detector.measure_map(batch, resolution)
+        assert measured == pytest.approx(expected_map(resolution), abs=0.09)
+
+    def test_monotone_in_resolution(self):
+        dataset = SyntheticCocoDataset(rng=2)
+        detector = SyntheticDetector(rng=3)
+        batch = dataset.sample_batch(200)
+        maps = [detector.measure_map(batch, r) for r in (0.25, 0.6, 1.0)]
+        assert maps[0] < maps[1] < maps[2]
+
+    def test_detections_are_valid(self):
+        dataset = SyntheticCocoDataset(rng=4)
+        detector = SyntheticDetector(rng=5)
+        image = dataset.sample_image()
+        for det in detector.detect(image, 0.5):
+            assert 0.0 <= det.score <= 1.0
+            assert det.bbox[2] > 0 and det.bbox[3] > 0

@@ -1,0 +1,127 @@
+"""Tests for the synthetic dataset, encoding model and profiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.images import (
+    BASE_HEIGHT,
+    BASE_WIDTH,
+    ImageSpec,
+    SyntheticCocoDataset,
+    encoded_bits,
+)
+from repro.service.profiles import expected_map, map_observation_std
+
+fractions = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestEncodedBits:
+    def test_monotone_in_resolution(self):
+        sizes = [encoded_bits(r) for r in (0.25, 0.5, 0.75, 1.0)]
+        assert all(b > a for a, b in zip(sizes, sizes[1:]))
+
+    def test_full_resolution_magnitude(self):
+        """A full 640x480 frame encodes to roughly 2-3 Mb."""
+        bits = encoded_bits(1.0)
+        assert 1.5e6 < bits < 3.5e6
+
+    def test_overhead_floor(self):
+        assert encoded_bits(0.0) == pytest.approx(20_000.0)
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            encoded_bits(1.2)
+
+    @given(fractions)
+    @settings(max_examples=40, deadline=None)
+    def test_property_positive(self, r):
+        assert encoded_bits(r) > 0
+
+
+class TestSyntheticCocoDataset:
+    def test_deterministic(self):
+        a = SyntheticCocoDataset(rng=0).sample_image()
+        b = SyntheticCocoDataset(rng=0).sample_image()
+        assert len(a.objects) == len(b.objects)
+        assert a.objects[0].bbox == b.objects[0].bbox
+
+    def test_geometry(self):
+        image = SyntheticCocoDataset(rng=1).sample_image()
+        assert image.width == BASE_WIDTH and image.height == BASE_HEIGHT
+        for obj in image.objects:
+            x, y, w, h = obj.bbox
+            assert 0 <= x and x + w <= BASE_WIDTH + 1e-6
+            assert 0 <= y and y + h <= BASE_HEIGHT + 1e-6
+
+    def test_at_least_one_object(self):
+        dataset = SyntheticCocoDataset(rng=2, mean_objects=0.1)
+        for _ in range(20):
+            assert len(dataset.sample_image().objects) >= 1
+
+    def test_mean_object_count(self):
+        dataset = SyntheticCocoDataset(rng=3, mean_objects=7.0)
+        counts = [len(dataset.sample_image().objects) for _ in range(300)]
+        assert 6.0 < np.mean(counts) < 8.0
+
+    def test_size_buckets_present(self):
+        dataset = SyntheticCocoDataset(rng=4)
+        buckets = {
+            obj.size_bucket
+            for img in dataset.sample_batch(50)
+            for obj in img.objects
+        }
+        assert buckets == {"small", "medium", "large"}
+
+    def test_class_ids_in_range(self):
+        dataset = SyntheticCocoDataset(rng=5, n_classes=12)
+        for img in dataset.sample_batch(30):
+            for obj in img.objects:
+                assert 0 <= obj.class_id < 12
+
+    def test_batch_size(self):
+        assert len(SyntheticCocoDataset(rng=6).sample_batch(17)) == 17
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SyntheticCocoDataset(mean_objects=0.0)
+        with pytest.raises(ValueError):
+            SyntheticCocoDataset(n_classes=0)
+
+    def test_image_spec_validation(self):
+        with pytest.raises(ValueError):
+            ImageSpec(width=0, height=10)
+
+
+class TestProfiles:
+    def test_expected_map_full_resolution(self):
+        assert expected_map(1.0) == pytest.approx(0.66, abs=0.01)
+
+    def test_expected_map_quarter_resolution(self):
+        """Fig. 1: ~0.2 mAP at 25% resolution."""
+        assert 0.15 < expected_map(0.25) < 0.3
+
+    def test_monotone(self):
+        values = [expected_map(r) for r in np.linspace(0, 1, 21)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_bounded(self):
+        for r in np.linspace(0, 1, 11):
+            assert 0.0 <= expected_map(r) <= 1.0
+
+    def test_delay_saving_precision_tradeoff(self):
+        """Paper: 72% delay saving costs 10-50% of precision.
+
+        The mAP drop from 100% to 25% resolution should be substantial
+        (more than 40% relative) but not total.
+        """
+        drop = 1.0 - expected_map(0.25) / expected_map(1.0)
+        assert 0.4 < drop < 0.8
+
+    def test_observation_std_shrinks_with_batch(self):
+        assert map_observation_std(600) < map_observation_std(150)
+
+    def test_observation_std_invalid(self):
+        with pytest.raises(ValueError):
+            map_observation_std(0)

@@ -1,0 +1,158 @@
+"""Tests for the end-to-end closed-loop service model."""
+
+import numpy as np
+import pytest
+
+from repro.ran.mac import RadioPolicy
+from repro.service.pipeline import ServiceModel, UserEquipment
+
+
+def calibrated_model(**kwargs) -> ServiceModel:
+    from repro.testbed.config import TestbedConfig
+    model = ServiceModel.from_config(TestbedConfig())
+    for key, value in kwargs.items():
+        setattr(model, key, value)
+    return model
+
+
+def steady(model=None, resolution=1.0, airtime=1.0, max_mcs=28, gpu=1.0,
+           snrs=(35.0,)):
+    model = model if model is not None else calibrated_model()
+    users = [UserEquipment(snr_db=s) for s in snrs]
+    return model.steady_state(
+        resolution=resolution,
+        radio_policy=RadioPolicy(airtime=airtime, max_mcs=max_mcs),
+        gpu_speed=gpu,
+        users=users,
+    )
+
+
+class TestUserEquipment:
+    def test_think_time_grows_with_resolution(self):
+        ue = UserEquipment(snr_db=30.0)
+        assert ue.think_time_s(1.0) > ue.think_time_s(0.25)
+
+    def test_think_time_positive(self):
+        assert UserEquipment(snr_db=30.0).think_time_s(0.0) > 0
+
+
+class TestSingleUserSteadyState:
+    def test_delay_composition(self):
+        """Single user: cycle = tx + gpu + think exactly (no queueing)."""
+        state = steady()
+        ue = UserEquipment(snr_db=35.0)
+        expected = (
+            state.per_user_tx_time_s[0]
+            + state.per_user_gpu_delay_s[0]
+            + ue.think_time_s(1.0)
+        )
+        assert state.per_user_delay_s[0] == pytest.approx(expected)
+
+    def test_rate_is_inverse_cycle(self):
+        state = steady()
+        assert state.per_user_rate_hz[0] == pytest.approx(
+            1.0 / state.per_user_delay_s[0]
+        )
+
+    def test_higher_resolution_raises_delay(self):
+        assert steady(resolution=1.0).max_delay_s > steady(resolution=0.25).max_delay_s
+
+    def test_lower_airtime_raises_delay(self):
+        assert steady(airtime=0.2).max_delay_s > steady(airtime=1.0).max_delay_s
+
+    def test_lower_gpu_speed_raises_delay(self):
+        assert steady(gpu=0.0).max_delay_s > steady(gpu=1.0).max_delay_s
+
+    def test_closed_loop_coupling_airtime_power(self):
+        """Fig. 2: more airtime -> higher frame rate -> more server power."""
+        fast = steady(airtime=1.0)
+        slow = steady(airtime=0.2)
+        assert fast.total_rate_hz > slow.total_rate_hz
+        assert fast.server.server_power_w > slow.server.server_power_w
+
+    def test_closed_loop_coupling_resolution_power(self):
+        """Fig. 4: lower resolution -> more requests -> more server power."""
+        low = steady(resolution=0.25)
+        high = steady(resolution=1.0)
+        assert low.server.server_power_w > high.server.server_power_w
+
+    def test_offered_load_consistency(self):
+        state = steady()
+        from repro.service.images import encoded_bits
+        assert state.offered_load_bps == pytest.approx(
+            state.total_rate_hz * encoded_bits(1.0)
+        )
+
+    def test_load_multiplier_scales_offered(self):
+        base = steady()
+        multiplied = steady(calibrated_model(load_multiplier=10.0))
+        assert multiplied.offered_load_bps == pytest.approx(
+            10.0 * base.offered_load_bps
+        )
+
+    def test_delay_in_measured_range(self):
+        """Best-case delays land in the paper's 0.2-0.5 s ballpark."""
+        assert 0.15 < steady(resolution=0.25).max_delay_s < 0.3
+        assert 0.25 < steady(resolution=1.0).max_delay_s < 0.45
+
+
+class TestDeadLink:
+    def test_zero_airtime_unserved(self):
+        state = steady(airtime=0.0)
+        assert state.max_delay_s == float("inf")
+        assert state.total_rate_hz == 0.0
+        assert state.offered_load_bps == 0.0
+
+    def test_unserved_power_is_idle(self):
+        state = steady(airtime=0.0)
+        server_idle = calibrated_model().server
+        assert state.server.gpu_utilization == 0.0
+        assert state.server.server_power_w == pytest.approx(
+            server_idle.host_idle_power_w + server_idle.gpu.idle_power_w
+        )
+
+
+class TestMultiUser:
+    def test_users_share_radio(self):
+        one = steady(snrs=(35.0,))
+        two = steady(snrs=(35.0, 35.0))
+        # Each of two users gets half the airtime; the MAC pipelining
+        # gain partially offsets the split, so per-user tx time grows
+        # but by less than 2x.
+        assert two.per_user_tx_time_s[0] > one.per_user_tx_time_s[0]
+        assert two.per_user_tx_time_s[0] < 2 * one.per_user_tx_time_s[0]
+
+    def test_symmetric_users_equal_delays(self):
+        state = steady(snrs=(30.0, 30.0, 30.0))
+        assert np.allclose(state.per_user_delay_s, state.per_user_delay_s[0])
+
+    def test_weak_user_dominates_max_delay(self):
+        state = steady(snrs=(35.0, 5.0))
+        assert state.max_delay_s == pytest.approx(state.per_user_delay_s[1])
+        assert state.per_user_delay_s[1] > state.per_user_delay_s[0]
+
+    def test_gpu_queueing_appears_with_users(self):
+        model = calibrated_model()
+        one = steady(model, snrs=(35.0,))
+        many = steady(model, snrs=(35.0,) * 4)
+        assert many.per_user_gpu_delay_s[0] > one.per_user_gpu_delay_s[0]
+
+    def test_schweitzer_path_for_large_populations(self):
+        model = calibrated_model(exact_mva_max_users=2)
+        state = steady(model, snrs=(30.0,) * 5)
+        assert np.all(np.isfinite(state.per_user_delay_s))
+        assert state.total_rate_hz > 0
+
+    def test_exact_and_schweitzer_agree(self):
+        exact_model = calibrated_model(exact_mva_max_users=8)
+        approx_model = calibrated_model(exact_mva_max_users=1)
+        snrs = (35.0, 20.0, 10.0)
+        exact = steady(exact_model, snrs=snrs)
+        approx = steady(approx_model, snrs=snrs)
+        np.testing.assert_allclose(
+            exact.per_user_delay_s, approx.per_user_delay_s, rtol=0.15
+        )
+
+    def test_no_users_rejected(self):
+        with pytest.raises(ValueError):
+            steady(snrs=())

@@ -1,0 +1,88 @@
+"""Tests for energy tariffs and the tariff-tracking experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.tariff import (
+    TariffSetting,
+    band_costs,
+    default_tariff,
+    run_tariff_tracking,
+)
+from repro.testbed.config import CostWeights
+from repro.testbed.tariffs import DayNightTariff, FlatTariff, SolarTariff
+
+
+class TestFlatTariff:
+    def test_constant(self):
+        tariff = FlatTariff(1.0, 4.0)
+        assert tariff.weights_at(0) == tariff.weights_at(1000)
+        assert tariff.weights_at(5).delta2 == 4.0
+
+    def test_changes_only_at_start(self):
+        tariff = FlatTariff()
+        assert tariff.changes_at(0)
+        assert not tariff.changes_at(7)
+
+
+class TestDayNightTariff:
+    def test_band_structure(self):
+        tariff = DayNightTariff(periods_per_day=10, day_fraction=0.6)
+        weights = [tariff.weights_at(t) for t in range(10)]
+        assert all(w == tariff.day_weights for w in weights[:6])
+        assert all(w == tariff.night_weights for w in weights[6:])
+
+    def test_wraps_daily(self):
+        tariff = DayNightTariff(periods_per_day=10)
+        assert tariff.weights_at(3) == tariff.weights_at(13)
+
+    def test_changes_detected(self):
+        tariff = DayNightTariff(periods_per_day=10, day_fraction=0.5)
+        assert tariff.changes_at(5)
+        assert not tariff.changes_at(4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DayNightTariff(periods_per_day=1)
+        with pytest.raises(ValueError):
+            DayNightTariff(day_fraction=1.0)
+
+
+class TestSolarTariff:
+    def test_range_and_cycle(self):
+        tariff = SolarTariff(periods_per_day=40)
+        values = [tariff.weights_at(t).delta2 for t in range(40)]
+        assert min(values) == pytest.approx(tariff.delta2_min)
+        assert max(values) == pytest.approx(tariff.delta2_max)
+        # Midnight expensive, noon cheap.
+        assert values[0] > values[20]
+
+    def test_quantisation(self):
+        tariff = SolarTariff(periods_per_day=100, n_steps=4)
+        values = {tariff.weights_at(t).delta2 for t in range(100)}
+        assert len(values) <= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SolarTariff(delta2_min=5.0, delta2_max=4.0)
+
+
+class TestTariffTracking:
+    def test_run_produces_log(self):
+        setting = TariffSetting(n_periods=40, n_levels=5)
+        log = run_tariff_tracking(decoupled=True, setting=setting, seed=0)
+        assert len(log) == 40
+        assert np.all(np.isfinite(log.cost))
+
+    def test_band_costs_cover_both_bands(self):
+        setting = TariffSetting(n_periods=60, n_levels=5)
+        tariff = default_tariff(setting)
+        log = run_tariff_tracking(
+            decoupled=False, setting=setting, tariff=tariff, seed=0
+        )
+        bands = band_costs(log, tariff, setting)
+        assert len(bands) == 2
+        day = bands[(1.0, 8.0)]
+        night = bands[(1.0, 1.0)]
+        # Day band prices BS watts 8x -> day costs exceed night costs.
+        assert day > night

@@ -1,0 +1,170 @@
+"""Tests for testbed configuration, control space and context vectors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ran.phy import MAX_MCS
+from repro.testbed.config import (
+    ControlPolicy,
+    CostWeights,
+    ServiceConstraints,
+    TestbedConfig,
+    default_control_grid,
+)
+from repro.testbed.context import Context
+
+fractions = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestControlPolicy:
+    def test_roundtrip(self):
+        policy = ControlPolicy(0.5, 0.6, 0.7, 0.8)
+        again = ControlPolicy.from_array(policy.to_array())
+        assert again == policy
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ControlPolicy(1.5, 0.5, 0.5, 0.5)
+
+    def test_from_array_wrong_size(self):
+        with pytest.raises(ValueError):
+            ControlPolicy.from_array([0.1, 0.2])
+
+    def test_radio_policy_mapping(self):
+        policy = ControlPolicy(0.5, 0.3, 0.5, 1.0)
+        radio = policy.radio_policy()
+        assert radio.airtime == 0.3
+        assert radio.max_mcs == MAX_MCS
+
+    def test_max_resources(self):
+        policy = ControlPolicy.max_resources()
+        np.testing.assert_array_equal(policy.to_array(), [1, 1, 1, 1])
+
+    @given(fractions, fractions, fractions, fractions)
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip(self, a, b, c, d):
+        policy = ControlPolicy(a, b, c, d)
+        np.testing.assert_allclose(
+            ControlPolicy.from_array(policy.to_array()).to_array(),
+            policy.to_array(),
+        )
+
+
+class TestCostWeights:
+    def test_cost_formula(self):
+        weights = CostWeights(delta1=2.0, delta2=3.0)
+        assert weights.cost(10.0, 4.0) == pytest.approx(32.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CostWeights(delta1=-1.0)
+
+
+class TestServiceConstraints:
+    def test_satisfied(self):
+        c = ServiceConstraints(d_max_s=0.4, rho_min=0.5)
+        assert c.satisfied(0.3, 0.6)
+        assert not c.satisfied(0.5, 0.6)
+        assert not c.satisfied(0.3, 0.4)
+
+    def test_boundary_inclusive(self):
+        c = ServiceConstraints(d_max_s=0.4, rho_min=0.5)
+        assert c.satisfied(0.4, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConstraints(d_max_s=0.0)
+        with pytest.raises(ValueError):
+            ServiceConstraints(rho_min=1.5)
+
+
+class TestControlGrid:
+    def test_paper_cardinality(self):
+        """11 levels per axis give |X| = 14641 as in the paper."""
+        assert default_control_grid(11).shape == (14641, 4)
+
+    def test_physical_minima(self):
+        grid = default_control_grid(11, min_resolution=0.25, min_airtime=0.1)
+        assert grid[:, 0].min() == pytest.approx(0.25)
+        assert grid[:, 1].min() == pytest.approx(0.1)
+        assert grid[:, 2].min() == 0.0
+        assert grid[:, 3].min() == 0.0
+
+    def test_contains_max_resources(self):
+        grid = default_control_grid(5)
+        assert any(np.allclose(row, [1, 1, 1, 1]) for row in grid)
+
+    def test_config_grid_uses_settings(self):
+        config = TestbedConfig(n_levels=5)
+        assert config.control_grid().shape == (625, 4)
+
+    def test_all_rows_valid_policies(self):
+        for row in default_control_grid(4):
+            ControlPolicy.from_array(row)  # must not raise
+
+
+class TestTestbedConfig:
+    def test_defaults_valid(self):
+        TestbedConfig()
+
+    def test_with_load_multiplier(self):
+        config = TestbedConfig().with_load_multiplier(10.0)
+        assert config.load_multiplier == 10.0
+        assert TestbedConfig().load_multiplier == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mac_efficiency": 0.0},
+            {"n_levels": 1},
+            {"images_per_measurement": 0},
+            {"load_multiplier": 0.0},
+            {"max_users": 0},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ValueError):
+            TestbedConfig(**kwargs)
+
+
+class TestContext:
+    def test_from_snrs(self):
+        context = Context.from_snrs([35.0, 35.0])
+        assert context.n_users == 2
+        assert context.cqi_mean == pytest.approx(15.0)
+        assert context.cqi_var == pytest.approx(0.0)
+
+    def test_heterogeneous_variance(self):
+        context = Context.from_snrs([35.0, 0.0])
+        assert context.cqi_var > 0
+
+    def test_to_array_normalised(self):
+        context = Context.from_snrs([35.0, 10.0, 5.0])
+        arr = context.to_array(max_users=8)
+        assert arr.shape == (3,)
+        assert np.all(arr >= 0) and np.all(arr <= 1.5)
+
+    def test_dimension_matches_array(self):
+        context = Context.from_snrs([20.0])
+        assert context.to_array().size == Context.dimension()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Context.from_snrs([])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Context(n_users=0, cqi_mean=10.0, cqi_var=0.0)
+        with pytest.raises(ValueError):
+            Context(n_users=1, cqi_mean=20.0, cqi_var=0.0)
+
+    @given(st.lists(st.floats(-10, 45, allow_nan=False), min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_property_aggregation_invariant_to_order(self, snrs):
+        a = Context.from_snrs(snrs)
+        b = Context.from_snrs(list(reversed(snrs)))
+        assert a.n_users == b.n_users
+        assert a.cqi_mean == pytest.approx(b.cqi_mean)
+        assert a.cqi_var == pytest.approx(b.cqi_var, abs=1e-9)

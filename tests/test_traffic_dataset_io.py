@@ -1,0 +1,131 @@
+"""Tests for background-traffic generators and dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import EdgeBOL
+from repro.experiments.hyperfit import collect_profiling_data
+from repro.ran.traffic import DiurnalTraffic, OnOffTraffic, PoissonTraffic
+from repro.service.dataset_io import (
+    load_profiling_dataset,
+    save_profiling_dataset,
+)
+from repro.testbed.config import (
+    CostWeights,
+    ServiceConstraints,
+    TestbedConfig,
+)
+from repro.testbed.scenarios import static_scenario
+
+
+class TestPoissonTraffic:
+    def test_mean_matches(self):
+        source = PoissonTraffic(mean_multiplier=10.0, mean_flows=20.0, rng=0)
+        samples = [source.step() for _ in range(3000)]
+        assert np.mean(samples) == pytest.approx(10.0, rel=0.05)
+
+    def test_non_negative(self):
+        source = PoissonTraffic(mean_multiplier=2.0, mean_flows=1.0, rng=0)
+        assert all(source.step() >= 0 for _ in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonTraffic(mean_multiplier=0.0)
+
+
+class TestOnOffTraffic:
+    def test_two_levels_only(self):
+        source = OnOffTraffic(on_multiplier=10.0, off_multiplier=1.0, rng=0)
+        values = {source.step() for _ in range(200)}
+        assert values <= {1.0, 10.0}
+
+    def test_stationary_fraction(self):
+        source = OnOffTraffic(
+            p_on_to_off=0.2, p_off_to_on=0.2, rng=1, on_multiplier=10.0,
+        )
+        samples = [source.step() for _ in range(8000)]
+        on_fraction = np.mean([s == 10.0 for s in samples])
+        assert on_fraction == pytest.approx(
+            source.stationary_on_probability(), abs=0.05
+        )
+
+    def test_bursts_are_correlated(self):
+        source = OnOffTraffic(p_on_to_off=0.05, p_off_to_on=0.05, rng=2)
+        samples = np.array([source.step() for _ in range(4000)])
+        on = (samples == source.on_multiplier).astype(float)
+        autocorr = np.corrcoef(on[:-1], on[1:])[0, 1]
+        assert autocorr > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnOffTraffic(on_multiplier=1.0, off_multiplier=2.0)
+        with pytest.raises(ValueError):
+            OnOffTraffic(p_on_to_off=0.0)
+
+
+class TestDiurnalTraffic:
+    def test_cycle_shape(self):
+        source = DiurnalTraffic(
+            base_multiplier=1.0, peak_multiplier=9.0,
+            periods_per_day=40, noise_rel=0.0, rng=0,
+        )
+        values = [source.step() for _ in range(40)]
+        assert values[0] == pytest.approx(1.0)
+        assert max(values) == pytest.approx(9.0, rel=0.01)
+        assert np.argmax(values) == pytest.approx(20, abs=1)
+
+    def test_noise_keeps_positive(self):
+        source = DiurnalTraffic(noise_rel=0.5, rng=1)
+        assert all(source.step() > 0 for _ in range(300))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalTraffic(base_multiplier=5.0, peak_multiplier=4.0)
+
+
+class TestDatasetIO:
+    def make_dataset(self, n=10):
+        testbed = TestbedConfig(n_levels=5)
+        env = static_scenario(mean_snr_db=35.0, rng=0, config=testbed)
+        agent = EdgeBOL(
+            testbed.control_grid(), ServiceConstraints(0.4, 0.5),
+            CostWeights(1.0, 1.0),
+        )
+        return collect_profiling_data(env, agent, n, rng=0)
+
+    def test_roundtrip(self, tmp_path):
+        dataset = self.make_dataset()
+        path = save_profiling_dataset(dataset, tmp_path / "profiling.csv")
+        loaded = load_profiling_dataset(path)
+        np.testing.assert_allclose(loaded.inputs, dataset.inputs)
+        np.testing.assert_allclose(loaded.costs, dataset.costs)
+        np.testing.assert_allclose(loaded.delays, dataset.delays)
+        np.testing.assert_allclose(loaded.maps, dataset.maps)
+
+    def test_creates_directories(self, tmp_path):
+        dataset = self.make_dataset(3)
+        path = save_profiling_dataset(dataset, tmp_path / "a" / "b" / "d.csv")
+        assert path.exists()
+
+    def test_rejects_bad_header(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("x,y\n1,2\n")
+        with pytest.raises(ValueError):
+            load_profiling_dataset(bad)
+
+    def test_rejects_empty(self, tmp_path):
+        dataset = self.make_dataset(2)
+        path = save_profiling_dataset(dataset, tmp_path / "d.csv")
+        # Truncate to header only.
+        lines = path.read_text().splitlines()
+        path.write_text(lines[0] + "\n")
+        with pytest.raises(ValueError):
+            load_profiling_dataset(path)
+
+    def test_rejects_ragged_rows(self, tmp_path):
+        dataset = self.make_dataset(2)
+        path = save_profiling_dataset(dataset, tmp_path / "d.csv")
+        with path.open("a") as handle:
+            handle.write("1.0,2.0\n")
+        with pytest.raises(ValueError):
+            load_profiling_dataset(path)

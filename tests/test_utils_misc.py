@@ -1,0 +1,131 @@
+"""Tests for repro.utils.validation, grids and ascii rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.ascii import render_chart, render_histogram, render_table
+from repro.utils.grids import cartesian_grid, linear_levels, nearest_grid_index
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
+
+
+class TestValidation:
+    def test_positive_accepts(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_positive_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_positive(bad, "x")
+
+    def test_non_negative_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    def test_non_negative_rejects(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-0.1, "x")
+
+    def test_in_range(self):
+        assert check_in_range(5.0, "x", 0.0, 10.0) == 5.0
+        with pytest.raises(ValueError):
+            check_in_range(11.0, "x", 0.0, 10.0)
+
+    def test_fraction_bounds(self):
+        assert check_fraction(0.0, "x") == 0.0
+        assert check_fraction(1.0, "x") == 1.0
+        with pytest.raises(ValueError):
+            check_fraction(1.01, "x")
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(ValueError, match="airtime"):
+            check_fraction(2.0, "airtime")
+
+
+class TestGrids:
+    def test_linear_levels(self):
+        levels = linear_levels(11, 0.0, 1.0)
+        assert levels.size == 11
+        assert levels[0] == 0.0 and levels[-1] == 1.0
+        assert np.all(np.diff(levels) > 0)
+
+    def test_single_level_is_high(self):
+        np.testing.assert_array_equal(linear_levels(1, 0.2, 0.9), [0.9])
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            linear_levels(0)
+        with pytest.raises(ValueError):
+            linear_levels(3, 1.0, 0.0)
+
+    def test_cartesian_grid_size(self):
+        grid = cartesian_grid(np.arange(3), np.arange(4), np.arange(5))
+        assert grid.shape == (60, 3)
+
+    def test_cartesian_grid_order(self):
+        grid = cartesian_grid(np.array([0, 1]), np.array([10, 20]))
+        np.testing.assert_array_equal(
+            grid, [[0, 10], [0, 20], [1, 10], [1, 20]]
+        )
+
+    def test_cartesian_grid_rejects_empty_axis(self):
+        with pytest.raises(ValueError):
+            cartesian_grid(np.arange(2), np.array([]))
+
+    def test_nearest_index(self):
+        grid = cartesian_grid(np.linspace(0, 1, 5), np.linspace(0, 1, 5))
+        idx = nearest_grid_index(grid, np.array([0.26, 0.77]))
+        np.testing.assert_allclose(grid[idx], [0.25, 0.75])
+
+    def test_nearest_index_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            nearest_grid_index(np.zeros((4, 2)), np.zeros(3))
+
+    @given(st.integers(2, 8), st.integers(2, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_property_grid_contains_all_corners(self, n1, n2):
+        a1, a2 = linear_levels(n1), linear_levels(n2)
+        grid = cartesian_grid(a1, a2)
+        rows = {tuple(r) for r in grid}
+        for corner in [(a1[0], a2[0]), (a1[0], a2[-1]), (a1[-1], a2[0]),
+                       (a1[-1], a2[-1])]:
+            assert corner in rows
+
+
+class TestAsciiRendering:
+    def test_table_contains_values(self):
+        text = render_table(["a", "b"], [[1, 2.5], ["x", 3.0]])
+        assert "2.5" in text and "x" in text
+        assert text.count("\n") == 3  # header, separator, 2 rows
+
+    def test_table_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_chart_renders_series(self):
+        text = render_chart({"s": [1.0, 2.0, 3.0]}, title="t")
+        assert "t" in text and "s" in text
+
+    def test_chart_multiple_series_distinct_markers(self):
+        text = render_chart({"a": [1, 2], "b": [2, 1]})
+        assert "* a" in text and "o b" in text
+
+    def test_chart_empty_raises(self):
+        with pytest.raises(ValueError):
+            render_chart({})
+
+    def test_chart_constant_series(self):
+        text = render_chart({"c": [5.0, 5.0, 5.0]})
+        assert "c" in text
+
+    def test_histogram(self):
+        text = render_histogram([1, 1, 2, 3, 3, 3], bins=3)
+        assert "#" in text
+
+    def test_histogram_empty(self):
+        assert "no finite" in render_histogram([float("nan")])

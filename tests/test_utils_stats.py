@@ -1,0 +1,110 @@
+"""Tests for repro.utils.stats."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.stats import RunningStats, percentile_band
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRunningStats:
+    def test_empty_is_nan(self):
+        s = RunningStats()
+        assert math.isnan(s.mean)
+        assert math.isnan(s.variance)
+        assert math.isnan(s.minimum)
+
+    def test_single_value(self):
+        s = RunningStats()
+        s.push(3.0)
+        assert s.mean == 3.0
+        assert s.variance == 0.0
+        assert s.minimum == s.maximum == 3.0
+
+    def test_matches_numpy(self):
+        values = [1.5, -2.0, 7.3, 0.0, 4.4]
+        s = RunningStats()
+        s.extend(values)
+        assert s.mean == pytest.approx(np.mean(values))
+        assert s.variance == pytest.approx(np.var(values))
+        assert s.std == pytest.approx(np.std(values))
+
+    def test_weighted_update(self):
+        s = RunningStats()
+        s.push(1.0, weight=2.0)
+        s.push(4.0, weight=1.0)
+        assert s.mean == pytest.approx(2.0)
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            RunningStats().push(1.0, weight=0.0)
+
+    def test_merge_matches_combined(self):
+        a_vals, b_vals = [1.0, 2.0, 3.0], [10.0, 20.0]
+        a, b = RunningStats(), RunningStats()
+        a.extend(a_vals)
+        b.extend(b_vals)
+        merged = a.merge(b)
+        combined = a_vals + b_vals
+        assert merged.mean == pytest.approx(np.mean(combined))
+        assert merged.variance == pytest.approx(np.var(combined))
+        assert merged.minimum == min(combined)
+        assert merged.maximum == max(combined)
+
+    def test_merge_with_empty(self):
+        a = RunningStats()
+        a.extend([1.0, 2.0])
+        merged = a.merge(RunningStats())
+        assert merged.mean == pytest.approx(1.5)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_numpy(self, values):
+        s = RunningStats()
+        s.extend(values)
+        assert s.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-6)
+        assert s.variance == pytest.approx(np.var(values), rel=1e-6, abs=1e-5)
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=20),
+        st.lists(finite_floats, min_size=1, max_size=20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_merge_equals_extend(self, xs, ys):
+        a, b, c = RunningStats(), RunningStats(), RunningStats()
+        a.extend(xs)
+        b.extend(ys)
+        c.extend(xs + ys)
+        merged = a.merge(b)
+        assert merged.mean == pytest.approx(c.mean, rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(c.variance, rel=1e-6, abs=1e-5)
+
+
+class TestPercentileBand:
+    def test_shapes(self):
+        runs = np.random.default_rng(0).normal(size=(10, 20))
+        median, low, high = percentile_band(runs)
+        assert median.shape == low.shape == high.shape == (20,)
+        assert np.all(low <= median + 1e-12)
+        assert np.all(median <= high + 1e-12)
+
+    def test_single_run(self):
+        runs = np.array([[1.0, 2.0, 3.0]])
+        median, low, high = percentile_band(runs)
+        np.testing.assert_allclose(median, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(low, high)
+
+    def test_wrong_ndim_raises(self):
+        with pytest.raises(ValueError):
+            percentile_band(np.zeros(5))
+
+    def test_bad_percentiles_raise(self):
+        with pytest.raises(ValueError):
+            percentile_band(np.zeros((2, 3)), low=90, high=10)
