@@ -5,7 +5,6 @@ Reduced sweep (delta2 in {1, 4, 16, 64}, 9-level grid); the paper-scale
 sweep is ``repro.experiments.static.run_static_sweep()``.
 """
 
-import numpy as np
 from bench_utils import run_once, save_rows
 
 from repro.experiments.static import CONSTRAINT_SETTINGS, run_static_cell

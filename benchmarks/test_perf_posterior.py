@@ -1,0 +1,121 @@
+"""Perf benchmark: per-period posterior sweep, engine vs direct predict.
+
+Times one orchestration period's three-head posterior sweep over the
+paper's full 11^4 = 14641-point control grid at N in {100, 500, 1000}
+retained observations:
+
+* **direct** — what Algorithm 1 cost before the engine: one
+  ``GaussianProcess.predict`` per head over the joint grid, i.e. a
+  fresh ``N x M`` cross-kernel plus an ``O(N^2 M)`` triangular solve
+  every period;
+* **engine** — one :class:`SurrogateEngine` sweep, including the
+  incremental cross-kernel/solve extension for the observation added
+  that period.
+
+Emits ``BENCH_posterior.json`` at the repo root (the start of the
+repo's perf trajectory) and asserts the >= 5x speedup target at
+N = 500.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.gp import GaussianProcess
+from repro.core.kernels import Matern
+from repro.core.posterior import SurrogateEngine
+from repro.utils.grids import cartesian_grid, linear_levels
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_posterior.json"
+
+CONTEXT_DIM = 3
+N_LEVELS = 11  # |X| = 14641, the paper's grid
+N_VALUES = (100, 500, 1000)
+#: Timed periods per N (median reported); direct at N=1000 is slow.
+REPS = {100: 5, 500: 3, 1000: 2}
+SPEEDUP_TARGET_AT_500 = 5.0
+
+
+def make_heads(rng, n_obs):
+    lengthscales = np.full(CONTEXT_DIM + 4, 0.8)
+    heads = {
+        "cost": GaussianProcess(
+            Matern(lengthscales, output_scale=60.0**2), noise_variance=4.0
+        ),
+        "delay": GaussianProcess(
+            Matern(lengthscales, output_scale=0.15**2),
+            noise_variance=4e-4, prior_mean=0.8,
+        ),
+        "map": GaussianProcess(
+            Matern(lengthscales, output_scale=0.15**2), noise_variance=4e-4
+        ),
+    }
+    x = rng.random((n_obs, CONTEXT_DIM + 4))
+    for gp in heads.values():
+        gp.fit(x, rng.normal(size=n_obs))
+    return heads
+
+
+def time_sweeps(n_obs, rng):
+    """Median per-period sweep seconds for both implementations."""
+    grid = cartesian_grid(*[linear_levels(N_LEVELS)] * 4)
+    heads = make_heads(rng, n_obs)
+    engine = SurrogateEngine(heads, grid, context_dim=CONTEXT_DIM)
+    context = rng.random(CONTEXT_DIM)
+    joint = engine.joint_grid(context)
+    engine.posterior(context)  # amortised first-contact rebuild, untimed
+
+    engine_times, direct_times = [], []
+    for _ in range(REPS[n_obs]):
+        z = np.concatenate([context, rng.random(4)])
+        for gp in heads.values():
+            gp.add(z, float(rng.normal()))
+
+        started = time.perf_counter()
+        batch = engine.posterior(context)
+        engine_times.append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        direct = {name: gp.predict(joint) for name, gp in heads.items()}
+        direct_times.append(time.perf_counter() - started)
+
+        for name, (mean, var) in direct.items():
+            np.testing.assert_allclose(batch.mean(name), mean,
+                                       atol=1e-8, rtol=0)
+            np.testing.assert_allclose(batch.variance(name), var,
+                                       atol=1e-8, rtol=0)
+
+    return {
+        "n_observations": n_obs,
+        "grid_points": int(grid.shape[0]),
+        "heads": len(heads),
+        "engine_s": float(np.median(engine_times)),
+        "direct_s": float(np.median(direct_times)),
+        "speedup": float(np.median(direct_times) / np.median(engine_times)),
+        "engine_stats": engine.stats.snapshot(),
+    }
+
+
+def test_perf_posterior_sweep():
+    rng = np.random.default_rng(0)
+    rows = [time_sweeps(n, rng) for n in N_VALUES]
+    payload = {
+        "benchmark": "per-period three-head posterior sweep over 11^4 grid",
+        "unit": "seconds (median per period)",
+        "results": rows,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print()
+    print(f"{'N':>6} {'direct s':>12} {'engine s':>12} {'speedup':>9}")
+    for row in rows:
+        print(f"{row['n_observations']:>6} {row['direct_s']:>12.4f} "
+              f"{row['engine_s']:>12.4f} {row['speedup']:>8.1f}x")
+
+    at_500 = next(r for r in rows if r["n_observations"] == 500)
+    assert at_500["speedup"] >= SPEEDUP_TARGET_AT_500, (
+        f"engine speedup at N=500 is {at_500['speedup']:.1f}x, "
+        f"target {SPEEDUP_TARGET_AT_500}x"
+    )

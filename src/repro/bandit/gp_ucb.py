@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.core.gp import GaussianProcess
 from repro.core.kernels import Matern
+from repro.core.posterior import SurrogateEngine
 from repro.testbed.config import ControlPolicy, CostWeights, ServiceConstraints
 from repro.testbed.context import Context
 from repro.testbed.env import TestbedObservation
@@ -58,16 +59,26 @@ class PenalizedGPBandit:
             kernel=Matern(lengthscales=lengthscales, output_scale=output_scale),
             noise_variance=noise_variance,
         )
+        self._engine = SurrogateEngine(
+            {"cost": self._gp}, grid, context_dim=self.context_dim
+        )
+
+    @property
+    def engine(self) -> SurrogateEngine:
+        """The single-head posterior engine (grid hot path)."""
+        return self._engine
 
     def _joint_grid(self, context: Context) -> np.ndarray:
-        c = context.to_array(max_users=self.max_users)
-        tiled = np.tile(c, (self.control_grid.shape[0], 1))
-        return np.hstack([tiled, self.control_grid])
+        return self._engine.joint_grid(
+            context.to_array(max_users=self.max_users)
+        )
 
     def select(self, context: Context) -> ControlPolicy:
         """Global (unconstrained) LCB minimisation."""
-        joint = self._joint_grid(context)
-        mean, std = self._gp.predict_std(joint)
+        batch = self._engine.posterior(
+            context.to_array(max_users=self.max_users)
+        )
+        mean, std = batch.moments("cost")
         index = int(np.argmin(mean - self.beta * std))
         return ControlPolicy.from_array(self.control_grid[index])
 

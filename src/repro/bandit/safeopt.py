@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.edgebol import COST, DELAY, MAP, EdgeBOL, EdgeBOLConfig
+from repro.core.edgebol import EdgeBOL, EdgeBOLConfig, HEAD_NAMES
+from repro.core.posterior import PosteriorBatch
 from repro.testbed.config import ControlPolicy, CostWeights, ServiceConstraints
 from repro.testbed.context import Context
 
@@ -93,17 +94,18 @@ class SafeOptController(EdgeBOL):
             neighbours.append(np.nonzero(close)[0])
         return neighbours
 
-    def _minimizers(self, joint: np.ndarray, safe: np.ndarray) -> np.ndarray:
+    def _minimizers(self, batch: PosteriorBatch, safe: np.ndarray) -> np.ndarray:
         """Safe points that could be the cost minimiser."""
-        mean, std = self._gps[COST].predict_std(joint[safe])
-        lcb = mean - self.config.beta * std
-        ucb = mean + self.config.beta * std
+        mean, std = batch.moments("cost")
+        lcb = mean[safe] - self.config.beta * std[safe]
+        ucb = mean[safe] + self.config.beta * std[safe]
         best_ucb = ucb.min()
-        mask = np.zeros(joint.shape[0], dtype=bool)
+        mask = np.zeros(batch.n_points, dtype=bool)
         mask[safe[lcb <= best_ucb]] = True
         return mask
 
-    def _expanders(self, joint: np.ndarray, safe_mask: np.ndarray) -> np.ndarray:
+    def _expanders(self, batch: PosteriorBatch,
+                   safe_mask: np.ndarray) -> np.ndarray:
         """Safe points that might grow the safe set.
 
         A safe point qualifies if it has at least one unsafe neighbour
@@ -111,13 +113,13 @@ class SafeOptController(EdgeBOL):
         thresholds — i.e. the uncertainty, not the mean, is what keeps
         the neighbourhood unsafe.
         """
-        d_mean, d_std = self._gps[DELAY].predict_std(joint)
-        q_mean, q_std = self._gps[MAP].predict_std(joint)
+        d_mean, d_std = batch.moments("delay")
+        q_mean, q_std = batch.moments("map")
         optimistic = (
             (d_mean - self.config.beta * d_std <= self.constraints.d_max_s)
             & (q_mean + self.config.beta * q_std >= self.constraints.rho_min)
         )
-        mask = np.zeros(joint.shape[0], dtype=bool)
+        mask = np.zeros(batch.n_points, dtype=bool)
         safe_indices = np.nonzero(safe_mask)[0]
         for idx in safe_indices:
             if not optimistic[idx]:
@@ -128,19 +130,18 @@ class SafeOptController(EdgeBOL):
         return mask
 
     def select(self, context: Context) -> ControlPolicy:
-        """SafeOpt acquisition: max uncertainty over minimisers+expanders."""
-        joint = self._joint_grid(context)
-        safe_mask = self._safe_estimator.safe_mask(
-            joint,
-            d_max_s=self.constraints.d_max_s,
-            rho_min=self.constraints.rho_min,
-            always_safe=np.array([self._s0_index]),
-        )
+        """SafeOpt acquisition: max uncertainty over minimisers+expanders.
+
+        A single engine sweep supplies every bound used below (safe
+        set, minimisers, expanders and the width ranking).
+        """
+        batch = self._engine.posterior(self._context_array(context))
+        safe_mask = self._safe_mask_from_batch(batch)
         self._last_safe_size = int(np.count_nonzero(safe_mask))
         safe_indices = np.nonzero(safe_mask)[0]
 
-        candidates = self._minimizers(joint, safe_indices) | self._expanders(
-            joint, safe_mask
+        candidates = self._minimizers(batch, safe_indices) | self._expanders(
+            batch, safe_mask
         )
         candidates &= safe_mask
         if not np.any(candidates):
@@ -149,8 +150,10 @@ class SafeOptController(EdgeBOL):
         candidate_indices = np.nonzero(candidates)[0]
         # Width of the widest confidence interval across all surrogates.
         total_width = np.zeros(candidate_indices.size)
-        for gp in self._gps:
-            _, std = gp.predict_std(joint[candidate_indices])
-            total_width = np.maximum(total_width, std / np.sqrt(gp.kernel.output_scale))
+        for name, gp in zip(HEAD_NAMES, self._gps):
+            std = batch.std(name)[candidate_indices]
+            total_width = np.maximum(
+                total_width, std / np.sqrt(gp.kernel.output_scale)
+            )
         chosen = int(candidate_indices[int(np.argmax(total_width))])
         return ControlPolicy.from_array(self.control_grid[chosen])

@@ -13,11 +13,16 @@ from repro.core.kernels import Kernel, Matern, RBF
 from repro.core.persistence import load_edgebol, save_edgebol
 from repro.core.gp import GaussianProcess
 from repro.core.likelihood import fit_hyperparameters, log_marginal_likelihood
+from repro.core.posterior import EngineStats, PosteriorBatch, SurrogateEngine
 from repro.core.safeset import SafeSetEstimator
-from repro.core.acquisition import safe_lcb_index
+from repro.core.acquisition import safe_lcb_index, safe_lcb_index_from_posterior
 from repro.core.edgebol import EdgeBOL, EdgeBOLConfig
 
 __all__ = [
+    "EngineStats",
+    "PosteriorBatch",
+    "SurrogateEngine",
+    "safe_lcb_index_from_posterior",
     "Kernel",
     "Matern",
     "RBF",

@@ -18,23 +18,58 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.gp import GaussianProcess
+from repro.core.posterior import PosteriorBatch
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_non_negative
 
 
-def safe_lcb_index(
-    cost_gp: GaussianProcess,
-    joint_grid: np.ndarray,
+def safe_lcb_index_from_posterior(
+    mean: np.ndarray,
+    std: np.ndarray,
     safe_mask: np.ndarray,
     beta: float = 2.5,
 ) -> int:
+    """Eq. 9 applied to precomputed full-grid posterior moments.
+
+    This is the hot-path variant consuming a
+    :class:`~repro.core.posterior.SurrogateEngine` sweep; the moments
+    must cover the *whole* grid (same length as ``safe_mask``).
+    """
+    check_non_negative(beta, "beta")
+    safe_mask = np.asarray(safe_mask, dtype=bool)
+    mean = np.asarray(mean, dtype=float)
+    std = np.asarray(std, dtype=float)
+    if safe_mask.size != mean.size or mean.size != std.size:
+        raise ValueError("safe_mask and posterior moments must have equal length")
+    safe_indices = np.nonzero(safe_mask)[0]
+    if safe_indices.size == 0:
+        raise ValueError("safe set is empty; include S0 in the mask")
+    lcb = mean[safe_indices] - beta * std[safe_indices]
+    return int(safe_indices[int(np.argmin(lcb))])
+
+
+def safe_lcb_index(
+    cost_gp: "GaussianProcess | PosteriorBatch",
+    joint_grid: np.ndarray | None,
+    safe_mask: np.ndarray,
+    beta: float = 2.5,
+    head: str = "cost",
+) -> int:
     """Index of the safe grid point minimising the cost LCB (eq. 9).
+
+    ``cost_gp`` may be the cost surrogate itself (posterior evaluated at
+    the safe subset of ``joint_grid``) or a
+    :class:`~repro.core.posterior.PosteriorBatch` whose ``head`` moments
+    are consumed directly (``joint_grid`` may then be ``None``).
 
     Raises
     ------
     ValueError
         If the safe mask is empty (callers must guarantee S0 is in it).
     """
+    if isinstance(cost_gp, PosteriorBatch):
+        mean, std = cost_gp.moments(head)
+        return safe_lcb_index_from_posterior(mean, std, safe_mask, beta=beta)
     check_non_negative(beta, "beta")
     safe_mask = np.asarray(safe_mask, dtype=bool)
     joint_grid = np.asarray(joint_grid, dtype=float)

@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.gp import GaussianProcess
 from repro.core.kernels import Matern
 from repro.core.edgebol import _default_lengthscales, _map_lengthscales
+from repro.core.posterior import PosteriorBatch, SurrogateEngine
 from repro.testbed.config import ControlPolicy
 from repro.testbed.context import Context
 from repro.testbed.env import TestbedObservation
@@ -109,6 +110,16 @@ class PowerBudgetedEdgeBOL:
             noise_variance=4e-4,
             prior_mean=0.0,
         )
+        self._engine = SurrogateEngine(
+            {
+                "delay": self._delay_gp,
+                "server_power": self._server_gp,
+                "bs_power": self._bs_gp,
+                "map": self._map_gp,
+            },
+            grid,
+            context_dim=self.context_dim,
+        )
         # S0: the minimum-power corner.  With rho_min > 0 the corner
         # keeps full resolution (mAP-safe) and cuts airtime/GPU instead.
         resolution = 1.0 if budgets.rho_min > 0 else float(grid[:, 0].min())
@@ -132,34 +143,56 @@ class PowerBudgetedEdgeBOL:
     def n_observations(self) -> int:
         return self._delay_gp.n_observations
 
+    @property
+    def engine(self) -> SurrogateEngine:
+        """The shared multi-head posterior engine (grid hot path)."""
+        return self._engine
+
     # -- online loop ---------------------------------------------------------
 
-    def _joint_grid(self, context: Context) -> np.ndarray:
-        c = context.to_array(max_users=self.max_users)
-        tiled = np.tile(c, (self.control_grid.shape[0], 1))
-        return np.hstack([tiled, self.control_grid])
+    def _context_array(self, context: Context) -> np.ndarray:
+        return context.to_array(max_users=self.max_users)
 
-    def safe_mask(self, context: Context) -> np.ndarray:
-        joint = self._joint_grid(context)
-        s_mean, s_std = self._server_gp.predict_std(joint)
-        b_mean, b_std = self._bs_gp.predict_std(joint)
+    def _joint_grid(self, context: Context) -> np.ndarray:
+        return self._engine.joint_grid(self._context_array(context))
+
+    def _mask_heads(self) -> tuple[str, ...]:
+        heads = ("server_power", "bs_power")
+        return heads + ("map",) if self.budgets.rho_min > 0 else heads
+
+    def _safe_mask_from_batch(self, batch: PosteriorBatch) -> np.ndarray:
+        s_mean, s_std = batch.moments("server_power")
+        b_mean, b_std = batch.moments("bs_power")
         mask = (s_mean + self.beta * s_std <= self.budgets.server_max_w) & (
             b_mean + self.beta * b_std <= self.budgets.bs_max_w
         )
         if self.budgets.rho_min > 0:
-            q_mean, q_std = self._map_gp.predict_std(joint)
+            q_mean, q_std = batch.moments("map")
             mask &= q_mean - self.beta * q_std >= self.budgets.rho_min
         mask[self._s0_index] = True
         return mask
 
+    def safe_mask(self, context: Context) -> np.ndarray:
+        batch = self._engine.posterior(
+            self._context_array(context), heads=self._mask_heads()
+        )
+        return self._safe_mask_from_batch(batch)
+
     def select(self, context: Context) -> ControlPolicy:
-        """Minimise the delay LCB over the power-safe set."""
-        joint = self._joint_grid(context)
-        mask = self.safe_mask(context)
+        """Minimise the delay LCB over the power-safe set.
+
+        One engine sweep serves both the constraint bounds and the
+        delay acquisition.
+        """
+        batch = self._engine.posterior(
+            self._context_array(context),
+            heads=("delay",) + self._mask_heads(),
+        )
+        mask = self._safe_mask_from_batch(batch)
         self._last_safe_size = int(np.count_nonzero(mask))
         safe_indices = np.nonzero(mask)[0]
-        mean, std = self._delay_gp.predict_std(joint[safe_indices])
-        lcb = mean - self.beta * std
+        d_mean, d_std = batch.moments("delay")
+        lcb = d_mean[safe_indices] - self.beta * d_std[safe_indices]
         index = int(safe_indices[int(np.argmin(lcb))])
         return ControlPolicy.from_array(self.control_grid[index])
 

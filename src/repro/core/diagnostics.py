@@ -12,6 +12,12 @@ observations:
   ~N(0, 1) for a calibrated model.
 * :func:`calibration_report` — both, plus mean interval width, as a
   dict for logging.
+
+Each helper accepts an optional precomputed ``posterior`` —
+``(mean, variance)`` arrays such as one head of a
+:class:`~repro.core.posterior.SurrogateEngine` sweep — so grid-wide
+calibration checks reuse the hot path instead of issuing fresh
+``predict`` calls.
 """
 
 from __future__ import annotations
@@ -23,13 +29,29 @@ import numpy as np
 from repro.core.gp import GaussianProcess
 
 
-def _predictive_std(gp: GaussianProcess, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    mean, var = gp.predict(x)
+def _predictive_std(
+    gp: GaussianProcess,
+    x: np.ndarray,
+    posterior: tuple[np.ndarray, np.ndarray] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    if posterior is None:
+        mean, var = gp.predict(x)
+    else:
+        mean = np.asarray(posterior[0], dtype=float).ravel()
+        var = np.asarray(posterior[1], dtype=float).ravel()
+        if mean.size != x.shape[0] or var.size != x.shape[0]:
+            raise ValueError(
+                f"posterior moments cover {mean.size} points but got "
+                f"{x.shape[0]} inputs"
+            )
     return mean, np.sqrt(var + gp.noise_variance)
 
 
 def standardised_errors(
-    gp: GaussianProcess, x: np.ndarray, y: np.ndarray
+    gp: GaussianProcess,
+    x: np.ndarray,
+    y: np.ndarray,
+    posterior: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> np.ndarray:
     """Per-point z-scores of held-out targets under the predictive law."""
     x = np.asarray(x, dtype=float)
@@ -38,17 +60,21 @@ def standardised_errors(
         x = x[None, :]
     if x.shape[0] != y.size:
         raise ValueError(f"got {x.shape[0]} inputs but {y.size} targets")
-    mean, std = _predictive_std(gp, x)
+    mean, std = _predictive_std(gp, x, posterior=posterior)
     return (y - mean) / np.maximum(std, 1e-12)
 
 
 def interval_coverage(
-    gp: GaussianProcess, x: np.ndarray, y: np.ndarray, z: float = 2.0
+    gp: GaussianProcess,
+    x: np.ndarray,
+    y: np.ndarray,
+    z: float = 2.0,
+    posterior: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> float:
     """Empirical coverage of the +/- z predictive interval."""
     if z <= 0:
         raise ValueError(f"z must be positive, got {z}")
-    errors = standardised_errors(gp, x, y)
+    errors = standardised_errors(gp, x, y, posterior=posterior)
     return float(np.mean(np.abs(errors) <= z))
 
 
@@ -58,14 +84,18 @@ def expected_coverage(z: float) -> float:
 
 
 def calibration_report(
-    gp: GaussianProcess, x: np.ndarray, y: np.ndarray, z: float = 2.0
+    gp: GaussianProcess,
+    x: np.ndarray,
+    y: np.ndarray,
+    z: float = 2.0,
+    posterior: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> dict:
     """Coverage, z-score moments and sharpness on held-out data."""
-    errors = standardised_errors(gp, x, y)
     x_arr = np.asarray(x, dtype=float)
     if x_arr.ndim == 1:
         x_arr = x_arr[None, :]
-    _, std = _predictive_std(gp, x_arr)
+    errors = standardised_errors(gp, x_arr, y, posterior=posterior)
+    _, std = _predictive_std(gp, x_arr, posterior=posterior)
     return {
         "n": int(errors.size),
         "coverage": float(np.mean(np.abs(errors) <= z)),

@@ -21,10 +21,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.acquisition import safe_lcb_index
+from repro.core.acquisition import safe_lcb_index_from_posterior
 from repro.core.gp import GaussianProcess
 from repro.core.kernels import Kernel, Matern
 from repro.core.likelihood import fit_hyperparameters
+from repro.core.posterior import PosteriorBatch, SurrogateEngine
 from repro.core.safeset import SafeSetEstimator
 from repro.testbed.config import (
     ControlPolicy,
@@ -38,6 +39,11 @@ from repro.utils.validation import check_positive
 
 #: GP index conventions matching the paper: i=0 cost, i=1 delay, i=2 mAP.
 COST, DELAY, MAP = 0, 1, 2
+
+#: Engine head names, in the paper's GP index order.
+HEAD_NAMES = ("cost", "delay", "map")
+#: Extra heads of the decoupled-power extension.
+POWER_HEAD_NAMES = ("server_power", "bs_power")
 
 
 def _default_lengthscales(context_dim: int,
@@ -242,6 +248,12 @@ class EdgeBOL:
                     (1.5**2, 0.01),    # BS power: ~4-8 W, 2% meter
                 )
             ]
+        heads = dict(zip(HEAD_NAMES, self._gps))
+        if self._power_gps is not None:
+            heads.update(zip(POWER_HEAD_NAMES, self._power_gps))
+        self._engine = SurrogateEngine(
+            heads, grid, context_dim=self.context_dim
+        )
         self._safe_estimator = SafeSetEstimator(
             delay_gp=self._gps[DELAY],
             map_gp=self._gps[MAP],
@@ -277,64 +289,99 @@ class EdgeBOL:
         """|S_t| computed during the most recent :meth:`select` call."""
         return self._last_safe_size
 
+    @property
+    def engine(self) -> SurrogateEngine:
+        """The shared multi-head posterior engine (grid hot path)."""
+        return self._engine
+
     # -- the online loop --------------------------------------------------
 
+    def _context_array(self, context: Context) -> np.ndarray:
+        return context.to_array(max_users=self.max_users)
+
     def _joint_grid(self, context: Context) -> np.ndarray:
-        c = context.to_array(max_users=self.max_users)
-        tiled = np.tile(c, (self.control_grid.shape[0], 1))
-        return np.hstack([tiled, self.control_grid])
+        return self._engine.joint_grid(self._context_array(context))
 
     def _joint_point(self, context: Context, policy: ControlPolicy) -> np.ndarray:
         return np.concatenate(
-            [context.to_array(max_users=self.max_users), policy.to_array()]
+            [self._context_array(context), policy.to_array()]
         )
 
-    def safe_mask(self, context: Context) -> np.ndarray:
-        """Boolean S_t over the control grid for ``context`` (eq. 8)."""
-        joint = self._joint_grid(context)
+    def _select_heads(self) -> tuple[str, ...]:
+        """Heads one period's sweep needs, evaluated in a single pass."""
+        if self._power_gps is not None:
+            return ("delay", "map") + POWER_HEAD_NAMES
+        return HEAD_NAMES
+
+    def posterior(self, context: Context) -> PosteriorBatch:
+        """All surrogate posteriors over the grid for ``context``."""
+        return self._engine.posterior(self._context_array(context))
+
+    def _safe_mask_from_batch(self, batch: PosteriorBatch) -> np.ndarray:
         return self._safe_estimator.safe_mask(
-            joint,
+            batch,
             d_max_s=self.constraints.d_max_s,
             rho_min=self.constraints.rho_min,
             always_safe=np.array([self._s0_index]),
         )
+
+    def safe_mask(self, context: Context) -> np.ndarray:
+        """Boolean S_t over the control grid for ``context`` (eq. 8)."""
+        batch = self._engine.posterior(
+            self._context_array(context), heads=("delay", "map")
+        )
+        return self._safe_mask_from_batch(batch)
 
     def safe_set_size(self, context: Context) -> int:
         """|S_t| for ``context`` — the quantity plotted in Fig. 13."""
         return int(np.count_nonzero(self.safe_mask(context)))
 
     def select(self, context: Context) -> ControlPolicy:
-        """Pick the control for this period (Algorithm 1, lines 4-7)."""
-        joint = self._joint_grid(context)
-        mask = self._safe_estimator.safe_mask(
-            joint,
-            d_max_s=self.constraints.d_max_s,
-            rho_min=self.constraints.rho_min,
-            always_safe=np.array([self._s0_index]),
+        """Pick the control for this period (Algorithm 1, lines 4-7).
+
+        One :class:`SurrogateEngine` sweep evaluates every head over the
+        context's joint grid; the safe set (eq. 8) and the acquisition
+        (eq. 9) both consume that batch — no further ``predict`` calls.
+        """
+        batch = self._engine.posterior(
+            self._context_array(context), heads=self._select_heads()
         )
+        mask = self._safe_mask_from_batch(batch)
         self._last_safe_size = int(np.count_nonzero(mask))
         if self._power_gps is not None:
-            index = self._decoupled_lcb_index(joint, mask)
+            index = self._decoupled_lcb_index(batch, mask)
         else:
-            index = safe_lcb_index(
-                self._gps[COST], joint, mask, beta=self.config.beta
+            index = safe_lcb_index_from_posterior(
+                batch.mean("cost"), batch.std("cost"), mask,
+                beta=self.config.beta,
             )
         return ControlPolicy.from_array(self.control_grid[index])
 
-    def _decoupled_lcb_index(self, joint: np.ndarray, mask: np.ndarray) -> int:
+    def _decoupled_lcb_index(self, batch: "PosteriorBatch | np.ndarray",
+                             mask: np.ndarray) -> int:
         """Cost LCB assembled from the two power surrogates.
 
         ``u = delta1 p_s + delta2 p_b`` is linear in the (independent)
         GP posteriors, so its posterior is Gaussian with
         ``mu = delta1 mu_s + delta2 mu_b`` and
         ``sigma^2 = delta1^2 sigma_s^2 + delta2^2 sigma_b^2``.
+
+        ``batch`` is an engine sweep carrying the two power heads, or a
+        raw joint grid (the surrogates are then queried at the safe
+        subset directly).
         """
         safe_indices = np.nonzero(mask)[0]
         if safe_indices.size == 0:
             raise ValueError("safe set is empty; include S0 in the mask")
-        points = joint[safe_indices]
-        s_mean, s_std = self._power_gps[0].predict_std(points)
-        b_mean, b_std = self._power_gps[1].predict_std(points)
+        if isinstance(batch, PosteriorBatch):
+            s_mean, s_std = batch.moments("server_power")
+            b_mean, b_std = batch.moments("bs_power")
+            s_mean, s_std = s_mean[safe_indices], s_std[safe_indices]
+            b_mean, b_std = b_mean[safe_indices], b_std[safe_indices]
+        else:
+            points = np.asarray(batch, dtype=float)[safe_indices]
+            s_mean, s_std = self._power_gps[0].predict_std(points)
+            b_mean, b_std = self._power_gps[1].predict_std(points)
         d1, d2 = self.cost_weights.delta1, self.cost_weights.delta2
         mean = d1 * s_mean + d2 * b_mean
         std = np.sqrt((d1 * s_std) ** 2 + (d2 * b_std) ** 2)

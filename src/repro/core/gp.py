@@ -50,8 +50,9 @@ class GaussianProcess:
         eviction_block: int = 100,
         prior_mean: float = 0.0,
     ) -> None:
+        self._factor_version = 0
         self.kernel = kernel
-        self.noise_variance = check_positive(noise_variance, "noise_variance")
+        self.noise_variance = noise_variance
         if not np.isfinite(prior_mean):
             raise ValueError(f"prior_mean must be finite, got {prior_mean}")
         self.prior_mean = float(prior_mean)
@@ -67,6 +68,44 @@ class GaussianProcess:
         self._alpha: np.ndarray | None = None
 
     # -- state ----------------------------------------------------------
+
+    @property
+    def kernel(self) -> Kernel:
+        return self._kernel
+
+    @kernel.setter
+    def kernel(self, kernel: Kernel) -> None:
+        self._kernel = kernel
+        self._factor_version += 1
+
+    @property
+    def noise_variance(self) -> float:
+        return self._noise_variance
+
+    @noise_variance.setter
+    def noise_variance(self, noise_variance: float) -> None:
+        self._noise_variance = check_positive(noise_variance, "noise_variance")
+        self._factor_version += 1
+
+    @property
+    def factor_version(self) -> int:
+        """Counter identifying the current Cholesky factor lineage.
+
+        Rank-1 extensions via :meth:`add` keep the version (the factor of
+        the first N points is a leading principal block of the extended
+        one, so caches keyed on it can grow incrementally); anything that
+        rebuilds or invalidates the factor — :meth:`fit`, eviction, a
+        kernel or noise change — bumps it.
+        """
+        return self._factor_version
+
+    def _posterior_state(self):
+        """``(x, chol, alpha, factor_version)`` without copies.
+
+        Internal hot-path accessor for :class:`~repro.core.posterior.
+        SurrogateEngine`; callers must treat the arrays as read-only.
+        """
+        return self._x, self._chol, self._alpha, self._factor_version
 
     @property
     def n_observations(self) -> int:
@@ -118,6 +157,7 @@ class GaussianProcess:
             raise ValueError("training data must be finite")
         if y.size == 0:
             self._x = self._y = self._chol = self._alpha = None
+            self._factor_version += 1
             return
         self._x = x.copy()
         self._y = y.copy()
@@ -170,6 +210,7 @@ class GaussianProcess:
         gram[np.diag_indices_from(gram)] += self.noise_variance
         self._chol = cholesky(gram, lower=True)
         self._alpha = cho_solve((self._chol, True), self._y - self.prior_mean)
+        self._factor_version += 1
 
     # -- prediction -----------------------------------------------------
 
@@ -191,6 +232,8 @@ class GaussianProcess:
             raise ValueError(
                 f"queries must have {self.kernel.n_dims} dims, got {x_star.shape[1]}"
             )
+        if not np.all(np.isfinite(x_star)):
+            raise ValueError("query points must be finite")
         prior_var = self.kernel.diag(x_star)
         if self._x is None:
             return np.full(x_star.shape[0], self.prior_mean), prior_var

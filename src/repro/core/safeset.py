@@ -17,7 +17,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.gp import GaussianProcess
+from repro.core.posterior import PosteriorBatch
 from repro.utils.validation import check_positive
+
+#: Head names the safe set reads from a :class:`PosteriorBatch`.
+DELAY_HEAD = "delay"
+MAP_HEAD = "map"
 
 
 class SafeSetEstimator:
@@ -69,7 +74,7 @@ class SafeSetEstimator:
 
     def safe_mask(
         self,
-        joint_grid: np.ndarray,
+        joint_grid: "np.ndarray | PosteriorBatch",
         d_max_s: float,
         rho_min: float,
         always_safe: np.ndarray | None = None,
@@ -80,18 +85,45 @@ class SafeSetEstimator:
         ----------
         joint_grid:
             Context-control points, typically the control grid stacked
-            with the current context.
+            with the current context — either as a raw array (the two
+            constraint GPs are queried directly) or as a
+            :class:`~repro.core.posterior.PosteriorBatch` carrying
+            precomputed ``"delay"`` and ``"map"`` head moments from a
+            :class:`~repro.core.posterior.SurrogateEngine` (the hot
+            path: no per-call ``predict``).
         d_max_s, rho_min:
             Constraint thresholds of problem (2).
         always_safe:
             Optional boolean mask (or integer indices) of grid rows
             forced into the safe set — the S0 of Algorithm 1, line 6.
         """
-        joint_grid = np.asarray(joint_grid, dtype=float)
-        if joint_grid.ndim != 2:
-            raise ValueError(f"joint_grid must be 2-D, got shape {joint_grid.shape}")
-        delay_mean, delay_std = self.delay_gp.predict_std(joint_grid)
-        map_mean, map_std = self.map_gp.predict_std(joint_grid)
+        if isinstance(joint_grid, PosteriorBatch):
+            delay_mean, delay_std = joint_grid.moments(DELAY_HEAD)
+            map_mean, map_std = joint_grid.moments(MAP_HEAD)
+        else:
+            joint_grid = np.asarray(joint_grid, dtype=float)
+            if joint_grid.ndim != 2:
+                raise ValueError(
+                    f"joint_grid must be 2-D, got shape {joint_grid.shape}"
+                )
+            delay_mean, delay_std = self.delay_gp.predict_std(joint_grid)
+            map_mean, map_std = self.map_gp.predict_std(joint_grid)
+        return self.mask_from_moments(
+            delay_mean, delay_std, map_mean, map_std,
+            d_max_s=d_max_s, rho_min=rho_min, always_safe=always_safe,
+        )
+
+    def mask_from_moments(
+        self,
+        delay_mean: np.ndarray,
+        delay_std: np.ndarray,
+        map_mean: np.ndarray,
+        map_std: np.ndarray,
+        d_max_s: float,
+        rho_min: float,
+        always_safe: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Eq. 8 applied to precomputed posterior moments."""
         delay_width = self.beta * delay_std + (
             self.noise_beta * self.delay_noise_rel * np.abs(delay_mean)
         )
@@ -110,7 +142,7 @@ class SafeSetEstimator:
                 mask[indices] = True
         return mask
 
-    def safe_set_size(self, joint_grid: np.ndarray, d_max_s: float,
-                      rho_min: float) -> int:
+    def safe_set_size(self, joint_grid: "np.ndarray | PosteriorBatch",
+                      d_max_s: float, rho_min: float) -> int:
         """|S_t| over the grid (plotted in Fig. 13)."""
         return int(np.count_nonzero(self.safe_mask(joint_grid, d_max_s, rho_min)))

@@ -19,7 +19,10 @@ class RunLog:
     """Per-period trajectory of one learning run.
 
     All lists are index-aligned; policies store the four normalised
-    control coordinates.
+    control coordinates.  ``engine_stats`` carries one end-of-run
+    snapshot of the agent's :class:`~repro.core.posterior.EngineStats`
+    counters (kernel evaluations, cache hits, rebuilds, wall time) when
+    the agent exposes a posterior engine.
     """
 
     cost: list[float] = field(default_factory=list)
@@ -35,6 +38,7 @@ class RunLog:
     mcs_fraction: list[float] = field(default_factory=list)
     d_max_s: list[float] = field(default_factory=list)
     rho_min: list[float] = field(default_factory=list)
+    engine_stats: dict | None = None
 
     def append(
         self,
@@ -152,4 +156,7 @@ def render_runlog(log: RunLog, title: str = "run") -> str:
         ["tail mean BS power (W)", log.tail_mean("bs_power_w")],
     ]
     parts.append(render_table(["metric", "value"], summary_rows))
+    if log.engine_stats:
+        stats_rows = [[key, value] for key, value in log.engine_stats.items()]
+        parts.append(render_table(["engine counter", "value"], stats_rows))
     return "\n\n".join(parts)

@@ -76,6 +76,9 @@ def run_agent(
             d_max_s=active.d_max_s,
             rho_min=active.rho_min,
         )
+    engine = getattr(agent, "engine", None)
+    if engine is not None and hasattr(engine, "stats"):
+        log.engine_stats = engine.stats.snapshot()
     return log
 
 

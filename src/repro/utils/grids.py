@@ -8,8 +8,6 @@ can be evaluated with one vectorised kernel call.
 
 from __future__ import annotations
 
-import itertools
-
 import numpy as np
 
 
@@ -28,7 +26,9 @@ def cartesian_grid(*axes: np.ndarray) -> np.ndarray:
     """Cartesian product of 1-D axes as an ``(n_points, n_axes)`` array.
 
     The first axis varies slowest (row-major order), matching
-    ``itertools.product`` semantics.
+    ``itertools.product`` semantics.  Built with ``np.meshgrid``
+    broadcasting rather than a Python-level product loop, so the
+    14641-row paper grid assembles in microseconds.
     """
     if not axes:
         raise ValueError("at least one axis is required")
@@ -36,8 +36,8 @@ def cartesian_grid(*axes: np.ndarray) -> np.ndarray:
     for i, a in enumerate(arrays):
         if a.size == 0:
             raise ValueError(f"axis {i} is empty")
-    mesh = np.array(list(itertools.product(*arrays)), dtype=float)
-    return mesh
+    mesh = np.meshgrid(*arrays, indexing="ij")
+    return np.stack([m.ravel() for m in mesh], axis=1)
 
 
 def nearest_grid_index(grid: np.ndarray, point: np.ndarray) -> int:

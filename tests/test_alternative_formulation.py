@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.alternative import PowerBudgetedEdgeBOL, PowerBudgets
-from repro.experiments.runner import run_agent
 from repro.testbed.config import TestbedConfig
 from repro.testbed.scenarios import static_scenario
 

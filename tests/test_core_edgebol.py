@@ -6,7 +6,6 @@ import pytest
 from repro.core import EdgeBOL, EdgeBOLConfig
 from repro.experiments.runner import run_agent
 from repro.testbed.config import (
-    ControlPolicy,
     CostWeights,
     ServiceConstraints,
     TestbedConfig,

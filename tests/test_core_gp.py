@@ -163,6 +163,21 @@ class TestValidationAndMisc:
         with pytest.raises(ValueError):
             gp.predict(np.zeros((2, 3)))
 
+    def test_predict_rejects_nonfinite_queries(self):
+        gp = make_gp()
+        gp.fit(np.array([[0.0], [1.0]]), np.array([1.0, 2.0]))
+        for bad in (np.nan, np.inf, -np.inf):
+            with pytest.raises(ValueError, match="finite"):
+                gp.predict(np.array([[bad]]))
+            with pytest.raises(ValueError, match="finite"):
+                gp.predict_std(np.array([[0.5], [bad]]))
+
+    def test_prior_predict_rejects_nonfinite_queries(self):
+        # The validation must also guard the no-observations path.
+        gp = make_gp()
+        with pytest.raises(ValueError, match="finite"):
+            gp.predict(np.array([[np.nan]]))
+
     def test_predict_std(self):
         gp = make_gp()
         gp.add(np.array([0.0]), 1.0)

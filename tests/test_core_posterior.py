@@ -1,0 +1,342 @@
+"""Tests for the incremental multi-head posterior engine.
+
+Covers the tentpole invariants: engine posteriors match direct
+``GaussianProcess.predict`` within 1e-8 through any mix of ``add``,
+eviction, ``set_prior_mean``, ``fit`` and hyperparameter changes; the
+GP consistency invariant (incremental state equals a fresh ``fit`` on
+the retained data) parametrised over the direct and the engine path;
+cache/invalidation behaviour; and the batch/stat APIs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gp import GaussianProcess
+from repro.core.kernels import Matern
+from repro.core.posterior import PosteriorBatch, SurrogateEngine
+
+CONTEXT_DIM = 3
+CONTROL_DIM = 4
+TOL = 1e-8
+
+
+def make_grid(rng, n_points=60):
+    return rng.random((n_points, CONTROL_DIM))
+
+
+def make_gp(output_scale=4.0, prior_mean=0.0, **kwargs):
+    kernel = Matern(
+        lengthscales=np.full(CONTEXT_DIM + CONTROL_DIM, 0.7),
+        output_scale=output_scale,
+    )
+    return GaussianProcess(kernel, noise_variance=0.01,
+                           prior_mean=prior_mean, **kwargs)
+
+
+def make_engine(grid, heads=None, **kwargs):
+    if heads is None:
+        heads = {
+            "cost": make_gp(output_scale=4.0),
+            "delay": make_gp(output_scale=0.02, prior_mean=0.8),
+            "map": make_gp(output_scale=0.02),
+        }
+    return SurrogateEngine(heads, grid, context_dim=CONTEXT_DIM, **kwargs), heads
+
+
+def assert_matches_direct(engine, heads, context, tol=TOL):
+    batch = engine.posterior(context)
+    joint = engine.joint_grid(context)
+    for name, gp in heads.items():
+        mean, var = gp.predict(joint)
+        np.testing.assert_allclose(batch.mean(name), mean, atol=tol, rtol=0)
+        np.testing.assert_allclose(batch.variance(name), var, atol=tol, rtol=0)
+        d_mean, d_std = gp.predict_std(joint)
+        np.testing.assert_allclose(batch.moments(name)[1], d_std,
+                                   atol=tol, rtol=0)
+        del d_mean
+
+
+class TestEngineMatchesDirectPredict:
+    def test_empty_heads_return_prior(self):
+        rng = np.random.default_rng(0)
+        engine, heads = make_engine(make_grid(rng))
+        assert_matches_direct(engine, heads, rng.random(CONTEXT_DIM))
+
+    def test_incremental_adds(self):
+        rng = np.random.default_rng(1)
+        grid = make_grid(rng)
+        engine, heads = make_engine(grid)
+        contexts = [rng.random(CONTEXT_DIM) for _ in range(3)]
+        for t in range(40):
+            z = np.concatenate([contexts[t % 3], grid[t % grid.shape[0]]])
+            for gp in heads.values():
+                gp.add(z, float(rng.normal()))
+            assert_matches_direct(engine, heads, contexts[t % 3])
+
+    def test_mixed_mutations(self):
+        """add / evict / set_prior_mean / fit / kernel swap, all exact."""
+        rng = np.random.default_rng(2)
+        grid = make_grid(rng)
+        heads = {
+            "cost": make_gp(max_observations=15, eviction_block=5),
+            "delay": make_gp(output_scale=0.02, prior_mean=0.8),
+        }
+        engine, _ = make_engine(grid, heads=heads)
+        context = rng.random(CONTEXT_DIM)
+        for t in range(50):
+            z = np.concatenate([rng.random(CONTEXT_DIM), grid[t % 60]])
+            for gp in heads.values():
+                gp.add(z, float(rng.normal()))
+            if t == 20:
+                heads["delay"].set_prior_mean(1.5)
+            if t == 30:
+                gp = heads["cost"]
+                gp.kernel = Matern(
+                    lengthscales=np.full(CONTEXT_DIM + CONTROL_DIM, 0.9),
+                    output_scale=5.0,
+                )
+                gp.fit(gp.inputs, gp.targets)
+            if t == 40:
+                heads["delay"].fit(
+                    heads["delay"].inputs[:10], heads["delay"].targets[:10]
+                )
+            assert_matches_direct(engine, heads, context)
+
+    def test_seeded_run_150_periods(self):
+        """The acceptance check: a seeded 150-period run stays within 1e-8."""
+        rng = np.random.default_rng(3)
+        grid = make_grid(rng, n_points=80)
+        engine, heads = make_engine(grid)
+        contexts = [rng.random(CONTEXT_DIM) for _ in range(4)]
+        worst = 0.0
+        for t in range(150):
+            context = contexts[t % 4]
+            batch = engine.posterior(context)
+            joint = engine.joint_grid(context)
+            for name, gp in heads.items():
+                mean, var = gp.predict(joint)
+                worst = max(
+                    worst,
+                    float(np.abs(batch.mean(name) - mean).max()),
+                    float(np.abs(batch.variance(name) - var).max()),
+                )
+            z = np.concatenate([context, grid[t % 80]])
+            for gp in heads.values():
+                gp.add(z, float(rng.normal()))
+        assert worst <= TOL
+
+
+@pytest.mark.parametrize("path", ["direct", "engine"])
+class TestConsistencyInvariants:
+    """After add/evict/set_prior_mean the posterior equals a fresh fit."""
+
+    def _posterior(self, path, gp, grid, context):
+        if path == "direct":
+            joint = np.hstack([
+                np.tile(context, (grid.shape[0], 1)), grid
+            ])
+            return gp.predict(joint)
+        engine = SurrogateEngine({"head": gp}, grid,
+                                 context_dim=CONTEXT_DIM)
+        # Query twice so the second pass exercises the cached state.
+        engine.posterior(context)
+        batch = engine.posterior(context)
+        return batch.mean("head"), batch.variance("head")
+
+    def test_matches_fresh_fit(self, path):
+        rng = np.random.default_rng(4)
+        grid = make_grid(rng)
+        gp = make_gp(max_observations=20, eviction_block=5)
+        context = rng.random(CONTEXT_DIM)
+        for t in range(45):
+            z = np.concatenate([rng.random(CONTEXT_DIM), grid[t % 60]])
+            gp.add(z, float(rng.normal()))
+            if t == 25:
+                gp.set_prior_mean(0.3)
+        assert gp.n_observations <= 25  # eviction really happened
+        fresh = GaussianProcess(gp.kernel, noise_variance=gp.noise_variance,
+                                prior_mean=gp.prior_mean)
+        fresh.fit(gp.inputs, gp.targets)
+        mean, var = self._posterior(path, gp, grid, context)
+        ref_mean, ref_var = self._posterior("direct", fresh, grid, context)
+        np.testing.assert_allclose(mean, ref_mean, atol=TOL, rtol=0)
+        np.testing.assert_allclose(var, ref_var, atol=TOL, rtol=0)
+
+    def test_incremental_add_matches_fresh_fit(self, path):
+        rng = np.random.default_rng(5)
+        grid = make_grid(rng)
+        gp = make_gp()
+        x = rng.random((12, CONTEXT_DIM + CONTROL_DIM))
+        y = rng.normal(size=12)
+        for row, target in zip(x, y):
+            gp.add(row, float(target))
+        fresh = make_gp()
+        fresh.fit(x, y)
+        context = rng.random(CONTEXT_DIM)
+        mean, var = self._posterior(path, gp, grid, context)
+        ref_mean, ref_var = self._posterior("direct", fresh, grid, context)
+        np.testing.assert_allclose(mean, ref_mean, atol=TOL, rtol=0)
+        np.testing.assert_allclose(var, ref_var, atol=TOL, rtol=0)
+
+
+class TestCacheBehaviour:
+    def test_extension_not_rebuild_on_add(self):
+        rng = np.random.default_rng(6)
+        grid = make_grid(rng)
+        engine, heads = make_engine(grid)
+        context = rng.random(CONTEXT_DIM)
+        gp = heads["cost"]
+        gp.add(np.concatenate([context, grid[0]]), 1.0)
+        engine.posterior(context)
+        rebuilds = engine.stats.rebuilds
+        gp.add(np.concatenate([context, grid[1]]), 2.0)
+        engine.posterior(context)
+        assert engine.stats.rebuilds == rebuilds
+        assert engine.stats.extensions >= 1
+
+    def test_pure_cache_hit_costs_no_kernel_evals(self):
+        rng = np.random.default_rng(7)
+        grid = make_grid(rng)
+        engine, heads = make_engine(grid)
+        context = rng.random(CONTEXT_DIM)
+        heads["cost"].add(np.concatenate([context, grid[0]]), 1.0)
+        engine.posterior(context)
+        evals = engine.stats.kernel_evals
+        engine.posterior(context)
+        assert engine.stats.kernel_evals == evals
+        assert engine.stats.cache_hits >= 1
+
+    def test_eviction_triggers_rebuild(self):
+        rng = np.random.default_rng(8)
+        grid = make_grid(rng)
+        gp = make_gp(max_observations=5, eviction_block=2)
+        engine, _ = make_engine(grid, heads={"cost": gp})
+        context = rng.random(CONTEXT_DIM)
+        for t in range(6):
+            gp.add(np.concatenate([context, grid[t]]), float(t))
+            engine.posterior(context)
+        rebuilds = engine.stats.rebuilds
+        for t in range(6, 10):  # push past the budget -> eviction
+            gp.add(np.concatenate([context, grid[t]]), float(t))
+        assert gp.n_observations <= 7
+        assert_matches_direct(engine, {"cost": gp}, context)
+        assert engine.stats.rebuilds > rebuilds
+
+    def test_hyperparameter_swap_invalidates(self):
+        rng = np.random.default_rng(9)
+        grid = make_grid(rng)
+        gp = make_gp()
+        engine, _ = make_engine(grid, heads={"cost": gp})
+        context = rng.random(CONTEXT_DIM)
+        gp.add(np.concatenate([context, grid[0]]), 1.0)
+        engine.posterior(context)
+        gp.kernel = Matern(
+            lengthscales=np.full(CONTEXT_DIM + CONTROL_DIM, 1.3),
+            output_scale=9.0,
+        )
+        gp.fit(gp.inputs, gp.targets)
+        assert_matches_direct(engine, {"cost": gp}, context)
+
+    def test_noise_change_invalidates_while_empty(self):
+        rng = np.random.default_rng(10)
+        grid = make_grid(rng)
+        gp = make_gp(output_scale=4.0)
+        engine, _ = make_engine(grid, heads={"cost": gp})
+        context = rng.random(CONTEXT_DIM)
+        before = engine.posterior(context)
+        np.testing.assert_allclose(before.variance("cost"), 4.0)
+        gp.kernel = Matern(
+            lengthscales=np.full(CONTEXT_DIM + CONTROL_DIM, 0.7),
+            output_scale=2.0,
+        )
+        after = engine.posterior(context)
+        np.testing.assert_allclose(after.variance("cost"), 2.0)
+
+    def test_lru_bound(self):
+        rng = np.random.default_rng(11)
+        grid = make_grid(rng)
+        engine, _ = make_engine(grid, max_cached_contexts=2)
+        for _ in range(5):
+            engine.posterior(rng.random(CONTEXT_DIM))
+        assert engine.n_cached_contexts == 2
+        assert engine.stats.lru_evictions == 3
+
+    def test_reset_cache(self):
+        rng = np.random.default_rng(12)
+        grid = make_grid(rng)
+        engine, _ = make_engine(grid)
+        engine.posterior(rng.random(CONTEXT_DIM))
+        assert engine.n_cached_contexts == 1
+        engine.reset_cache()
+        assert engine.n_cached_contexts == 0
+
+    def test_joint_grid_layout(self):
+        rng = np.random.default_rng(13)
+        grid = make_grid(rng)
+        engine, _ = make_engine(grid)
+        context = rng.random(CONTEXT_DIM)
+        joint = engine.joint_grid(context)
+        np.testing.assert_array_equal(joint[:, :CONTEXT_DIM],
+                                      np.tile(context, (grid.shape[0], 1)))
+        np.testing.assert_array_equal(joint[:, CONTEXT_DIM:], grid)
+        # Cached: same object on the second call.
+        assert engine.joint_grid(context) is joint
+
+
+class TestValidationAndStats:
+    def test_unknown_head_raises(self):
+        rng = np.random.default_rng(14)
+        engine, _ = make_engine(make_grid(rng))
+        with pytest.raises(KeyError):
+            engine.posterior(rng.random(CONTEXT_DIM), heads=("bogus",))
+
+    def test_context_shape_and_finiteness(self):
+        rng = np.random.default_rng(15)
+        engine, _ = make_engine(make_grid(rng))
+        with pytest.raises(ValueError):
+            engine.posterior(rng.random(CONTEXT_DIM + 1))
+        bad = np.array([0.1, np.nan, 0.2])
+        with pytest.raises(ValueError):
+            engine.posterior(bad)
+
+    def test_head_dim_mismatch_raises(self):
+        rng = np.random.default_rng(16)
+        bad_gp = GaussianProcess(
+            Matern(lengthscales=np.ones(2), output_scale=1.0)
+        )
+        with pytest.raises(ValueError):
+            SurrogateEngine({"cost": bad_gp}, make_grid(rng),
+                            context_dim=CONTEXT_DIM)
+
+    def test_constructor_validation(self):
+        rng = np.random.default_rng(17)
+        grid = make_grid(rng)
+        with pytest.raises(ValueError):
+            SurrogateEngine({}, grid, context_dim=CONTEXT_DIM)
+        with pytest.raises(ValueError):
+            make_engine(grid, max_cached_contexts=0)
+
+    def test_stats_snapshot_keys(self):
+        rng = np.random.default_rng(18)
+        engine, _ = make_engine(make_grid(rng))
+        engine.posterior(rng.random(CONTEXT_DIM))
+        snap = engine.stats.snapshot()
+        for key in ("queries", "head_queries", "kernel_evals", "cache_hits",
+                    "extensions", "rebuilds", "lru_evictions", "wall_time_s"):
+            assert key in snap
+        assert snap["queries"] == 1
+        assert snap["head_queries"] == 3
+
+    def test_batch_accessors(self):
+        rng = np.random.default_rng(19)
+        grid = make_grid(rng)
+        engine, _ = make_engine(grid)
+        batch = engine.posterior(rng.random(CONTEXT_DIM))
+        assert isinstance(batch, PosteriorBatch)
+        assert batch.n_points == grid.shape[0]
+        assert set(batch.heads) == {"cost", "delay", "map"}
+        mean, std = batch.moments("cost")
+        np.testing.assert_allclose(std, np.sqrt(batch.variance("cost")))
+        assert mean.shape == (grid.shape[0],)
+        # std is cached after the first derivation.
+        assert batch.std("cost") is batch.std("cost")

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import EdgeBOL, EdgeBOLConfig
+from repro.core import EdgeBOL
 from repro.experiments import (
     ConstraintSchedule,
     RunLog,

@@ -7,7 +7,6 @@ plus channel collapses — and verify the claimed behaviour.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import EdgeBOL
 from repro.ran.channel import SnrTrace

@@ -5,10 +5,9 @@ parameterisations live in ``benchmarks/``.
 """
 
 import numpy as np
-import pytest
 
-from repro.bandit import DDPGController, DDPGConfig, ExhaustiveOracle
-from repro.core import EdgeBOL, EdgeBOLConfig
+from repro.bandit import ExhaustiveOracle
+from repro.core import EdgeBOL
 from repro.experiments.comparison import (
     ComparisonSetting,
     run_ddpg_comparison,

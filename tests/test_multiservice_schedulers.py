@@ -5,7 +5,6 @@ import pytest
 
 from repro.experiments.multiservice import (
     MultiServiceSetting,
-    build_environment,
     run_per_slice_edgebol,
     summary,
 )

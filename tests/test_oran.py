@@ -1,6 +1,5 @@
 """Tests for the O-RAN orchestration plane."""
 
-import numpy as np
 import pytest
 
 from repro.oran import (

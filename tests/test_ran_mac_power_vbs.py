@@ -1,6 +1,5 @@
 """Tests for the MAC scheduler, BS power model and virtualized BS."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,7 +1,6 @@
 """Tests for the detection substrate: IoU, AP, mAP and the synthetic
 detector calibration."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

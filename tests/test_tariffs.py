@@ -9,7 +9,6 @@ from repro.experiments.tariff import (
     default_tariff,
     run_tariff_tracking,
 )
-from repro.testbed.config import CostWeights
 from repro.testbed.tariffs import DayNightTariff, FlatTariff, SolarTariff
 
 
