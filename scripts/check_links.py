@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Check that relative markdown links in the repo resolve to real files.
+
+Scans every tracked ``*.md`` file for inline links and images
+(``[text](target)``), skips external schemes (http/https/mailto) and
+pure in-page anchors, strips ``#fragment`` suffixes, resolves the rest
+against the linking file's directory, and fails if any target is
+missing.  No dependencies beyond the standard library; run from
+anywhere inside the repo:
+
+    python scripts/check_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown link or image: [text](target) / ![alt](target).
+#: Targets containing spaces or parentheses are not used in this repo.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+#: Directories never scanned (generated or vendored content).
+_SKIP_DIRS = {".git", "results", "__pycache__", ".pytest_cache", "node_modules"}
+
+
+def iter_markdown_files(root: Path):
+    """Yield every markdown file under ``root``, skipping junk dirs."""
+    for path in sorted(root.rglob("*.md")):
+        if any(part in _SKIP_DIRS for part in path.relative_to(root).parts):
+            continue
+        yield path
+
+
+def strip_code_blocks(text: str) -> str:
+    """Remove fenced code blocks so example links are not checked."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Return one error string per broken relative link in ``path``."""
+    errors = []
+    for target in _LINK.findall(strip_code_blocks(path.read_text())):
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            errors.append(
+                f"{path.relative_to(root)}: broken link -> {target}"
+            )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    """Scan the repo (or ``argv[0]``) and report broken links."""
+    root = Path(argv[0]).resolve() if argv else Path(__file__).resolve().parents[1]
+    errors = []
+    n_files = 0
+    for path in iter_markdown_files(root):
+        n_files += 1
+        errors.extend(check_file(path, root))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {n_files} markdown files: "
+          f"{'OK' if not errors else f'{len(errors)} broken links'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

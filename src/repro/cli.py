@@ -9,9 +9,13 @@ Usage::
     python -m repro dynamic
     python -m repro comparison --periods 900
     python -m repro tariff
+    python -m repro static --telemetry results/static_trace.jsonl
+    python -m repro telemetry-report results/static_trace.jsonl
 
 Every subcommand prints the series the corresponding paper figure plots
-and writes a CSV (default under ``results/``).
+and writes a CSV (default under ``results/``).  ``--telemetry JSONL``
+records a full trace of any experiment (spans + metrics, see
+``docs/OBSERVABILITY.md``); ``telemetry-report`` renders it.
 """
 
 from __future__ import annotations
@@ -41,6 +45,7 @@ from repro.experiments.tariff import (
     default_tariff,
     run_tariff_tracking,
 )
+from repro.telemetry import runtime as telemetry
 from repro.testbed.config import TestbedConfig
 from repro.utils.ascii import render_chart, render_table
 
@@ -57,6 +62,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--out", type=Path, default=Path("results"),
                         help="output directory for CSV files")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--telemetry", type=Path, default=None, metavar="JSONL",
+        help="record a telemetry trace (spans + metrics) to this JSONL file",
+    )
 
 
 def cmd_profile(args) -> int:
@@ -212,6 +221,21 @@ def cmd_tariff(args) -> int:
     return 0
 
 
+def cmd_telemetry_report(args) -> int:
+    from repro.telemetry import report
+
+    if args.selftest:
+        print(report.selftest_report())
+        print("\ntelemetry selftest ok")
+        return 0
+    if args.path is None:
+        print("telemetry-report: provide a JSONL path or --selftest",
+              file=sys.stderr)
+        return 2
+    print(report.render_file(args.path))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -265,12 +289,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.set_defaults(fn=cmd_tariff)
 
+    p = sub.add_parser(
+        "telemetry-report",
+        help="render a recorded telemetry JSONL trace (span tree + metrics)",
+    )
+    p.add_argument("path", nargs="?", type=Path, default=None,
+                   help="trace file written via --telemetry")
+    p.add_argument("--selftest", action="store_true",
+                   help="generate and render a synthetic trace (CI smoke test)")
+    p.set_defaults(fn=cmd_telemetry_report)
+
     return parser
 
 
 def main(argv=None) -> int:
     """Entry point (also exposed as ``python -m repro``)."""
     args = build_parser().parse_args(argv)
+    trace_path = getattr(args, "telemetry", None)
+    if trace_path is not None:
+        with telemetry.record(trace_path):
+            status = args.fn(args)
+        print(f"wrote telemetry trace {trace_path}")
+        return status
     return args.fn(args)
 
 

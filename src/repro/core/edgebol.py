@@ -27,6 +27,7 @@ from repro.core.kernels import Kernel, Matern
 from repro.core.likelihood import fit_hyperparameters
 from repro.core.posterior import PosteriorBatch, SurrogateEngine
 from repro.core.safeset import SafeSetEstimator
+from repro.telemetry import runtime as telemetry
 from repro.testbed.config import (
     ControlPolicy,
     CostWeights,
@@ -343,19 +344,23 @@ class EdgeBOL:
         context's joint grid; the safe set (eq. 8) and the acquisition
         (eq. 9) both consume that batch — no further ``predict`` calls.
         """
-        batch = self._engine.posterior(
-            self._context_array(context), heads=self._select_heads()
-        )
-        mask = self._safe_mask_from_batch(batch)
-        self._last_safe_size = int(np.count_nonzero(mask))
-        if self._power_gps is not None:
-            index = self._decoupled_lcb_index(batch, mask)
-        else:
-            index = safe_lcb_index_from_posterior(
-                batch.mean("cost"), batch.std("cost"), mask,
-                beta=self.config.beta,
+        with telemetry.span("edgebol.select") as sp:
+            batch = self._engine.posterior(
+                self._context_array(context), heads=self._select_heads()
             )
-        return ControlPolicy.from_array(self.control_grid[index])
+            mask = self._safe_mask_from_batch(batch)
+            self._last_safe_size = int(np.count_nonzero(mask))
+            if self._power_gps is not None:
+                index = self._decoupled_lcb_index(batch, mask)
+            else:
+                index = safe_lcb_index_from_posterior(
+                    batch.mean("cost"), batch.std("cost"), mask,
+                    beta=self.config.beta,
+                )
+            if sp:
+                sp.set("safe_set_size", self._last_safe_size)
+                sp.set("n_observations", self.n_observations)
+            return ControlPolicy.from_array(self.control_grid[index])
 
     def _decoupled_lcb_index(self, batch: "PosteriorBatch | np.ndarray",
                              mask: np.ndarray) -> int:
@@ -424,19 +429,22 @@ class EdgeBOL:
         observation: TestbedObservation,
     ) -> float:
         """Compute the cost (eq. 1) from raw KPIs and update; returns it."""
-        cost = self.cost_weights.cost(
-            observation.server_power_w, observation.bs_power_w
-        )
-        self.update(
-            context,
-            policy,
-            cost=cost,
-            delay_s=observation.delay_s,
-            map_score=observation.map_score,
-            server_power_w=observation.server_power_w,
-            bs_power_w=observation.bs_power_w,
-        )
-        return cost
+        with telemetry.span("edgebol.observe") as sp:
+            cost = self.cost_weights.cost(
+                observation.server_power_w, observation.bs_power_w
+            )
+            self.update(
+                context,
+                policy,
+                cost=cost,
+                delay_s=observation.delay_s,
+                map_score=observation.map_score,
+                server_power_w=observation.server_power_w,
+                bs_power_w=observation.bs_power_w,
+            )
+            if sp:
+                sp.set("cost", float(cost))
+            return cost
 
     # -- runtime reconfiguration ------------------------------------------
 

@@ -13,11 +13,14 @@ Cholesky factorisation of ``K + zeta^2 I``:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 from scipy.linalg import cho_solve, cholesky, solve_triangular
 
 from repro.core.kernels import Kernel
-from repro.utils.validation import check_positive
+from repro.telemetry import runtime as telemetry
+from repro.utils.validation import check_finite_array, check_positive
 
 
 class GaussianProcess:
@@ -140,38 +143,58 @@ class GaussianProcess:
             self._alpha = cho_solve((self._chol, True), self._y - self.prior_mean)
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> None:
-        """Replace the training set and refactorise."""
-        x = np.asarray(x, dtype=float)
-        if x.ndim == 1:
-            x = x[None, :]
-        y = np.asarray(y, dtype=float).ravel()
-        if x.shape[0] != y.size:
-            raise ValueError(
-                f"got {x.shape[0]} inputs but {y.size} targets"
-            )
-        if x.shape[1] != self.kernel.n_dims:
-            raise ValueError(
-                f"inputs must have {self.kernel.n_dims} dims, got {x.shape[1]}"
-            )
-        if not np.all(np.isfinite(x)) or not np.all(np.isfinite(y)):
-            raise ValueError("training data must be finite")
-        if y.size == 0:
-            self._x = self._y = self._chol = self._alpha = None
-            self._factor_version += 1
-            return
-        self._x = x.copy()
-        self._y = y.copy()
-        self._refactorize()
+        """Replace the training set and refactorise (O(N^3) Cholesky)."""
+        with telemetry.span("core.gp.fit") as sp:
+            x = np.asarray(x, dtype=float)
+            if x.ndim == 1:
+                x = x[None, :]
+            y = np.asarray(y, dtype=float).ravel()
+            if x.shape[0] != y.size:
+                raise ValueError(
+                    f"got {x.shape[0]} inputs but {y.size} targets"
+                )
+            if x.shape[1] != self.kernel.n_dims:
+                raise ValueError(
+                    f"inputs must have {self.kernel.n_dims} dims, got {x.shape[1]}"
+                )
+            check_finite_array(x, "training inputs")
+            check_finite_array(y, "training targets")
+            if sp:
+                sp.set("n", int(y.size))
+            if y.size == 0:
+                self._x = self._y = self._chol = self._alpha = None
+                self._factor_version += 1
+                return
+            self._x = x.copy()
+            self._y = y.copy()
+            self._refactorize()
 
     def add(self, x_new: np.ndarray, y_new: float) -> None:
-        """Append one observation with a rank-1 Cholesky extension."""
+        """Append one observation with a rank-1 Cholesky extension.
+
+        O(N^2) per call; instrumented as the ``core.gp.add`` counter and
+        the ``core.gp.add_s`` duration histogram (seconds) when
+        telemetry is enabled.
+        """
+        if not telemetry.enabled():
+            self._add(x_new, y_new)
+            return
+        started = time.perf_counter()
+        self._add(x_new, y_new)
+        telemetry.inc("core.gp.add")
+        telemetry.observe("core.gp.add_s", time.perf_counter() - started)
+
+    def _add(self, x_new: np.ndarray, y_new: float) -> None:
         x_new = np.asarray(x_new, dtype=float).ravel()
         if x_new.size != self.kernel.n_dims:
             raise ValueError(
                 f"input must have {self.kernel.n_dims} dims, got {x_new.size}"
             )
-        if not np.all(np.isfinite(x_new)) or not np.isfinite(y_new):
-            raise ValueError("observations must be finite")
+        check_finite_array(x_new, "observation input")
+        if not np.isfinite(y_new):
+            raise ValueError(
+                f"observation target must be finite, got {y_new!r}"
+            )
         if self._x is None:
             self.fit(x_new[None, :], np.array([y_new]))
             return
@@ -232,8 +255,7 @@ class GaussianProcess:
             raise ValueError(
                 f"queries must have {self.kernel.n_dims} dims, got {x_star.shape[1]}"
             )
-        if not np.all(np.isfinite(x_star)):
-            raise ValueError("query points must be finite")
+        check_finite_array(x_star, "query points")
         prior_var = self.kernel.diag(x_star)
         if self._x is None:
             return np.full(x_star.shape[0], self.prior_mean), prior_var

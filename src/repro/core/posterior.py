@@ -56,11 +56,17 @@ import numpy as np
 from scipy.linalg import solve_triangular
 
 from repro.core.gp import GaussianProcess
+from repro.telemetry import runtime as telemetry
 
 
 @dataclass
 class EngineStats:
-    """Counters for the posterior hot path (surfaced in run logs)."""
+    """Counters for the posterior hot path (surfaced in run logs).
+
+    All counters are dimensionless tallies except ``wall_time_s``
+    (seconds, monotonic clock).  The same sweep is also visible as the
+    ``engine.posterior`` telemetry span when telemetry is enabled.
+    """
 
     #: Number of :meth:`SurrogateEngine.posterior` calls.
     queries: int = 0
@@ -98,8 +104,11 @@ class PosteriorBatch:
     """Per-head posterior moments over one shared joint grid.
 
     ``means``/``variances`` map head names to arrays of length
-    ``joint_grid.shape[0]``.  Standard deviations are derived lazily and
-    cached (most consumers want either moments but not both copies).
+    ``joint_grid.shape[0]``.  Moments carry the unit of the head's
+    training targets — weighted watts for ``"cost"`` (eq. 1), seconds
+    for ``"delay"``, mAP in [0, 1] for ``"map"``; variances are the
+    unit squared.  Standard deviations are derived lazily and cached
+    (most consumers want either moments but not both copies).
     """
 
     joint_grid: np.ndarray
@@ -349,18 +358,22 @@ class SurrogateEngine:
             Per-head mean/variance arrays over the shared joint grid,
             numerically matching ``gp.predict(joint_grid)`` per head.
         """
-        started = time.perf_counter()
-        joint, states = self._entry(context)
-        names = tuple(self._heads) if heads is None else tuple(heads)
-        means: dict[str, np.ndarray] = {}
-        variances: dict[str, np.ndarray] = {}
-        for name in names:
-            if name not in self._heads:
-                raise KeyError(
-                    f"unknown head {name!r}; engine heads are {tuple(self._heads)}"
-                )
-            means[name], variances[name] = self._head_moments(name, joint, states)
-        self.stats.queries += 1
-        self.stats.head_queries += len(names)
-        self.stats.wall_time_s += time.perf_counter() - started
-        return PosteriorBatch(joint_grid=joint, means=means, variances=variances)
+        with telemetry.span("engine.posterior") as sp:
+            started = time.perf_counter()
+            joint, states = self._entry(context)
+            names = tuple(self._heads) if heads is None else tuple(heads)
+            means: dict[str, np.ndarray] = {}
+            variances: dict[str, np.ndarray] = {}
+            for name in names:
+                if name not in self._heads:
+                    raise KeyError(
+                        f"unknown head {name!r}; engine heads are {tuple(self._heads)}"
+                    )
+                means[name], variances[name] = self._head_moments(name, joint, states)
+            self.stats.queries += 1
+            self.stats.head_queries += len(names)
+            self.stats.wall_time_s += time.perf_counter() - started
+            if sp:
+                sp.set("heads", len(names))
+                sp.set("points", int(joint.shape[0]))
+            return PosteriorBatch(joint_grid=joint, means=means, variances=variances)

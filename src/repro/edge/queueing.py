@@ -30,6 +30,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.telemetry import runtime as telemetry
 from repro.utils.validation import check_non_negative
 
 
@@ -162,7 +163,17 @@ def solve_exact_mva(network: ClosedNetwork) -> SolverResult:
 
     Complexity is ``O(n_stations * prod(populations + 1))``; intended
     for the small populations of the EdgeBOL testbed (<= ~10 users).
+    Recorded as a ``queueing.solve`` telemetry span (``solver:
+    exact_mva``) nested under the caller (``env.step`` in runs).
     """
+    with telemetry.span("queueing.solve") as sp:
+        if sp:
+            sp.set("solver", "exact_mva")
+            sp.set("classes", network.n_classes)
+        return _solve_exact_mva(network)
+
+
+def _solve_exact_mva(network: ClosedNetwork) -> SolverResult:
     demands = _demand_matrix(network)
     queueing = _is_queueing(network)
     n_stations, n_classes = demands.shape
@@ -238,8 +249,23 @@ def solve_schweitzer(
     Approximates the arrival-theorem queue length seen by a class-``c``
     customer as ``Q_kc * (N_c - 1) / N_c + sum_{j != c} Q_kj``.
     Converges for all product-form networks; accuracy is typically
-    within a few percent of exact MVA.
+    within a few percent of exact MVA.  Recorded as a
+    ``queueing.solve`` telemetry span (``solver: schweitzer``).
     """
+    with telemetry.span("queueing.solve") as sp:
+        if sp:
+            sp.set("solver", "schweitzer")
+            sp.set("classes", network.n_classes)
+        return _solve_schweitzer(
+            network, tol=tol, max_iterations=max_iterations
+        )
+
+
+def _solve_schweitzer(
+    network: ClosedNetwork,
+    tol: float,
+    max_iterations: int,
+) -> SolverResult:
     demands = _demand_matrix(network)
     queueing = _is_queueing(network)
     n_stations, n_classes = demands.shape

@@ -22,7 +22,31 @@ class RunLog:
     control coordinates.  ``engine_stats`` carries one end-of-run
     snapshot of the agent's :class:`~repro.core.posterior.EngineStats`
     counters (kernel evaluations, cache hits, rebuilds, wall time) when
-    the agent exposes a posterior engine.
+    the agent exposes a posterior engine; ``telemetry`` carries one
+    end-of-run :func:`repro.telemetry.metrics_snapshot` when the run
+    executed with telemetry enabled.
+
+    Attributes
+    ----------
+    cost:
+        Realised cost ``u_t = delta1 p_s + delta2 p_b`` per period
+        (eq. 1), in weighted watts.
+    delay_s:
+        Worst-user service delay per period, seconds (PI 1).
+    map_score:
+        Worst-user detection accuracy per period, mAP in [0, 1] (PI 2).
+    server_power_w, bs_power_w:
+        Server / BS power draws, watts (PIs 3-4, the eq. 1 terms).
+    safe_set_size:
+        |S_t| from eq. 8 (−1 when the agent exposes no safe set).
+    snr_db:
+        Mean user SNR during the period, dB (the context driver).
+    resolution, airtime, gpu_speed, mcs_fraction:
+        The four applied controls in normalised [0, 1] coordinates
+        (Policies 1-4, the ``x_t`` of Algorithm 1).
+    d_max_s, rho_min:
+        Constraint thresholds active that period: delay bound in
+        seconds and mAP floor in [0, 1] (problem 2).
     """
 
     cost: list[float] = field(default_factory=list)
@@ -39,6 +63,7 @@ class RunLog:
     d_max_s: list[float] = field(default_factory=list)
     rho_min: list[float] = field(default_factory=list)
     engine_stats: dict | None = None
+    telemetry: dict | None = None
 
     def append(
         self,
@@ -50,7 +75,7 @@ class RunLog:
         d_max_s: float = float("nan"),
         rho_min: float = float("nan"),
     ) -> None:
-        """Record one period."""
+        """Record one period (units as documented on the class fields)."""
         self.cost.append(float(cost))
         self.delay_s.append(float(observation.delay_s))
         self.map_score.append(float(observation.map_score))
@@ -70,7 +95,11 @@ class RunLog:
         return len(self.cost)
 
     def tail_mean(self, field_name: str, window: int = 30) -> float:
-        """Mean of the final ``window`` entries of one series."""
+        """Mean of the final ``window`` entries of one series.
+
+        The "converged" statistic quoted for Figs. 10-12: NaN entries
+        are dropped; the result keeps the series' own unit.
+        """
         values = np.asarray(getattr(self, field_name), dtype=float)
         if values.size == 0:
             return float("nan")
@@ -79,7 +108,12 @@ class RunLog:
         return float(finite.mean()) if finite.size else float("nan")
 
     def violation_rates(self, burn_in: int = 0) -> tuple[float, float]:
-        """(delay, mAP) constraint violation rates after ``burn_in``."""
+        """(delay, mAP) constraint violation rates after ``burn_in``.
+
+        Fractions in [0, 1] of periods where ``delay_s > d_max_s`` or
+        ``map_score < rho_min`` — the problem-2 constraints — among
+        periods ``t >= burn_in``.
+        """
         delays = np.asarray(self.delay_s[burn_in:])
         maps = np.asarray(self.map_score[burn_in:])
         d_max = np.asarray(self.d_max_s[burn_in:])
@@ -159,4 +193,11 @@ def render_runlog(log: RunLog, title: str = "run") -> str:
     if log.engine_stats:
         stats_rows = [[key, value] for key, value in log.engine_stats.items()]
         parts.append(render_table(["engine counter", "value"], stats_rows))
+    if log.telemetry:
+        counters = log.telemetry.get("counters") or {}
+        if counters:
+            parts.append(render_table(
+                ["telemetry counter", "value"],
+                [[key, value] for key, value in counters.items()],
+            ))
     return "\n\n".join(parts)

@@ -8,6 +8,7 @@ from collections.abc import Callable, Sequence
 import numpy as np
 
 from repro.experiments.recorder import RunLog
+from repro.telemetry import runtime as telemetry
 from repro.testbed.config import ServiceConstraints
 from repro.testbed.env import EdgeAIEnvironment
 from repro.utils.stats import percentile_band
@@ -46,6 +47,11 @@ def run_agent(
     The agent must expose ``select`` / ``observe`` and, when a schedule
     is given, ``set_constraints``.  ``track_safe_set`` additionally logs
     |S_t| for agents exposing ``last_safe_set_size`` (EdgeBOL).
+
+    With telemetry enabled (:func:`repro.telemetry.record`), the run is
+    traced as one ``experiment.run`` root span with one
+    ``experiment.period`` child per period, and the log absorbs a
+    metrics snapshot (``log.telemetry``) alongside ``engine_stats``.
     """
     if n_periods < 0:
         raise ValueError(f"n_periods must be non-negative, got {n_periods}")
@@ -53,32 +59,40 @@ def run_agent(
     active = schedule.initial if schedule is not None else getattr(
         agent, "constraints", ServiceConstraints()
     )
-    for t in range(n_periods):
-        if schedule is not None:
-            new_constraints = schedule.at(t)
-            if new_constraints != active:
-                agent.set_constraints(new_constraints)
-                active = new_constraints
-        snr = float(np.mean(env.current_snrs_db))
-        context = env.observe_context()
-        policy = agent.select(context)
-        observation = env.step(policy)
-        cost = agent.observe(context, policy, observation)
-        safe_size = (
-            getattr(agent, "last_safe_set_size", None) if track_safe_set else None
-        )
-        log.append(
-            cost=cost,
-            policy=policy,
-            observation=observation,
-            safe_set_size=safe_size,
-            snr_db=snr,
-            d_max_s=active.d_max_s,
-            rho_min=active.rho_min,
-        )
+    with telemetry.span("experiment.run") as run_sp:
+        if run_sp:
+            run_sp.set("periods", n_periods)
+            run_sp.set("agent", type(agent).__name__)
+        for t in range(n_periods):
+            with telemetry.span("experiment.period"):
+                if schedule is not None:
+                    new_constraints = schedule.at(t)
+                    if new_constraints != active:
+                        agent.set_constraints(new_constraints)
+                        active = new_constraints
+                snr = float(np.mean(env.current_snrs_db))
+                context = env.observe_context()
+                policy = agent.select(context)
+                observation = env.step(policy)
+                cost = agent.observe(context, policy, observation)
+                safe_size = (
+                    getattr(agent, "last_safe_set_size", None)
+                    if track_safe_set else None
+                )
+                log.append(
+                    cost=cost,
+                    policy=policy,
+                    observation=observation,
+                    safe_set_size=safe_size,
+                    snr_db=snr,
+                    d_max_s=active.d_max_s,
+                    rho_min=active.rho_min,
+                )
     engine = getattr(agent, "engine", None)
     if engine is not None and hasattr(engine, "stats"):
         log.engine_stats = engine.stats.snapshot()
+    if telemetry.enabled():
+        log.telemetry = telemetry.metrics_snapshot()
     return log
 
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections import defaultdict, deque
 from collections.abc import Callable
 
+from repro.telemetry import runtime as telemetry
+
 
 class MessageBus:
     """Minimal synchronous pub/sub transport.
@@ -50,13 +52,17 @@ class MessageBus:
         Returns the number of handlers invoked.  Handlers run
         synchronously; exceptions propagate to the publisher (fail
         fast — silent loss of a control message would be worse).
+        Counted as ``oran.bus.published`` (one per call) and
+        ``oran.bus.delivered`` (one per handler invoked).
         """
         if not topic:
             raise ValueError("topic must be non-empty")
         self._history[topic].append(message)
         handlers = list(self._subscribers.get(topic, []))
+        telemetry.inc("oran.bus.published")
         for handler in handlers:
             handler(message)
+        telemetry.inc("oran.bus.delivered", len(handlers))
         return len(handlers)
 
     def history(self, topic: str) -> list:

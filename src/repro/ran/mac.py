@@ -15,7 +15,12 @@ from dataclasses import dataclass
 from collections.abc import Sequence
 
 from repro.ran import phy
+from repro.telemetry import runtime as telemetry
 from repro.utils.validation import check_fraction
+
+#: Bucket bounds (user counts) for the ``ran.mac.scheduled_users``
+#: telemetry histogram.
+_USER_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
 
 
 @dataclass(frozen=True)
@@ -130,10 +135,17 @@ class RoundRobinScheduler:
         Each user's goodput follows from its share of subframes and the
         effective MCS (policy bound clipped by link adaptation for the
         user's SNR).  An empty user list yields an empty allocation.
+        Counted as ``ran.mac.allocations`` with the per-epoch user
+        count in the ``ran.mac.scheduled_users`` histogram.
         """
         users = list(snrs_db)
         if not users:
             return []
+        telemetry.inc("ran.mac.allocations")
+        telemetry.observe(
+            "ran.mac.scheduled_users", float(len(users)),
+            upper_bounds=_USER_BUCKETS,
+        )
         share = policy.airtime / len(users)
         efficiency = self.effective_mac_efficiency(len(users))
         allocations = []

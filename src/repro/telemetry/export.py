@@ -1,0 +1,116 @@
+"""Telemetry sinks: structured JSONL export and an in-memory buffer.
+
+Sinks receive *records* — plain dicts with a ``"type"`` key — at span
+completion (``type: "span"``) and at snapshot time (``type:
+"metrics"``).  The JSONL file therefore interleaves span lines in
+completion order (children before parents) with zero or more metrics
+lines; :mod:`repro.telemetry.report` reconstructs the span tree from
+the ``parent`` ids.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+
+def _jsonable(value):
+    """Coerce ``value`` into something ``json.dumps`` accepts.
+
+    Non-finite floats become strings (JSON has no Infinity/NaN), numpy
+    scalars collapse to Python numbers via their ``item()``, and
+    anything else unknown falls back to ``repr``.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _jsonable(item())
+        except (TypeError, ValueError):
+            pass
+    return repr(value)
+
+
+class InMemorySink:
+    """Buffer records in lists — the test/notebook sink."""
+
+    def __init__(self) -> None:
+        """Create an empty sink."""
+        self.spans: list[dict] = []
+        self.metrics: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        """File the record under ``spans`` or ``metrics`` by type."""
+        if record.get("type") == "metrics":
+            self.metrics.append(record)
+        else:
+            self.spans.append(record)
+
+    def close(self) -> None:
+        """No-op (memory needs no flushing)."""
+
+    def records(self) -> list[dict]:
+        """Every record in arrival order (spans then metrics lists)."""
+        return list(self.spans) + list(self.metrics)
+
+
+class JsonlSink:
+    """Append records to a JSONL file, one JSON object per line.
+
+    Parent directories are created; the file handle opens lazily on the
+    first record and is flushed per line so a crashed run still leaves
+    a readable prefix.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        """Bind the sink to ``path`` without opening it yet."""
+        self.path = Path(path)
+        self._handle = None
+        self.n_records = 0
+
+    def emit(self, record: dict) -> None:
+        """Serialise one record as a JSON line."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("w")
+        json.dump(_jsonable(record), self._handle, separators=(",", ":"))
+        self._handle.write("\n")
+        self._handle.flush()
+        self.n_records += 1
+
+    def close(self) -> None:
+        """Close the file handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_jsonl(path: "str | Path") -> tuple[list[dict], list[dict]]:
+    """Load a telemetry JSONL file into ``(span_records, metrics_records)``.
+
+    Blank lines are skipped; records with other/missing types are
+    ignored rather than fatal, so partially written traces from crashed
+    runs still load.
+    """
+    spans: list[dict] = []
+    metrics: list[dict] = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "span":
+                spans.append(record)
+            elif kind == "metrics":
+                metrics.append(record)
+    return spans, metrics

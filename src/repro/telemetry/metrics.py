@@ -1,0 +1,208 @@
+"""Process-local metrics: counters, gauges and fixed-bucket histograms.
+
+The registry is the quantitative half of the telemetry layer (spans are
+the structural half, see :mod:`repro.telemetry.spans`).  Everything is
+dependency-free and thread-safe: each metric guards its mutable state
+with one lock, so histogram ``count`` always equals the number of
+``observe()`` calls even under concurrent interleaving (property-tested
+in ``tests/test_telemetry_properties.py``).
+
+Naming convention: dotted lowercase paths prefixed by the owning
+component, e.g. ``core.gp.add``, ``ran.mac.allocations``,
+``oran.bus.published`` (see ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+#: Default histogram bucket upper bounds, in seconds — tuned for the
+#: latencies of the control loop (microseconds for bus publishes up to
+#: seconds for full experiment phases).  Values above the last bound
+#: land in the overflow bucket.
+DEFAULT_TIME_BUCKETS_S: tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonically increasing integer counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        """Create the counter at zero."""
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, value: int = 1) -> None:
+        """Add ``value`` (must be non-negative) to the counter."""
+        if value < 0:
+            raise ValueError(f"counter increment must be >= 0, got {value}")
+        with self._lock:
+            self._value += int(value)
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+
+class Gauge:
+    """Last-value-wins instantaneous measurement (e.g. a cache size)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        """Create the gauge with a NaN initial value."""
+        self.name = name
+        self._value = float("nan")
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Record the latest value."""
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """Most recently set value (NaN before the first ``set``)."""
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max summary.
+
+    Buckets are defined by sorted upper bounds; a value lands in the
+    first bucket whose bound is ``>= value``, and values above every
+    bound land in an implicit overflow bucket (``counts`` therefore has
+    ``len(upper_bounds) + 1`` entries).
+    """
+
+    __slots__ = ("name", "upper_bounds", "_counts", "_count", "_sum",
+                 "_min", "_max", "_lock")
+
+    def __init__(self, name: str,
+                 upper_bounds: tuple[float, ...] = DEFAULT_TIME_BUCKETS_S) -> None:
+        """Create an empty histogram over ``upper_bounds`` buckets."""
+        bounds = tuple(float(b) for b in upper_bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.name = name
+        self.upper_bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        index = bisect_left(self.upper_bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        """Number of ``observe()`` calls."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of every observed value."""
+        return self._sum
+
+    def snapshot(self) -> dict:
+        """Plain-dict summary (JSONL ``histograms`` entry schema)."""
+        with self._lock:
+            return {
+                "buckets": list(self.upper_bounds),
+                "counts": list(self._counts),
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min if self._count else None,
+                "max": self._max if self._count else None,
+                "mean": (self._sum / self._count) if self._count else None,
+            }
+
+
+class MetricsRegistry:
+    """Process-local, create-on-first-use registry of named metrics.
+
+    One registry backs the whole telemetry runtime
+    (:func:`repro.telemetry.runtime.get_registry`); tests may build
+    private instances.  Metric names are unique per kind; asking twice
+    for the same name returns the same object.
+    """
+
+    def __init__(self) -> None:
+        """Create an empty registry."""
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created if absent)."""
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created if absent)."""
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(
+        self,
+        name: str,
+        upper_bounds: tuple[float, ...] = DEFAULT_TIME_BUCKETS_S,
+    ) -> Histogram:
+        """The histogram under ``name`` (created with ``upper_bounds``).
+
+        Bounds are fixed at creation; later calls with different bounds
+        return the existing histogram unchanged.
+        """
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name, upper_bounds)
+            return metric
+
+    def reset(self) -> None:
+        """Drop every registered metric."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy of every metric (the JSONL ``metrics`` record)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "histograms": {
+                name: h.snapshot() for name, h in sorted(histograms.items())
+            },
+        }

@@ -1,0 +1,155 @@
+"""Spans: nested wall-clock timing of the control-loop hot paths.
+
+A :class:`Span` is a context manager measuring one named operation with
+the monotonic clock (``time.perf_counter``).  Spans nest through a
+thread-local stack: entering a span while another is open records the
+parent-child edge, so a trace reconstructs the call tree
+(``edgebol.select -> engine.posterior``, ``env.step ->
+queueing.solve``).  By construction a child's measured interval lies
+inside its parent's, so a child's duration never exceeds its parent's
+(property-tested in ``tests/test_telemetry_properties.py``).
+
+Spans are only created by :func:`repro.telemetry.runtime.span` when
+telemetry is enabled; when disabled the shared :data:`NULL_SPAN` is
+returned instead, which allocates nothing and is falsy — hot paths can
+guard attribute computation with ``if sp: sp.set(...)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+
+#: Process-wide span-id source (thread-safe: ``itertools.count`` relies
+#: on the GIL-atomic ``next``).
+_IDS = itertools.count(1)
+
+_STACK = threading.local()
+
+
+def _stack() -> list:
+    """The calling thread's stack of open spans (innermost last)."""
+    stack = getattr(_STACK, "spans", None)
+    if stack is None:
+        stack = _STACK.spans = []
+    return stack
+
+
+def current_span() -> "Span | None":
+    """The innermost open span on this thread, or ``None``."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+class Span:
+    """One timed, named, attributed operation in a trace.
+
+    Attributes are free-form key-value pairs (values should be JSON
+    serialisable); ``duration_s`` is monotonic wall-clock seconds and is
+    only set after ``__exit__``.  ``trace_id`` identifies the root span
+    of the tree this span belongs to.
+    """
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "trace_id",
+                 "depth", "start_wall_s", "duration_s", "_t0", "_emit")
+
+    def __init__(self, name: str, attrs: dict | None = None, emit=None) -> None:
+        """Create an un-started span; use ``with`` to time it."""
+        if not name:
+            raise ValueError("span name must be non-empty")
+        self.name = name
+        self.attrs = dict(attrs) if attrs else {}
+        self.span_id = next(_IDS)
+        self.parent_id: int | None = None
+        self.trace_id: int | None = None
+        self.depth = 0
+        self.start_wall_s = 0.0
+        self.duration_s: float | None = None
+        self._t0 = 0.0
+        self._emit = emit
+
+    def set(self, key: str, value) -> None:
+        """Attach one key-value attribute to the span."""
+        self.attrs[key] = value
+
+    def __bool__(self) -> bool:
+        """Real spans are truthy (cf. the falsy :data:`NULL_SPAN`)."""
+        return True
+
+    def __enter__(self) -> "Span":
+        """Start timing and push onto the thread's span stack."""
+        parent = current_span()
+        if parent is not None:
+            self.parent_id = parent.span_id
+            self.trace_id = parent.trace_id
+            self.depth = parent.depth + 1
+        else:
+            self.trace_id = self.span_id
+        _stack().append(self)
+        self.start_wall_s = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Stop timing, pop the stack and emit to the runtime's sinks."""
+        self.duration_s = time.perf_counter() - self._t0
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # tolerate mis-nested exits rather than corrupt
+            stack.remove(self)
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        if self._emit is not None:
+            self._emit(self)
+        return False
+
+    def to_record(self) -> dict:
+        """JSONL line payload for this span (schema in OBSERVABILITY.md)."""
+        return {
+            "type": "span",
+            "trace": self.trace_id,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "depth": self.depth,
+            "name": self.name,
+            "start_s": self.start_wall_s,
+            "duration_s": self.duration_s,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:
+        """Debug rendering with name, id and duration."""
+        dur = "open" if self.duration_s is None else f"{self.duration_s:.6f}s"
+        return f"Span({self.name!r}, id={self.span_id}, {dur})"
+
+
+class NullSpan:
+    """Falsy, allocation-free stand-in used while telemetry is disabled.
+
+    Supports the full :class:`Span` surface (``with``, :meth:`set`) as
+    no-ops so instrumented code needs no branching beyond the truthiness
+    check.
+    """
+
+    __slots__ = ()
+
+    def set(self, key: str, value) -> None:
+        """Discard the attribute."""
+
+    def __bool__(self) -> bool:
+        """Null spans are falsy so call sites can skip attribute work."""
+        return False
+
+    def __enter__(self) -> "NullSpan":
+        """No-op."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """No-op; never swallows exceptions."""
+        return False
+
+
+#: The shared disabled-mode span: one instance for the whole process.
+NULL_SPAN = NullSpan()

@@ -24,6 +24,7 @@ from repro.service.detection import SyntheticDetector
 from repro.service.images import SyntheticCocoDataset
 from repro.service.pipeline import ServiceModel, UserEquipment
 from repro.service.profiles import expected_map, map_observation_std
+from repro.telemetry import runtime as telemetry
 from repro.testbed.config import ControlPolicy, TestbedConfig
 from repro.testbed.context import Context
 from repro.testbed.powermeter import ObservationNoise, PowerMeter
@@ -36,6 +37,37 @@ class TestbedObservation:
 
     ``delay_s`` is the worst-user service delay and ``map_score`` the
     worst-user mAP, matching the constraint definitions of problem (2).
+
+    Attributes
+    ----------
+    delay_s:
+        Worst-user capture-to-response service delay, seconds (PI 1,
+        the left side of the ``d(c, x) <= d_max`` constraint in
+        problem 2).
+    map_score:
+        Worst-user detection accuracy, mAP in [0, 1] (PI 2, the
+        ``rho(c, x) >= rho_min`` constraint in problem 2).
+    server_power_w:
+        Edge-server power draw, watts (PI 3, the ``p_s`` term of the
+        eq. 1 cost).
+    bs_power_w:
+        Base-station baseband power draw, watts (PI 4, the ``p_b``
+        term of the eq. 1 cost).
+    gpu_delay_s:
+        Worst-user GPU residence time (queueing + inference), seconds.
+    gpu_utilization:
+        GPU busy fraction in [0, 1].
+    total_rate_hz:
+        Aggregate served frame rate, frames/second.
+    mean_mcs:
+        Mean transport MCS index actually used across users
+        (dimensionless, 0..24).
+    offered_load_bps:
+        Uplink load offered to the BS, bits/second.
+    per_user_delay_s:
+        Per-user service delays, seconds (``inf`` for starved users).
+    per_user_rate_hz:
+        Per-user served frame rates, frames/second.
     """
 
     delay_s: float
@@ -179,7 +211,18 @@ class EdgeAIEnvironment:
         return expected_map(resolution)
 
     def step(self, policy: ControlPolicy) -> TestbedObservation:
-        """Apply ``policy`` for one period, then advance the channels."""
-        observation = self.evaluate(policy, noisy=True)
-        self._current_snrs = [float(ch.step()) for ch in self.channels]
-        return observation
+        """Apply ``policy`` for one period, then advance the channels.
+
+        Returns the noisy KPI vector the agent learns from (seconds,
+        mAP, watts — see :class:`TestbedObservation`); recorded as the
+        ``env.step`` telemetry span with the solver spans
+        (``queueing.solve``) nested beneath it.
+        """
+        with telemetry.span("env.step") as sp:
+            observation = self.evaluate(policy, noisy=True)
+            self._current_snrs = [float(ch.step()) for ch in self.channels]
+            if sp:
+                sp.set("users", len(self.channels))
+                sp.set("delay_s", observation.delay_s)
+                sp.set("server_power_w", observation.server_power_w)
+            return observation

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 
 def check_positive(value: float, name: str) -> float:
     """Return ``value`` if strictly positive and finite, else raise."""
@@ -34,3 +36,22 @@ def check_fraction(value: float, name: str) -> float:
 def check_probability(value: float, name: str) -> float:
     """Alias of :func:`check_fraction` with probability semantics."""
     return check_in_range(value, name, 0.0, 1.0)
+
+
+def check_finite_array(values: np.ndarray, name: str) -> np.ndarray:
+    """Return ``values`` unchanged if every entry is finite, else raise.
+
+    The error names the first offending coordinate (multi-dimensional
+    index) and its value, so a NaN smuggled into a 14641-point grid
+    sweep is locatable without a debugger.
+    """
+    finite = np.isfinite(values)
+    if not np.all(finite):
+        flat = int(np.flatnonzero(~finite.ravel())[0])
+        index = tuple(int(i) for i in np.unravel_index(flat, values.shape))
+        bad = values.ravel()[flat]
+        raise ValueError(
+            f"{name} must be finite; first non-finite value is {bad!r} "
+            f"at index {index}"
+        )
+    return values

@@ -178,6 +178,33 @@ class TestValidationAndMisc:
         with pytest.raises(ValueError, match="finite"):
             gp.predict(np.array([[np.nan]]))
 
+    def test_nonfinite_error_names_first_bad_coordinate(self):
+        # Regression: the error must say *which* entry is bad, not just
+        # that one exists (debugging a 14641x6 grid without the index
+        # was hopeless).
+        gp = make_gp(kernel=Matern(lengthscales=[1.0, 1.0], output_scale=1.0))
+        queries = np.zeros((4, 2))
+        queries[2, 1] = np.inf
+        with pytest.raises(ValueError, match=r"\(2, 1\)") as excinfo:
+            gp.predict(queries)
+        assert "inf" in str(excinfo.value)
+
+        queries[2, 1] = np.nan
+        queries[1, 0] = np.nan  # earlier in row-major order -> reported
+        with pytest.raises(ValueError, match=r"\(1, 0\)"):
+            gp.predict_std(queries)
+
+    def test_nonfinite_error_names_index_on_fit_and_add(self):
+        gp = make_gp()
+        x = np.array([[0.0], [np.nan], [1.0]])
+        with pytest.raises(ValueError, match=r"\(1, 0\)"):
+            gp.fit(x, np.array([1.0, 2.0, 3.0]))
+        with pytest.raises(ValueError, match=r"\(1,\)"):
+            gp.fit(np.array([[0.0], [1.0], [2.0]]),
+                   np.array([1.0, np.inf, 3.0]))
+        with pytest.raises(ValueError, match=r"\(0,\)"):
+            gp.add(np.array([np.nan]), 1.0)
+
     def test_predict_std(self):
         gp = make_gp()
         gp.add(np.array([0.0]), 1.0)

@@ -1,0 +1,348 @@
+"""Tests for the telemetry subsystem: spans, metrics, export, report."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    InMemorySink,
+    JsonlSink,
+    MetricsRegistry,
+    NULL_SPAN,
+    Span,
+    read_jsonl,
+)
+from repro.telemetry import runtime as telemetry
+from repro.telemetry import report
+
+
+@pytest.fixture(autouse=True)
+def clean_runtime():
+    """Every test starts and ends with telemetry off and metrics clear."""
+    telemetry.disable()
+    telemetry.reset_metrics()
+    yield
+    telemetry.disable()
+    telemetry.reset_metrics()
+
+
+class TestDisabledMode:
+    def test_span_returns_null_span(self):
+        assert telemetry.span("x") is NULL_SPAN
+
+    def test_null_span_is_falsy_noop(self):
+        with telemetry.span("x") as sp:
+            assert not sp
+            sp.set("key", "value")  # discarded, no error
+
+    def test_metric_helpers_are_noops(self):
+        telemetry.inc("c")
+        telemetry.observe("h", 0.5)
+        telemetry.set_gauge("g", 1.0)
+        snap = telemetry.metrics_snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_disabled_by_default(self):
+        assert not telemetry.enabled()
+
+
+class TestSpans:
+    def test_nesting_records_parent_and_depth(self):
+        sink = InMemorySink()
+        telemetry.enable(sink)
+        with telemetry.span("parent") as outer:
+            with telemetry.span("child") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.span_id
+                assert inner.depth == 1
+        telemetry.remove_sink(sink)
+        names = [r["name"] for r in sink.spans]
+        assert names == ["child", "parent"]  # children emitted first
+
+    def test_root_span_is_its_own_trace(self):
+        telemetry.enable()
+        with telemetry.span("root") as sp:
+            assert sp.trace_id == sp.span_id
+            assert sp.parent_id is None
+            assert sp.depth == 0
+
+    def test_attrs_via_kwargs_and_set(self):
+        telemetry.enable()
+        with telemetry.span("op", static=1) as sp:
+            sp.set("dynamic", 2)
+        assert sp.attrs == {"static": 1, "dynamic": 2}
+
+    def test_duration_positive_and_error_attr(self):
+        sink = InMemorySink()
+        telemetry.enable(sink)
+        with pytest.raises(RuntimeError):
+            with telemetry.span("fails"):
+                raise RuntimeError("boom")
+        telemetry.remove_sink(sink)
+        (record,) = sink.spans
+        assert record["attrs"]["error"] == "RuntimeError"
+        assert record["duration_s"] >= 0.0
+
+    def test_current_span_tracks_stack(self):
+        telemetry.enable()
+        assert telemetry.current_span() is None
+        with telemetry.span("a") as a:
+            assert telemetry.current_span() is a
+            with telemetry.span("b") as b:
+                assert telemetry.current_span() is b
+            assert telemetry.current_span() is a
+        assert telemetry.current_span() is None
+
+    def test_span_requires_name(self):
+        with pytest.raises(ValueError):
+            Span("")
+
+
+class TestMetrics:
+    def test_counter(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge(self):
+        g = Gauge("g")
+        assert np.isnan(g.value)
+        g.set(2.5)
+        assert g.value == 2.5
+
+    def test_histogram_buckets_and_summary(self):
+        h = Histogram("h", upper_bounds=(1.0, 2.0))
+        for v in (0.5, 1.0, 1.5, 99.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["counts"] == [2, 1, 1]  # <=1, <=2, overflow
+        assert snap["count"] == 4
+        assert snap["min"] == 0.5 and snap["max"] == 99.0
+        assert snap["sum"] == pytest.approx(102.0)
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", upper_bounds=())
+        with pytest.raises(ValueError):
+            Histogram("h", upper_bounds=(2.0, 1.0))
+
+    def test_registry_create_on_first_use(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        reg.counter("a").inc()
+        reg.gauge("b").set(1.0)
+        reg.histogram("c").observe(0.1)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a": 1}
+        assert snap["gauges"] == {"b": 1.0}
+        assert snap["histograms"]["c"]["count"] == 1
+        reg.reset()
+        assert reg.snapshot()["counters"] == {}
+
+    def test_runtime_helpers_when_enabled(self):
+        telemetry.enable()
+        telemetry.inc("runs", 2)
+        telemetry.observe("lat_s", 0.01)
+        telemetry.set_gauge("size", 7)
+        snap = telemetry.metrics_snapshot()
+        assert snap["counters"]["runs"] == 2
+        assert snap["histograms"]["lat_s"]["count"] == 1
+        assert snap["gauges"]["size"] == 7.0
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with telemetry.record(path):
+            with telemetry.span("outer"):
+                with telemetry.span("inner") as sp:
+                    sp.set("k", 1)
+            telemetry.inc("events")
+        spans, metrics = read_jsonl(path)
+        assert [s["name"] for s in spans] == ["inner", "outer"]
+        assert spans[0]["attrs"] == {"k": 1}
+        assert metrics[-1]["counters"] == {"events": 1}
+        # Every line is valid standalone JSON.
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_record_restores_prior_state(self):
+        assert not telemetry.enabled()
+        with telemetry.record(None):
+            assert telemetry.enabled()
+        assert not telemetry.enabled()
+
+    def test_record_in_memory_sink(self):
+        with telemetry.record(None) as sink:
+            with telemetry.span("op"):
+                pass
+        assert isinstance(sink, InMemorySink)
+        assert [s["name"] for s in sink.spans] == ["op"]
+        assert sink.metrics  # final snapshot appended
+
+    def test_record_reset_flag(self):
+        telemetry.enable()
+        telemetry.inc("stale")
+        with telemetry.record(None) as sink:
+            telemetry.inc("fresh")
+        assert "stale" not in sink.metrics[-1]["counters"]
+        assert sink.metrics[-1]["counters"]["fresh"] == 1
+
+    def test_jsonl_sink_serialises_nonfinite_attrs(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"type": "span", "id": 1, "parent": None, "trace": 1,
+                   "depth": 0, "name": "x", "start_s": 0.0,
+                   "duration_s": 0.1, "attrs": {"bad": float("nan")}})
+        sink.close()
+        spans, _ = read_jsonl(path)
+        assert spans[0]["attrs"]["bad"] == "nan"
+
+    def test_read_jsonl_tolerates_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "span", "id": 1, "name": "a"}\n\n')
+        spans, metrics = read_jsonl(path)
+        assert len(spans) == 1 and metrics == []
+
+
+class TestReport:
+    def _trace(self):
+        with telemetry.record(None) as sink:
+            for _ in range(3):
+                with telemetry.span("select"):
+                    with telemetry.span("posterior"):
+                        pass
+            telemetry.inc("adds", 5)
+        return sink
+
+    def test_span_tree_aggregates_by_path(self):
+        sink = self._trace()
+        text = report.render_span_tree(sink.spans)
+        assert "select" in text
+        assert "  posterior" in text  # indented child
+        assert text.count("select") == 1  # aggregated to one row
+
+    def test_render_report_includes_metrics(self):
+        sink = self._trace()
+        text = report.render_report(sink.spans, sink.metrics)
+        assert "adds" in text and "5" in text
+
+    def test_empty_trace_renders(self):
+        assert "no spans" in report.render_span_tree([])
+        assert "no snapshot" in report.render_metrics(None)
+
+    def test_render_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with telemetry.record(path):
+            with telemetry.span("op"):
+                pass
+        assert "op" in report.render_file(path)
+
+    def test_selftest(self):
+        text = report.selftest_report()
+        assert "selftest.posterior" in text
+        assert "selftest.solves" in text
+
+
+class TestCli:
+    def test_selftest_subcommand(self, capsys):
+        assert cli.main(["telemetry-report", "--selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry selftest ok" in out
+
+    def test_report_requires_path_or_selftest(self, capsys):
+        assert cli.main(["telemetry-report"]) == 2
+        assert "selftest" in capsys.readouterr().err
+
+    def test_report_renders_file(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        with telemetry.record(path):
+            with telemetry.span("cli.op"):
+                pass
+        assert cli.main(["telemetry-report", str(path)]) == 0
+        assert "cli.op" in capsys.readouterr().out
+
+
+class TestRunnerIntegration:
+    def test_static_run_emits_required_span_edges(self, tmp_path):
+        from repro import (
+            CostWeights, EdgeBOL, ServiceConstraints, TestbedConfig,
+            static_scenario,
+        )
+        from repro.experiments.runner import run_agent
+
+        config = TestbedConfig(n_levels=3)
+        env = static_scenario(mean_snr_db=35.0, rng=0, config=config)
+        agent = EdgeBOL(
+            config.control_grid(),
+            ServiceConstraints(d_max_s=0.4, rho_min=0.5),
+            CostWeights(delta1=1.0, delta2=1.0),
+        )
+        path = tmp_path / "run.jsonl"
+        with telemetry.record(path):
+            log = run_agent(env, agent, n_periods=4)
+
+        spans, metrics = read_jsonl(path)
+        by_id = {s["id"]: s for s in spans}
+
+        def edges():
+            for s in spans:
+                parent = by_id.get(s.get("parent"))
+                if parent is not None:
+                    yield (parent["name"], s["name"])
+
+        edge_set = set(edges())
+        assert ("edgebol.select", "engine.posterior") in edge_set
+        assert ("env.step", "queueing.solve") in edge_set
+        assert ("experiment.run", "experiment.period") in edge_set
+
+        # The run log absorbed the metrics snapshot.
+        assert log.telemetry is not None
+        assert log.telemetry["counters"]["core.gp.add"] > 0
+        assert metrics[-1]["counters"]["ran.mac.allocations"] == 4
+
+        # And the report renders it without error.
+        assert "engine.posterior" in report.render_file(path)
+
+    def test_run_without_telemetry_stores_nothing(self):
+        from repro import (
+            CostWeights, EdgeBOL, ServiceConstraints, TestbedConfig,
+            static_scenario,
+        )
+        from repro.experiments.runner import run_agent
+
+        config = TestbedConfig(n_levels=3)
+        env = static_scenario(mean_snr_db=35.0, rng=0, config=config)
+        agent = EdgeBOL(
+            config.control_grid(),
+            ServiceConstraints(d_max_s=0.4, rho_min=0.5),
+            CostWeights(delta1=1.0, delta2=1.0),
+        )
+        log = run_agent(env, agent, n_periods=2)
+        assert log.telemetry is None
+
+
+class TestConcurrency:
+    def test_thread_local_span_stacks_are_independent(self):
+        telemetry.enable()
+        seen = {}
+
+        def worker(name):
+            with telemetry.span(name) as sp:
+                seen[name] = (sp.parent_id, sp.depth)
+
+        with telemetry.span("main.root"):
+            t = threading.Thread(target=worker, args=("worker.root",))
+            t.start()
+            t.join()
+        # The worker thread's span must NOT parent under main's span.
+        assert seen["worker.root"] == (None, 0)

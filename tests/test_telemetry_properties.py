@@ -1,0 +1,136 @@
+"""Property tests for telemetry invariants (hypothesis)."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import Histogram, InMemorySink
+from repro.telemetry import runtime as telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_runtime():
+    telemetry.disable()
+    telemetry.reset_metrics()
+    yield
+    telemetry.disable()
+    telemetry.reset_metrics()
+
+
+# Recursive spec for a nesting tree: each node is a tuple of children.
+_tree = st.recursive(
+    st.tuples(),
+    lambda children: st.lists(children, max_size=4).map(tuple),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=_tree)
+def test_child_duration_never_exceeds_parent(tree):
+    """For any nesting shape, every child span fits inside its parent.
+
+    The invariant holds by construction (both endpoints of the child's
+    interval lie between the parent's), but it is what the report's
+    tree aggregation relies on, so pin it against regressions in the
+    stack handling.
+    """
+    telemetry.disable()
+    telemetry.reset_metrics()
+    sink = InMemorySink()
+    telemetry.enable(sink)
+
+    counter = iter(range(10_000))
+
+    def emit(children) -> None:
+        with telemetry.span(f"node.{next(counter)}"):
+            for sub in children:
+                emit(sub)
+
+    emit(tree)
+    telemetry.disable()
+    telemetry.remove_sink(sink)
+
+    by_id = {record["id"]: record for record in sink.spans}
+    assert by_id  # at least the root was recorded
+    for record in sink.spans:
+        parent_id = record["parent"]
+        if parent_id is None:
+            assert record["trace"] == record["id"]
+            assert record["depth"] == 0
+            continue
+        parent = by_id[parent_id]
+        assert record["duration_s"] <= parent["duration_s"]
+        assert record["depth"] == parent["depth"] + 1
+        assert record["trace"] == parent["trace"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        min_size=0, max_size=200,
+    ),
+    n_threads=st.integers(min_value=1, max_value=4),
+)
+def test_histogram_count_equals_observations(values, n_threads):
+    """count == number of observe() calls, sequentially and threaded.
+
+    Each thread hammers the same histogram with its share of the
+    values; the per-metric lock must make the totals exact, and the
+    bucket counts (including overflow) must sum to the same number.
+    """
+    hist = Histogram("h", upper_bounds=(-10.0, 0.0, 10.0, 1e3))
+
+    chunks = [values[i::n_threads] for i in range(n_threads)]
+    threads = [
+        threading.Thread(target=lambda c=chunk: [hist.observe(v) for v in c])
+        for chunk in chunks
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    snap = hist.snapshot()
+    assert snap["count"] == len(values)
+    assert sum(snap["counts"]) == len(values)
+    if values:
+        assert snap["min"] == min(values)
+        assert snap["max"] == max(values)
+        assert snap["sum"] == pytest.approx(sum(values), abs=1e-6)
+    else:
+        assert snap["min"] is None and snap["max"] is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    per_thread=st.integers(min_value=0, max_value=100),
+    n_threads=st.integers(min_value=1, max_value=4),
+)
+def test_runtime_counter_under_thread_interleaving(per_thread, n_threads):
+    """Registry counters are exact under concurrent inc() bursts."""
+    telemetry.disable()
+    telemetry.reset_metrics()
+    telemetry.enable()
+
+    def worker():
+        for _ in range(per_thread):
+            telemetry.inc("prop.events")
+            telemetry.observe("prop.lat_s", 1e-4)
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    telemetry.disable()
+
+    snap = telemetry.metrics_snapshot()
+    expected = per_thread * n_threads
+    if expected:
+        assert snap["counters"]["prop.events"] == expected
+        assert snap["histograms"]["prop.lat_s"]["count"] == expected
