@@ -1,21 +1,25 @@
-"""Command-line interface: regenerate any experiment from a shell.
+"""Command-line interface: a thin shell over the experiment registry.
 
-Usage::
+Every subcommand is generated from a registered
+:class:`~repro.experiments.spec.ExperimentSpec` — its flags come from
+the spec's parameter declarations, its execution goes through the
+shared sweep engine (:mod:`repro.experiments.parallel`).  Usage::
 
+    python -m repro list
     python -m repro profile --figure 1 --out results/
     python -m repro convergence --delta2 1 8 64 --periods 150
-    python -m repro static --delta2 1 4 16 64
-    python -m repro heterogeneous --users 2 4 6
-    python -m repro dynamic
-    python -m repro comparison --periods 900
-    python -m repro tariff
+    python -m repro static --delta2 1 4 16 64 --jobs 4
+    python -m repro run static --sweep delta2=1,8,64 --jobs 4
     python -m repro static --telemetry results/static_trace.jsonl
     python -m repro telemetry-report results/static_trace.jsonl
 
-Every subcommand prints the series the corresponding paper figure plots
-and writes a CSV (default under ``results/``).  ``--telemetry JSONL``
-records a full trace of any experiment (spans + metrics, see
-``docs/OBSERVABILITY.md``); ``telemetry-report`` renders it.
+Every experiment prints the series the corresponding paper figure
+plots and writes CSV artifacts (default under ``results/``).  Common
+flags on every experiment: ``--out`` / ``--seed`` / ``--jobs N``
+(process-parallel cells; completed cells checkpoint to a manifest and
+interrupted sweeps resume) / ``--telemetry JSONL`` (record a full
+trace of spans + metrics, see ``docs/OBSERVABILITY.md``);
+``telemetry-report`` renders a recorded trace.
 """
 
 from __future__ import annotations
@@ -24,204 +28,119 @@ import argparse
 import sys
 from pathlib import Path
 
-import numpy as np
-
-from repro.experiments import profiling
-from repro.experiments.comparison import (
-    ComparisonSetting,
-    phase_summary,
-    run_ddpg_comparison,
-    run_edgebol_comparison,
-)
-from repro.experiments.convergence import ConvergenceSetting, run_convergence
-from repro.experiments.dynamic import DynamicSetting, run_dynamic
-from repro.experiments.heterogeneous import run_heterogeneous_cell
-from repro.experiments.recorder import write_csv
-from repro.experiments.runner import band
-from repro.experiments.static import CONSTRAINT_SETTINGS, run_static_cell
-from repro.experiments.tariff import (
-    TariffSetting,
-    band_costs,
-    default_tariff,
-    run_tariff_tracking,
-)
+from repro.experiments import parallel
+from repro.experiments import spec as spec_registry
 from repro.telemetry import runtime as telemetry
-from repro.testbed.config import TestbedConfig
-from repro.utils.ascii import render_chart, render_table
-
-_PROFILING_FIGURES = {
-    1: ("fig01_precision_delay", lambda env: profiling.fig1_precision_vs_delay(env)),
-    2: ("fig02_delay_serverpower", lambda env: profiling.fig2_delay_vs_server_power(env)),
-    3: ("fig03_gpu_policies", lambda env: profiling.fig3_gpu_policies(env)),
-    4: ("fig04_precision_serverpower", lambda env: profiling.fig4_precision_vs_server_power(env)),
-    5: ("fig05_bspower_mcs", lambda env: profiling.fig5_bs_power_vs_mcs(env)),
-}
+from repro.utils.ascii import render_table
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--out", type=Path, default=Path("results"),
                         help="output directory for CSV files")
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root of the sweep's SeedSequence tree")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sweep cells (1 = serial)")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="ignore an existing sweep manifest and rerun "
+                             "every cell")
     parser.add_argument(
         "--telemetry", type=Path, default=None, metavar="JSONL",
         help="record a telemetry trace (spans + metrics) to this JSONL file",
     )
 
 
-def cmd_profile(args) -> int:
-    from repro.testbed.scenarios import static_scenario
-
-    if args.figure == 6:
-        rows = profiling.fig6_bs_power_vs_mcs_10x(rng=args.seed)
-        name = "fig06_bspower_10x"
-    else:
-        env = static_scenario(mean_snr_db=35.0, rng=args.seed)
-        name, fn = _PROFILING_FIGURES[args.figure]
-        rows = fn(env)
-    path = write_csv(args.out / f"{name}.csv", rows)
-    keys = [k for k in rows[0] if k != "dots"]
-    print(profiling.summarize(rows, [k for k in keys if not k.startswith(("delay", "map", "bs_", "server", "gpu_delay", "mean_mcs"))],
-                              [k for k in keys if k.startswith(("delay", "map", "bs_", "server", "gpu_delay"))]))
-    print(f"\nwrote {path}")
-    return 0
-
-
-def cmd_convergence(args) -> int:
-    setting = ConvergenceSetting(
-        n_periods=args.periods, n_repetitions=args.repetitions,
-        n_levels=args.levels,
+def run_spec(spec, params, *, out: Path, seed: int = 0, jobs: int = 1,
+             resume: bool = True, sweep_overrides=None) -> int:
+    """Execute one spec through the sweep engine and print its report."""
+    result = parallel.run_sweep(
+        spec, params, seed=seed, jobs=jobs, out=out, resume=resume,
+        sweep_overrides=sweep_overrides,
     )
-    all_rows = []
-    for delta2 in args.delta2:
-        logs = [
-            run_convergence(delta2, setting=setting, seed=seed)
-            for seed in range(setting.n_repetitions)
-        ]
-        median, low, high = band(logs, "cost")
-        for t in range(len(median)):
-            all_rows.append({
-                "delta2": delta2, "t": t, "median": median[t],
-                "p10": low[t], "p90": high[t],
-            })
-        print(render_chart(
-            {"median cost": median},
-            title=f"convergence, delta2={delta2:g}",
-        ))
-    path = write_csv(args.out / "convergence.csv", all_rows)
-    print(f"\nwrote {path}")
+    print(spec.report(result.rows, params, out))
+    if result.resumed:
+        print(f"resumed {result.resumed}/{len(result.cells)} cells from "
+              f"{result.manifest_path}")
+    if jobs > 1:
+        pids = result.pids
+        print(f"ran {len(result.cells) - result.resumed} cells on "
+              f"{len(pids)} process(es) (jobs={jobs})")
     return 0
 
 
-def cmd_static(args) -> int:
-    testbed = TestbedConfig(n_levels=args.levels)
-    results = []
-    for constraints in CONSTRAINT_SETTINGS:
-        for delta2 in args.delta2:
-            results.append(run_static_cell(
-                constraints, delta2, n_periods=args.periods,
-                seed=args.seed, testbed=testbed,
-            ))
-    print(render_table(
-        ["d_max", "rho_min", "delta2", "cost", "oracle", "server W",
-         "BS W", "res", "airtime", "gpu", "mcs"],
-        [
-            [r.d_max_s, r.rho_min, r.delta2, r.cost, r.oracle_cost,
-             r.server_power_w, r.bs_power_w, r.resolution, r.airtime,
-             r.gpu_speed, r.mcs_fraction]
-            for r in results
-        ],
-    ))
-    path = write_csv(args.out / "static.csv", [r.as_dict() for r in results])
-    print(f"\nwrote {path}")
-    return 0
-
-
-def cmd_heterogeneous(args) -> int:
-    testbed = TestbedConfig(n_levels=args.levels)
-    results = []
-    for delta2 in args.delta2:
-        for n_users in args.users:
-            results.append(run_heterogeneous_cell(
-                n_users, delta2, n_periods=args.periods, seed=args.seed,
-                testbed=testbed,
-            ))
-    print(render_table(
-        ["delta2", "users", "EdgeBOL", "oracle", "gap", "delay viol."],
-        [
-            [r.delta2, r.n_users, r.edgebol_cost, r.oracle_cost, r.gap,
-             r.delay_violation_rate]
-            for r in results
-        ],
-    ))
-    path = write_csv(args.out / "heterogeneous.csv", [r.as_dict() for r in results])
-    print(f"\nwrote {path}")
-    return 0
-
-
-def cmd_dynamic(args) -> int:
-    setting = DynamicSetting(n_periods=args.periods)
-    log = run_dynamic(
-        setting, seed=args.seed, testbed=TestbedConfig(n_levels=args.levels)
+def _cmd_spec(args) -> int:
+    """Generated handler: run the spec bound to this subcommand."""
+    spec = args.spec
+    overrides = {
+        p.name: getattr(args, p.name.replace("-", "_")) for p in spec.params
+    }
+    params = spec.resolve(overrides)
+    return run_spec(
+        spec, params, out=args.out, seed=args.seed, jobs=args.jobs,
+        resume=not args.no_resume,
     )
-    print(render_chart({"SNR dB": log.snr_db}, title="context"))
-    print(render_chart({"|S_t|": log.safe_set_size}, title="safe-set size"))
-    path = write_csv(args.out / "dynamic.csv", log.as_dict())
-    print(f"\nwrote {path}")
-    return 0
 
 
-def cmd_comparison(args) -> int:
-    setting = ComparisonSetting(
-        n_periods=args.periods,
-        first_switch=args.periods // 3,
-        second_switch=2 * args.periods // 3,
-        n_levels=args.levels,
-    )
-    edgebol_log = run_edgebol_comparison(setting, seed=args.seed)
-    ddpg_log = run_ddpg_comparison(setting, seed=args.seed)
+def _cmd_list(args) -> int:
+    """``repro list``: one row per registered experiment spec."""
     rows = []
-    for agent, log in (("edgebol", edgebol_log), ("ddpg", ddpg_log)):
-        for p in phase_summary(log, setting):
-            rows.append({"agent": agent, **p})
-    print(render_table(
-        ["agent", "phase", "mean cost", "delay viol.", "mAP viol."],
-        [
-            [r["agent"], r["phase"], r["mean_cost"],
-             r["mean_delay_violation"], r["mean_map_violation"]]
-            for r in rows
-        ],
-    ))
-    write_csv(args.out / "comparison_edgebol.csv", edgebol_log.as_dict())
-    path = write_csv(args.out / "comparison_ddpg.csv", ddpg_log.as_dict())
-    print(f"\nwrote {path.parent}/comparison_*.csv")
+    for spec in spec_registry.all_specs():
+        sweeps = ", ".join(p.name for p in spec.params if p.sweep) or "-"
+        flags = " ".join(f"--{p.name}" for p in spec.params) or "-"
+        rows.append([spec.name, sweeps, flags, spec.help])
+    print(render_table(["experiment", "sweep axes", "flags", "description"],
+                       rows))
     return 0
 
 
-def cmd_tariff(args) -> int:
-    setting = TariffSetting(n_periods=args.periods, n_levels=args.levels)
-    tariff = default_tariff(setting)
-    rows = []
-    for decoupled in (False, True):
-        log = run_tariff_tracking(
-            decoupled, setting=setting, tariff=tariff, seed=args.seed
-        )
-        bands = band_costs(log, tariff, setting)
-        for (d1, d2), cost in bands.items():
-            rows.append({
-                "decoupled": decoupled, "delta1": d1, "delta2": d2,
-                "mean_cost": cost,
-            })
-        print(f"decoupled={decoupled}: mean cost {np.mean(log.cost):.1f}")
-    print(render_table(
-        ["decoupled", "delta1", "delta2", "mean cost"],
-        [[r["decoupled"], r["delta1"], r["delta2"], r["mean_cost"]] for r in rows],
-    ))
-    path = write_csv(args.out / "tariff.csv", rows)
-    print(f"\nwrote {path}")
-    return 0
+def _parse_sweep_entries(spec, entries) -> dict:
+    """``--sweep key=a,b,c`` strings to typed value tuples."""
+    overrides = {}
+    for entry in entries or ():
+        key, sep, raw = entry.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"repro run: --sweep expects key=v1,v2,... got '{entry}'"
+            )
+        try:
+            overrides[key] = spec.param(key).parse_values(raw)
+        except (KeyError, ValueError) as exc:
+            raise SystemExit(f"repro run: {exc}") from None
+    return overrides
 
 
-def cmd_telemetry_report(args) -> int:
+def _cmd_run(args) -> int:
+    """``repro run <spec>``: sweep any experiment with axis overrides."""
+    try:
+        spec = spec_registry.get(args.experiment)
+    except KeyError as exc:
+        raise SystemExit(f"repro run: {exc}") from None
+    overrides = {}
+    for entry in args.set or ():
+        key, sep, raw = entry.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"repro run: --set expects key=value, got '{entry}'"
+            )
+        try:
+            p = spec.param(key)
+            overrides[key] = (
+                p.parse_values(raw) if p.sweep else p.type(raw)
+            )
+        except (KeyError, ValueError) as exc:
+            raise SystemExit(f"repro run: {exc}") from None
+    try:
+        params = spec.resolve(overrides)
+    except ValueError as exc:
+        raise SystemExit(f"repro run: {exc}") from None
+    sweep_overrides = _parse_sweep_entries(spec, args.sweep)
+    return run_spec(
+        spec, params, out=args.out, seed=args.seed, jobs=args.jobs,
+        resume=not args.no_resume, sweep_overrides=sweep_overrides,
+    )
+
+
+def _cmd_telemetry_report(args) -> int:
     from repro.telemetry import report
 
     if args.selftest:
@@ -237,57 +156,35 @@ def cmd_telemetry_report(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` parser: registry-generated experiment subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="EdgeBOL reproduction: regenerate the paper's experiments",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("profile", help="Section 3 profiling sweeps (Figs. 1-6)")
-    p.add_argument("--figure", type=int, choices=range(1, 7), required=True)
-    _add_common(p)
-    p.set_defaults(fn=cmd_profile)
+    for spec in spec_registry.all_specs():
+        p = sub.add_parser(spec.name, help=spec.help)
+        for param in spec.params:
+            param.add_argument(p)
+        _add_common(p)
+        p.set_defaults(fn=_cmd_spec, spec=spec)
 
-    p = sub.add_parser("convergence", help="Fig. 9 convergence sweep")
-    p.add_argument("--delta2", type=float, nargs="+", default=[1.0, 8.0, 64.0])
-    p.add_argument("--periods", type=int, default=150)
-    p.add_argument("--repetitions", type=int, default=3)
-    p.add_argument("--levels", type=int, default=9)
-    _add_common(p)
-    p.set_defaults(fn=cmd_convergence)
+    p = sub.add_parser("list", help="list every registered experiment spec")
+    p.set_defaults(fn=_cmd_list)
 
-    p = sub.add_parser("static", help="Figs. 10-11 static sweep")
-    p.add_argument("--delta2", type=float, nargs="+", default=[1.0, 4.0, 16.0, 64.0])
-    p.add_argument("--periods", type=int, default=150)
-    p.add_argument("--levels", type=int, default=9)
+    p = sub.add_parser(
+        "run",
+        help="sweep any registered experiment with axis overrides",
+    )
+    p.add_argument("experiment", help="registered spec name (see 'list')")
+    p.add_argument("--sweep", action="append", metavar="KEY=V1,V2,...",
+                   help="replace a sweep axis' values, or promote a scalar "
+                        "parameter to an extra axis (repeatable)")
+    p.add_argument("--set", action="append", metavar="KEY=VALUE",
+                   help="override a scalar parameter (repeatable)")
     _add_common(p)
-    p.set_defaults(fn=cmd_static)
-
-    p = sub.add_parser("heterogeneous", help="Fig. 12 heterogeneous users")
-    p.add_argument("--users", type=int, nargs="+", default=[2, 4, 6])
-    p.add_argument("--delta2", type=float, nargs="+", default=[1.0, 8.0])
-    p.add_argument("--periods", type=int, default=150)
-    p.add_argument("--levels", type=int, default=7)
-    _add_common(p)
-    p.set_defaults(fn=cmd_heterogeneous)
-
-    p = sub.add_parser("dynamic", help="Fig. 13 dynamic contexts")
-    p.add_argument("--periods", type=int, default=150)
-    p.add_argument("--levels", type=int, default=9)
-    _add_common(p)
-    p.set_defaults(fn=cmd_dynamic)
-
-    p = sub.add_parser("comparison", help="Fig. 14 EdgeBOL vs DDPG")
-    p.add_argument("--periods", type=int, default=600)
-    p.add_argument("--levels", type=int, default=7)
-    _add_common(p)
-    p.set_defaults(fn=cmd_comparison)
-
-    p = sub.add_parser("tariff", help="day/night tariff tracking (extension)")
-    p.add_argument("--periods", type=int, default=300)
-    p.add_argument("--levels", type=int, default=9)
-    _add_common(p)
-    p.set_defaults(fn=cmd_tariff)
+    p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser(
         "telemetry-report",
@@ -297,7 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trace file written via --telemetry")
     p.add_argument("--selftest", action="store_true",
                    help="generate and render a synthetic trace (CI smoke test)")
-    p.set_defaults(fn=cmd_telemetry_report)
+    p.set_defaults(fn=_cmd_telemetry_report)
 
     return parser
 

@@ -1,13 +1,32 @@
-"""Evaluation harness: one module per figure of the paper.
+"""Evaluation harness: declarative specs over a parallel sweep engine.
 
-Every experiment returns plain data structures (lists of dict rows or
-:class:`RunLog` objects) plus helpers that render them as text tables /
-ASCII charts and CSV.  The ``benchmarks/`` tree wraps these into
+Every experiment registers an
+:class:`~repro.experiments.spec.ExperimentSpec` (typed parameters, a
+sweep-cell function, a report renderer) into the module registry;
+importing this package loads them all.  The CLI generates one
+subcommand per spec and :mod:`repro.experiments.parallel` expands,
+schedules (optionally across processes) and checkpoints the cells.
+Experiments still return plain data structures (lists of dict rows or
+:class:`RunLog` objects); the ``benchmarks/`` tree wraps them into
 pytest-benchmark targets, one per paper figure.
 """
 
 from repro.experiments.recorder import RunLog, render_runlog, write_csv
 from repro.experiments.runner import ConstraintSchedule, run_agent, run_repetitions
+from repro.experiments.spec import ExperimentSpec, ParamSpec
+
+# Importing the experiment modules registers their specs (order defines
+# the ``repro list`` / subcommand order).
+from repro.experiments import profiling  # noqa: E402,F401
+from repro.experiments import convergence  # noqa: E402,F401
+from repro.experiments import static  # noqa: E402,F401
+from repro.experiments import heterogeneous  # noqa: E402,F401
+from repro.experiments import dynamic  # noqa: E402,F401
+from repro.experiments import comparison  # noqa: E402,F401
+from repro.experiments import tariff  # noqa: E402,F401
+from repro.experiments import multiservice  # noqa: E402,F401
+from repro.experiments import regret  # noqa: E402,F401
+from repro.experiments import ablations  # noqa: E402,F401
 
 __all__ = [
     "RunLog",
@@ -16,4 +35,6 @@ __all__ = [
     "ConstraintSchedule",
     "run_agent",
     "run_repetitions",
+    "ExperimentSpec",
+    "ParamSpec",
 ]

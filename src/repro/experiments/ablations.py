@@ -17,17 +17,22 @@ Section 5 discusses:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Mapping
+from pathlib import Path
 
 from repro.bandit.gp_ucb import PenalizedGPBandit
 from repro.core import EdgeBOL, EdgeBOLConfig
-from repro.experiments.recorder import RunLog
+from repro.experiments import spec as spec_registry
+from repro.experiments.recorder import RunLog, write_csv
 from repro.experiments.runner import run_agent
+from repro.experiments.spec import ExperimentSpec, ParamSpec
 from repro.testbed.config import (
     CostWeights,
     ServiceConstraints,
     TestbedConfig,
 )
 from repro.testbed.scenarios import static_scenario
+from repro.utils.ascii import render_table
 
 
 @dataclass(frozen=True)
@@ -122,3 +127,100 @@ def safe_set_ablation(
         _summarise("safe-set (EdgeBOL)", safe_log),
         _summarise("penalized GP (no safe set)", unsafe_log),
     ]
+
+
+# -- the ``ablations`` experiment spec ----------------------------------
+
+#: Variant labels per study — each (study, variant) pair is one cell.
+STUDY_VARIANTS: dict[str, tuple[str, ...]] = {
+    "beta": ("1.0", "2.5", "4.0"),
+    "kernel": ("0.5", "1.5", "2.5"),
+    "safeset": ("safe", "penalized"),
+}
+
+
+def run_ablation_variant(
+    study: str,
+    variant: str,
+    n_periods: int = 100,
+    seed=0,
+    testbed: TestbedConfig | None = None,
+) -> AblationResult:
+    """Run one ablated agent variant (one sweep cell)."""
+    testbed = testbed if testbed is not None else TestbedConfig()
+    env, constraints, weights = _default_problem(seed, testbed)
+    grid = testbed.control_grid()
+    if study == "beta":
+        agent = EdgeBOL(grid, constraints, weights,
+                        config=EdgeBOLConfig(beta=float(variant)))
+        label = f"beta={float(variant)}"
+    elif study == "kernel":
+        agent = EdgeBOL(grid, constraints, weights,
+                        config=EdgeBOLConfig(matern_nu=float(variant)))
+        label = f"matern_nu={float(variant)}"
+    elif study == "safeset":
+        if variant == "safe":
+            agent = EdgeBOL(grid, constraints, weights)
+            label = "safe-set (EdgeBOL)"
+        else:
+            agent = PenalizedGPBandit(grid, constraints, weights)
+            label = "penalized GP (no safe set)"
+    else:
+        raise ValueError(
+            f"unknown ablation study '{study}' "
+            f"(known: {', '.join(STUDY_VARIANTS)})"
+        )
+    log = run_agent(env, agent, n_periods)
+    return _summarise(label, log)
+
+
+def expand_ablations(params: Mapping) -> list[dict]:
+    """One cell per (study, variant) pair of the selected studies."""
+    return [
+        {"study": study, "variant": variant}
+        for study in params["studies"]
+        for variant in STUDY_VARIANTS[study]
+    ]
+
+
+def run_ablation_cell(params: Mapping, seed) -> list[dict]:
+    """Execute one ablated variant and summarise it."""
+    result = run_ablation_variant(
+        str(params["study"]),
+        str(params["variant"]),
+        n_periods=int(params["periods"]),
+        seed=seed,
+        testbed=TestbedConfig(n_levels=int(params["levels"])),
+    )
+    return [{"study": params["study"], **result.as_dict()}]
+
+
+def report_ablations(rows: list[dict], params: Mapping, out: Path) -> str:
+    """Variant comparison table plus ``ablations.csv``."""
+    table = render_table(
+        ["study", "variant", "tail cost", "delay viol.", "mAP viol."],
+        [
+            [r["study"], r["variant"], r["tail_cost"],
+             r["delay_violation_rate"], r["map_violation_rate"]]
+            for r in rows
+        ],
+    )
+    path = write_csv(Path(out) / "ablations.csv", rows)
+    return f"{table}\n\nwrote {path}"
+
+
+SPEC = spec_registry.register(ExperimentSpec(
+    name="ablations",
+    help="beta / kernel / safe-set design ablations (§5)",
+    params=(
+        ParamSpec("studies", type=str, default=("beta", "kernel", "safeset"),
+                  sweep=True, choices=tuple(STUDY_VARIANTS),
+                  help="which ablation studies to run"),
+        ParamSpec("periods", type=int, default=100, help="periods per cell"),
+        ParamSpec("levels", type=int, default=7,
+                  help="control-grid levels per dimension"),
+    ),
+    run_cell=run_ablation_cell,
+    report=report_ablations,
+    expand=expand_ablations,
+))

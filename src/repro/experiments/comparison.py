@@ -16,19 +16,24 @@ landscape after every switch.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Mapping
+from pathlib import Path
 
 import numpy as np
 
 from repro.bandit.ddpg import DDPGConfig, DDPGController
 from repro.core import EdgeBOL, EdgeBOLConfig
-from repro.experiments.recorder import RunLog
+from repro.experiments import spec as spec_registry
+from repro.experiments.recorder import RunLog, write_csv
 from repro.experiments.runner import ConstraintSchedule, run_agent
+from repro.experiments.spec import ExperimentSpec, ParamSpec
 from repro.testbed.config import (
     CostWeights,
     ServiceConstraints,
     TestbedConfig,
 )
 from repro.testbed.scenarios import static_scenario
+from repro.utils.ascii import render_table
 
 
 @dataclass(frozen=True)
@@ -142,3 +147,68 @@ def phase_summary(log: RunLog, setting: ComparisonSetting) -> list[dict]:
             }
         )
     return rows
+
+
+# -- the ``comparison`` experiment spec ---------------------------------
+
+
+def expand_comparison(params: Mapping) -> list[dict]:
+    """One cell per agent — EdgeBOL and DDPG run concurrently."""
+    return [{"agent": "edgebol"}, {"agent": "ddpg"}]
+
+
+def _comparison_setting(params: Mapping) -> ComparisonSetting:
+    periods = int(params["periods"])
+    return ComparisonSetting(
+        n_periods=periods,
+        first_switch=periods // 3,
+        second_switch=2 * periods // 3,
+        n_levels=int(params["levels"]),
+    )
+
+
+def run_comparison_cell(params: Mapping, seed) -> list[dict]:
+    """One agent's side of Fig. 14 (a full constraint-switching run)."""
+    setting = _comparison_setting(params)
+    if params["agent"] == "edgebol":
+        log = run_edgebol_comparison(setting, seed=seed)
+    else:
+        log = run_ddpg_comparison(setting, seed=seed)
+    return log.as_rows(agent=params["agent"])
+
+
+def report_comparison(rows: list[dict], params: Mapping, out: Path) -> str:
+    """Per-phase summary table plus one CSV per agent."""
+    setting = _comparison_setting(params)
+    summary = []
+    path = None
+    for agent in ("edgebol", "ddpg"):
+        log = RunLog.from_rows([r for r in rows if r["agent"] == agent])
+        for p in phase_summary(log, setting):
+            summary.append({"agent": agent, **p})
+        path = write_csv(Path(out) / f"comparison_{agent}.csv", log.as_dict())
+    table = render_table(
+        ["agent", "phase", "mean cost", "delay viol.", "mAP viol."],
+        [
+            [r["agent"], r["phase"], r["mean_cost"],
+             r["mean_delay_violation"], r["mean_map_violation"]]
+            for r in summary
+        ],
+    )
+    return f"{table}\n\nwrote {path.parent}/comparison_*.csv"
+
+
+SPEC = spec_registry.register(ExperimentSpec(
+    name="comparison",
+    help="Fig. 14 EdgeBOL vs DDPG",
+    params=(
+        ParamSpec("periods", type=int, default=600,
+                  help="periods per run (switches at 1/3 and 2/3)"),
+        ParamSpec("levels", type=int, default=7,
+                  help="control-grid levels per dimension"),
+    ),
+    run_cell=run_comparison_cell,
+    report=report_comparison,
+    expand=expand_comparison,
+    artifacts=lambda params: ("comparison_edgebol.csv", "comparison_ddpg.csv"),
+))

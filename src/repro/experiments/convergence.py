@@ -10,17 +10,24 @@ both power consumptions over time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+import numpy as np
 
 from repro.core import EdgeBOL, EdgeBOLConfig
-from repro.experiments.recorder import RunLog
+from repro.experiments import spec as spec_registry
+from repro.experiments.recorder import RunLog, write_csv
 from repro.experiments.runner import run_agent
+from repro.experiments.spec import ExperimentSpec, ParamSpec
 from repro.testbed.config import (
     CostWeights,
     ServiceConstraints,
     TestbedConfig,
 )
 from repro.testbed.scenarios import static_scenario
+from repro.utils.ascii import render_chart
+from repro.utils.stats import percentile_band
 
 #: The delta2 sweep of Fig. 9.
 DELTA2_VALUES = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
@@ -76,6 +83,79 @@ def run_convergence_sweep(
             for seed in range(setting.n_repetitions)
         ]
     return results
+
+
+def expand_convergence(params: Mapping) -> list[dict]:
+    """One cell per (delta2, repetition) — repetitions parallelise too."""
+    return [
+        {"delta2": delta2, "rep": rep}
+        for delta2 in params["delta2"]
+        for rep in range(int(params["repetitions"]))
+    ]
+
+
+def run_convergence_cell(params: Mapping, seed) -> list[dict]:
+    """One repetition of one delta2 (a single EdgeBOL run)."""
+    setting = ConvergenceSetting(
+        n_periods=int(params["periods"]),
+        n_repetitions=1,
+        n_levels=int(params["levels"]),
+    )
+    log = run_convergence(float(params["delta2"]), setting=setting, seed=seed)
+    return [
+        {"delta2": float(params["delta2"]), "rep": int(params["rep"]),
+         "t": t, "cost": cost}
+        for t, cost in enumerate(log.cost)
+    ]
+
+
+def report_convergence(rows: list[dict], params: Mapping, out: Path) -> str:
+    """Per-delta2 median/p10/p90 bands, charts and ``convergence.csv``."""
+    parts = []
+    band_rows = []
+    for delta2 in params["delta2"]:
+        series = {}
+        for row in rows:
+            if row["delta2"] == delta2:
+                series.setdefault(row["rep"], []).append(
+                    (row["t"], row["cost"])
+                )
+        if not series:
+            continue
+        runs = np.array([
+            [cost for _, cost in sorted(points)]
+            for _, points in sorted(series.items())
+        ], dtype=float)
+        median, low, high = percentile_band(runs)
+        for t in range(median.size):
+            band_rows.append({
+                "delta2": delta2, "t": t, "median": median[t],
+                "p10": low[t], "p90": high[t],
+            })
+        parts.append(render_chart(
+            {"median cost": median}, title=f"convergence, delta2={delta2:g}",
+        ))
+    path = write_csv(Path(out) / "convergence.csv", band_rows)
+    parts.append(f"\nwrote {path}")
+    return "\n".join(parts)
+
+
+SPEC = spec_registry.register(ExperimentSpec(
+    name="convergence",
+    help="Fig. 9 convergence sweep",
+    params=(
+        ParamSpec("delta2", type=float, default=(1.0, 8.0, 64.0), sweep=True,
+                  help="BS energy prices to sweep"),
+        ParamSpec("periods", type=int, default=150, help="periods per run"),
+        ParamSpec("repetitions", type=int, default=3,
+                  help="independent repetitions per delta2"),
+        ParamSpec("levels", type=int, default=9,
+                  help="control-grid levels per dimension"),
+    ),
+    run_cell=run_convergence_cell,
+    report=report_convergence,
+    expand=expand_convergence,
+))
 
 
 def convergence_time(log: RunLog, tolerance: float = 0.1,

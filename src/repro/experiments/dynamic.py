@@ -18,16 +18,21 @@ returned :class:`RunLog` carries the engine's cache/timing counters in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Mapping
+from pathlib import Path
 
 from repro.core import EdgeBOL, EdgeBOLConfig
-from repro.experiments.recorder import RunLog
+from repro.experiments import spec as spec_registry
+from repro.experiments.recorder import RunLog, write_csv
 from repro.experiments.runner import run_agent
+from repro.experiments.spec import ExperimentSpec, ParamSpec
 from repro.testbed.config import (
     CostWeights,
     ServiceConstraints,
     TestbedConfig,
 )
 from repro.testbed.scenarios import dynamic_scenario
+from repro.utils.ascii import render_chart
 
 
 @dataclass(frozen=True)
@@ -72,3 +77,43 @@ def run_dynamic(
         config=agent_config,
     )
     return run_agent(env, agent, setting.n_periods, track_safe_set=True)
+
+
+# -- the ``dynamic`` experiment spec ------------------------------------
+
+
+def run_dynamic_cell(params: Mapping, seed) -> list[dict]:
+    """The single Fig. 13 run (one cell)."""
+    log = run_dynamic(
+        DynamicSetting(n_periods=int(params["periods"])),
+        seed=seed,
+        testbed=TestbedConfig(n_levels=int(params["levels"])),
+    )
+    return log.as_rows()
+
+
+def report_dynamic(rows: list[dict], params: Mapping, out: Path) -> str:
+    """Fig. 13 context/safe-set charts plus ``dynamic.csv``."""
+    parts = [
+        render_chart({"SNR dB": [r["snr_db"] for r in rows]}, title="context"),
+        render_chart(
+            {"|S_t|": [r["safe_set_size"] for r in rows]},
+            title="safe-set size",
+        ),
+    ]
+    path = write_csv(Path(out) / "dynamic.csv", rows)
+    parts.append(f"\nwrote {path}")
+    return "\n".join(parts)
+
+
+SPEC = spec_registry.register(ExperimentSpec(
+    name="dynamic",
+    help="Fig. 13 dynamic contexts",
+    params=(
+        ParamSpec("periods", type=int, default=150, help="periods to run"),
+        ParamSpec("levels", type=int, default=9,
+                  help="control-grid levels per dimension"),
+    ),
+    run_cell=run_dynamic_cell,
+    report=report_dynamic,
+))

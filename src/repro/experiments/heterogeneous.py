@@ -11,17 +11,23 @@ The paper reports a gap within ~2% and constraint satisfaction 0.98.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
+from pathlib import Path
 
 from repro.bandit.oracle import ExhaustiveOracle
 from repro.core import EdgeBOL, EdgeBOLConfig
+from repro.experiments import spec as spec_registry
+from repro.experiments.recorder import write_csv
 from repro.experiments.runner import run_agent
+from repro.experiments.spec import ExperimentSpec, ParamSpec
 from repro.testbed.config import (
     CostWeights,
     ServiceConstraints,
     TestbedConfig,
 )
 from repro.testbed.scenarios import heterogeneous_scenario
+from repro.utils.ascii import render_table
+from repro.utils.rng import seed_tree
 
 #: User counts on the x-axis of Fig. 12.
 USER_COUNTS = (2, 4, 6)
@@ -58,19 +64,25 @@ def run_heterogeneous_cell(
     testbed: TestbedConfig | None = None,
     agent_config: EdgeBOLConfig | None = None,
 ) -> HeterogeneousResult:
-    """Train EdgeBOL with N heterogeneous users and compare to oracle."""
+    """Train EdgeBOL with N heterogeneous users and compare to oracle.
+
+    ``seed`` may be an int, a :class:`numpy.random.SeedSequence` node
+    or a generator; the environment and oracle-environment generators
+    are spawned from it as one seed tree.
+    """
     testbed = testbed if testbed is not None else TestbedConfig()
     weights = CostWeights(1.0, delta2)
     grid = testbed.control_grid()
+    env_rng, oracle_rng = seed_tree(seed, 2)
 
-    env = heterogeneous_scenario(n_users=n_users, rng=seed, config=testbed)
+    env = heterogeneous_scenario(n_users=n_users, rng=env_rng, config=testbed)
     agent = EdgeBOL(grid, CONSTRAINTS, weights, config=agent_config)
     log = run_agent(env, agent, n_periods)
     burn_in = min(n_periods // 4, max(n_periods - tail_window, 0))
     delay_viol, map_viol = log.violation_rates(burn_in=burn_in)
 
     oracle_env = heterogeneous_scenario(
-        n_users=n_users, rng=seed + 1000, config=testbed
+        n_users=n_users, rng=oracle_rng, config=testbed
     )
     snrs = [30.0 * (0.8**i) for i in range(n_users)]
     oracle = ExhaustiveOracle(oracle_env, weights, control_grid=grid)
@@ -100,3 +112,49 @@ def run_heterogeneous_sweep(
         for n_users in user_counts:
             results.append(run_heterogeneous_cell(n_users, delta2, **kwargs))
     return results
+
+
+# -- the ``heterogeneous`` experiment spec ------------------------------
+
+
+def run_heterogeneous_spec_cell(params: Mapping, seed) -> list[dict]:
+    """One (delta2, n_users) cell of the Fig. 12 sweep."""
+    result = run_heterogeneous_cell(
+        int(params["users"]),
+        float(params["delta2"]),
+        n_periods=int(params["periods"]),
+        seed=seed,
+        testbed=TestbedConfig(n_levels=int(params["levels"])),
+    )
+    return [result.as_dict()]
+
+
+def report_heterogeneous(rows: list[dict], params: Mapping, out: Path) -> str:
+    """Fig. 12 summary table plus ``heterogeneous.csv``."""
+    table = render_table(
+        ["delta2", "users", "EdgeBOL", "oracle", "gap", "delay viol."],
+        [
+            [r["delta2"], r["n_users"], r["edgebol_cost"], r["oracle_cost"],
+             r["gap"], r["delay_violation_rate"]]
+            for r in rows
+        ],
+    )
+    path = write_csv(Path(out) / "heterogeneous.csv", rows)
+    return f"{table}\n\nwrote {path}"
+
+
+SPEC = spec_registry.register(ExperimentSpec(
+    name="heterogeneous",
+    help="Fig. 12 heterogeneous users",
+    params=(
+        ParamSpec("delta2", type=float, default=(1.0, 8.0), sweep=True,
+                  help="BS energy prices to sweep"),
+        ParamSpec("users", type=int, default=(2, 4, 6), sweep=True,
+                  help="user counts to sweep"),
+        ParamSpec("periods", type=int, default=150, help="periods per cell"),
+        ParamSpec("levels", type=int, default=7,
+                  help="control-grid levels per dimension"),
+    ),
+    run_cell=run_heterogeneous_spec_cell,
+    report=report_heterogeneous,
+))

@@ -1,0 +1,420 @@
+"""Process-parallel sweep engine over declarative experiment specs.
+
+:func:`run_sweep` expands an :class:`~repro.experiments.spec.ExperimentSpec`
+into independent cells and executes them:
+
+* **seeding** — one :class:`numpy.random.SeedSequence` root per sweep,
+  spawned into one child per cell *by cell index*, so per-cell
+  randomness is independent of execution order and worker count
+  (``--jobs 1`` and ``--jobs N`` produce identical results);
+* **scheduling** — ``jobs == 1`` runs cells in-process (telemetry spans
+  nest under the caller's trace as ``sweep.cell``); ``jobs > 1``
+  dispatches cells to a :class:`concurrent.futures.ProcessPoolExecutor`
+  by spec *name* — workers re-import the registry, so only plain data
+  crosses the process boundary;
+* **checkpointing** — completed cells are appended to a JSONL manifest
+  under the output directory; re-running the same sweep resumes by
+  skipping cells already in the manifest (a changed seed or parameter
+  set invalidates it);
+* **telemetry** — when the parent records a trace, worker cells collect
+  their own metrics snapshots which are merged (counters summed,
+  histograms bucket-wise) into the parent registry so the final report
+  covers the whole sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments import spec as registry
+from repro.experiments.spec import ExperimentSpec
+from repro.telemetry import runtime as telemetry
+
+__all__ = ["SweepCell", "CellResult", "SweepResult", "run_sweep", "merge_metrics"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One schedulable point of a sweep (plain data, picklable)."""
+
+    index: int
+    cell_id: str
+    params: dict
+    #: Root entropy + spawn key identifying this cell's SeedSequence
+    #: node inside the sweep's spawn tree.
+    entropy: int
+    spawn_key: tuple[int, ...]
+
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """Reconstruct this cell's node of the sweep's seed tree."""
+        return np.random.SeedSequence(
+            entropy=self.entropy, spawn_key=self.spawn_key
+        )
+
+
+@dataclass
+class CellResult:
+    """Outcome of one executed (or resumed) cell."""
+
+    index: int
+    cell_id: str
+    params: dict
+    rows: list
+    pid: int
+    metrics: dict | None = None
+    cached: bool = False
+
+
+@dataclass
+class SweepResult:
+    """Merged outcome of one sweep, in cell-index order."""
+
+    spec_name: str
+    params: dict
+    cells: list[CellResult] = field(default_factory=list)
+    manifest_path: Path | None = None
+
+    @property
+    def rows(self) -> list:
+        """All cell rows concatenated in cell order."""
+        return [row for cell in self.cells for row in cell.rows]
+
+    @property
+    def pids(self) -> tuple[int, ...]:
+        """Distinct worker PIDs that executed (non-cached) cells."""
+        return tuple(sorted({c.pid for c in self.cells if not c.cached}))
+
+    @property
+    def resumed(self) -> int:
+        """How many cells were skipped thanks to the manifest."""
+        return sum(1 for c in self.cells if c.cached)
+
+
+def _build_cells(spec: ExperimentSpec, params: dict, seed: int,
+                 sweep_overrides=None) -> list[SweepCell]:
+    """Expand the grid and attach one seed-tree node per cell."""
+    pairs = spec.cells(params, sweep_overrides)
+    root = np.random.SeedSequence(seed)
+    children = root.spawn(len(pairs))
+    return [
+        SweepCell(
+            index=i,
+            cell_id=cid,
+            params=cell_params,
+            entropy=int(root.entropy),
+            spawn_key=tuple(int(k) for k in child.spawn_key),
+        )
+        for i, ((cid, cell_params), child) in enumerate(zip(pairs, children))
+    ]
+
+
+def _jsonable(value):
+    """Recursively coerce numpy scalars/arrays for the JSONL manifest."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
+def _execute_cell(spec_name: str, cell: SweepCell,
+                  collect_telemetry: bool) -> CellResult:
+    """Run one cell — the worker-process entry point.
+
+    Top-level so it pickles under any multiprocessing start method;
+    looks the spec up by name after (re-)loading the registry.
+    """
+    registry.load_all()
+    spec = registry.get(spec_name)
+    metrics = None
+    if collect_telemetry:
+        telemetry.reset_metrics()
+        telemetry.enable()
+        try:
+            rows = spec.run_cell(cell.params, cell.seed_sequence())
+            metrics = telemetry.metrics_snapshot()
+        finally:
+            telemetry.disable()
+    else:
+        rows = spec.run_cell(cell.params, cell.seed_sequence())
+    return CellResult(
+        index=cell.index,
+        cell_id=cell.cell_id,
+        params=cell.params,
+        rows=_jsonable(rows),
+        pid=os.getpid(),
+        metrics=metrics,
+    )
+
+
+def _run_cell_inprocess(spec: ExperimentSpec, cell: SweepCell) -> CellResult:
+    """Serial path: telemetry spans nest under the caller's trace."""
+    with telemetry.span("sweep.cell") as sp:
+        if sp:
+            sp.set("spec", spec.name)
+            sp.set("cell", cell.cell_id)
+        rows = spec.run_cell(cell.params, cell.seed_sequence())
+    return CellResult(
+        index=cell.index,
+        cell_id=cell.cell_id,
+        params=cell.params,
+        rows=_jsonable(rows),
+        pid=os.getpid(),
+    )
+
+
+# -- manifest checkpointing ---------------------------------------------
+
+
+def _manifest_path(spec: ExperimentSpec, out: Path) -> Path:
+    return Path(out) / f"{spec.name}_manifest.jsonl"
+
+
+def _manifest_header(spec: ExperimentSpec, params: dict, seed: int) -> dict:
+    return {
+        "type": "sweep",
+        "spec": spec.name,
+        "seed": seed,
+        "params": _jsonable(params),
+    }
+
+
+def _load_manifest(path: Path, header: dict) -> dict[str, dict]:
+    """Completed-cell records of a matching previous run (empty on mismatch)."""
+    if not path.exists():
+        return {}
+    done: dict[str, dict] = {}
+    try:
+        with path.open() as handle:
+            first = json.loads(next(handle, "null"))
+            if first != header:
+                return {}
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                done[record["cell_id"]] = record
+    except (json.JSONDecodeError, KeyError, OSError):
+        return {}
+    return done
+
+
+def _resume_cells(cells: "list[SweepCell]",
+                  records: dict[str, dict]) -> dict[str, CellResult]:
+    """Recorded cells safe to reuse for this exact sweep.
+
+    A record is only reused when its ``spawn_key`` and parameters match
+    the cell being scheduled — cell seeds derive from the cell's index
+    in the expanded grid, so a manifest from a differently-shaped sweep
+    (e.g. other ``--sweep`` values) must not leak results across grids.
+    """
+    done: dict[str, CellResult] = {}
+    for cell in cells:
+        record = records.get(cell.cell_id)
+        if record is None:
+            continue
+        if record.get("spawn_key") != list(cell.spawn_key):
+            continue
+        if record.get("params") != _jsonable(cell.params):
+            continue
+        done[cell.cell_id] = CellResult(
+            index=cell.index,
+            cell_id=cell.cell_id,
+            params=cell.params,
+            rows=record["rows"],
+            pid=record.get("pid", -1),
+            metrics=record.get("metrics"),
+            cached=True,
+        )
+    return done
+
+
+class _ManifestWriter:
+    """Append-only JSONL checkpoint of completed cells."""
+
+    def __init__(self, path: Path | None, header: dict, fresh: bool) -> None:
+        self.path = path
+        self._handle = None
+        self._spawn_keys: dict[str, tuple[int, ...]] = {}
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if fresh or not path.exists():
+            self._handle = path.open("w")
+            self._write(header)
+        else:
+            self._handle = path.open("a")
+
+    def _write(self, record: dict) -> None:
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+
+    def track(self, cells: "list[SweepCell]") -> None:
+        """Remember each cell's seed-tree node for its checkpoint line."""
+        self._spawn_keys = {c.cell_id: c.spawn_key for c in cells}
+
+    def append(self, result: CellResult) -> None:
+        """Checkpoint one completed cell."""
+        if self._handle is None:
+            return
+        self._write({
+            "index": result.index,
+            "cell_id": result.cell_id,
+            "spawn_key": list(self._spawn_keys.get(result.cell_id, ())),
+            "params": _jsonable(result.params),
+            "rows": result.rows,
+            "pid": result.pid,
+            "metrics": result.metrics,
+        })
+
+    def close(self) -> None:
+        """Close the underlying file (no-op without a path)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+# -- telemetry merging --------------------------------------------------
+
+
+def merge_metrics(snapshots: "list[dict]") -> dict:
+    """Combine per-cell metrics snapshots into one summary dict.
+
+    Counters and histogram buckets are summed, gauges keep the last
+    non-NaN value seen, histogram min/max/mean are recombined.
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            if value == value:  # skip NaN
+                gauges[name] = value
+        for name, h in snap.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = {k: (list(v) if isinstance(v, list) else v)
+                                    for k, v in h.items()}
+                continue
+            merged["counts"] = [
+                a + b for a, b in zip(merged["counts"], h["counts"])
+            ]
+            merged["count"] += h["count"]
+            merged["sum"] += h["sum"]
+            mins = [v for v in (merged["min"], h["min"]) if v is not None]
+            maxs = [v for v in (merged["max"], h["max"]) if v is not None]
+            merged["min"] = min(mins) if mins else None
+            merged["max"] = max(maxs) if maxs else None
+            merged["mean"] = (
+                merged["sum"] / merged["count"] if merged["count"] else None
+            )
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def _fold_into_parent_registry(merged: dict) -> None:
+    """Add merged worker counters/gauges to the parent's registry."""
+    reg = telemetry.get_registry()
+    for name, value in merged.get("counters", {}).items():
+        reg.counter(name).inc(int(value))
+    for name, value in merged.get("gauges", {}).items():
+        reg.gauge(name).set(value)
+
+
+# -- the engine ---------------------------------------------------------
+
+
+def run_sweep(
+    spec: ExperimentSpec,
+    params: dict,
+    *,
+    seed: int = 0,
+    jobs: int = 1,
+    out: "Path | str | None" = None,
+    resume: bool = True,
+    sweep_overrides: dict | None = None,
+) -> SweepResult:
+    """Execute every cell of ``spec`` for ``params`` (see module docs).
+
+    Parameters
+    ----------
+    seed:
+        Root of the sweep's SeedSequence spawn tree.
+    jobs:
+        Worker processes; ``1`` runs serially in-process.
+    out:
+        Directory for the resume manifest (``None`` disables
+        checkpointing).
+    resume:
+        Skip cells already recorded in a matching manifest.
+    sweep_overrides:
+        Extra/replacement axis values (``repro run --sweep key=a,b,c``).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    cells = _build_cells(spec, params, seed, sweep_overrides)
+    header = _manifest_header(spec, params, seed)
+    manifest_path = _manifest_path(spec, Path(out)) if out is not None else None
+
+    done: dict[str, CellResult] = {}
+    if manifest_path is not None and resume:
+        done = _resume_cells(cells, _load_manifest(manifest_path, header))
+    pending = [c for c in cells if c.cell_id not in done]
+
+    writer = _ManifestWriter(manifest_path, header, fresh=not done)
+    writer.track(cells)
+    results: dict[str, CellResult] = dict(done)
+    collect_telemetry = telemetry.enabled() and jobs > 1
+    try:
+        if jobs == 1 or len(pending) <= 1:
+            for cell in pending:
+                result = _run_cell_inprocess(spec, cell)
+                results[cell.cell_id] = result
+                writer.append(result)
+        else:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                futures = {
+                    pool.submit(_execute_cell, spec.name, cell, collect_telemetry)
+                    for cell in pending
+                }
+                while futures:
+                    finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        result = future.result()
+                        results[result.cell_id] = result
+                        writer.append(result)
+    finally:
+        writer.close()
+
+    if collect_telemetry:
+        merged = merge_metrics(
+            [r.metrics for r in results.values() if r.metrics]
+        )
+        if merged["counters"] or merged["gauges"] or merged["histograms"]:
+            _fold_into_parent_registry(merged)
+
+    ordered = sorted(results.values(), key=lambda r: r.index)
+    return SweepResult(
+        spec_name=spec.name,
+        params=params,
+        cells=ordered,
+        manifest_path=manifest_path,
+    )

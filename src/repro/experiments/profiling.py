@@ -4,12 +4,23 @@ Each function sweeps the configuration policies exactly as the paper's
 measurement campaign does and returns one dict row per measurement
 point (each point being the average over a 150-image batch, sampled
 with the testbed's observation noise — the "dots" of the figures).
+
+The module registers the ``profile`` experiment spec: one cell per
+run, selected by ``--figure``, with the summary's group/value key
+lists declared per figure in :data:`FIGURES` (so an empty sweep or a
+schema change cannot crash the renderer).
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
+from pathlib import Path
 
+import numpy as np
+
+from repro.experiments import spec as spec_registry
+from repro.experiments.recorder import write_csv
+from repro.experiments.spec import ExperimentSpec, ParamSpec
 from repro.testbed.config import ControlPolicy, TestbedConfig
 from repro.testbed.env import EdgeAIEnvironment
 from repro.testbed.scenarios import static_scenario
@@ -189,7 +200,11 @@ def fig6_bs_power_vs_mcs_10x(
 
 def summarize(rows: list[dict], group_keys: Sequence[str],
               value_keys: Sequence[str]) -> str:
-    """Group rows and render mean values as a text table."""
+    """Group rows and render mean values as a text table.
+
+    With no rows the (empty) table still renders — callers need not
+    special-case a sweep that produced nothing.
+    """
     groups: dict[tuple, dict[str, list[float]]] = {}
     for row in rows:
         key = tuple(row[k] for k in group_keys)
@@ -203,3 +218,85 @@ def summarize(rows: list[dict], group_keys: Sequence[str],
         table_rows.append([*key, *means])
     headers = [*group_keys, *[f"mean_{v}" for v in value_keys]]
     return render_table(headers, table_rows)
+
+
+# -- the ``profile`` experiment spec ------------------------------------
+
+#: Per-figure declaration: CSV stem, row builder and the explicit
+#: group/value key lists the summary table uses (owned here, not
+#: derived from row-key prefixes in the CLI).
+FIGURES: dict[int, dict] = {
+    1: {
+        "csv": "fig01_precision_delay",
+        "build": lambda rng: fig1_precision_vs_delay(_profiling_env(rng=rng)),
+        "group_keys": ("resolution",),
+        "value_keys": ("delay_ms", "map"),
+    },
+    2: {
+        "csv": "fig02_delay_serverpower",
+        "build": lambda rng: fig2_delay_vs_server_power(_profiling_env(rng=rng)),
+        "group_keys": ("airtime", "resolution"),
+        "value_keys": ("server_power_w", "delay_ms"),
+    },
+    3: {
+        "csv": "fig03_gpu_policies",
+        "build": lambda rng: fig3_gpu_policies(_profiling_env(rng=rng)),
+        "group_keys": ("gpu_speed", "resolution"),
+        "value_keys": ("server_power_w", "delay_ms", "gpu_delay_ms"),
+    },
+    4: {
+        "csv": "fig04_precision_serverpower",
+        "build": lambda rng: fig4_precision_vs_server_power(
+            _profiling_env(rng=rng)
+        ),
+        "group_keys": ("resolution",),
+        "value_keys": ("server_power_w", "map"),
+    },
+    5: {
+        "csv": "fig05_bspower_mcs",
+        "build": lambda rng: fig5_bs_power_vs_mcs(_profiling_env(rng=rng)),
+        "group_keys": ("airtime", "resolution", "mcs_policy"),
+        "value_keys": ("mean_mcs", "bs_power_w"),
+    },
+    6: {
+        "csv": "fig06_bspower_10x",
+        "build": lambda rng: fig6_bs_power_vs_mcs_10x(rng=rng),
+        "group_keys": ("airtime", "resolution", "mcs_policy"),
+        "value_keys": ("mean_mcs", "bs_power_w"),
+    },
+}
+
+
+def run_profile_cell(params: Mapping, seed) -> list[dict]:
+    """One profiling campaign (the single cell of the ``profile`` spec)."""
+    figure = FIGURES[int(params["figure"])]
+    return figure["build"](np.random.default_rng(seed))
+
+
+def report_profile(rows: list[dict], params: Mapping, out: Path) -> str:
+    """Summary table + the figure's CSV artifact."""
+    figure = FIGURES[int(params["figure"])]
+    path = write_csv(Path(out) / f"{figure['csv']}.csv", rows)
+    parts = []
+    if rows:
+        parts.append(summarize(
+            rows, list(figure["group_keys"]), list(figure["value_keys"])
+        ))
+    else:
+        parts.append("profile: the sweep produced no measurement rows")
+    parts.append(f"\nwrote {path}")
+    return "\n".join(parts)
+
+
+SPEC = spec_registry.register(ExperimentSpec(
+    name="profile",
+    help="Section 3 profiling sweeps (Figs. 1-6)",
+    params=(
+        ParamSpec("figure", type=int, required=True,
+                  choices=tuple(range(1, 7)),
+                  help="which profiling figure to regenerate"),
+    ),
+    run_cell=run_profile_cell,
+    report=report_profile,
+    artifacts=lambda params: (f"{FIGURES[int(params['figure'])]['csv']}.csv",),
+))

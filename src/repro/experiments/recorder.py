@@ -125,6 +125,32 @@ class RunLog:
             float(np.mean(maps < rho)),
         )
 
+    def as_rows(self, **extra) -> list[dict]:
+        """One JSON-serialisable dict per period (sweep-cell layout).
+
+        The row schema matches :meth:`as_dict` columns; ``extra``
+        key/values are prepended to every row (e.g. the cell's sweep
+        coordinates), which is how cells ship trajectories across the
+        process boundary to the sweep engine.
+        """
+        columns = self.as_dict()
+        names = list(columns)
+        return [
+            {**extra, **{name: columns[name][t] for name in names}}
+            for t in range(len(self))
+        ]
+
+    @classmethod
+    def from_rows(cls, rows: "Sequence[Mapping]") -> "RunLog":
+        """Rebuild a log from :meth:`as_rows` output (extras ignored)."""
+        log = cls()
+        fields = [name for name in log.as_dict() if name != "t"]
+        alias = {"map": "map_score"}
+        for row in rows:
+            for name in fields:
+                getattr(log, alias.get(name, name)).append(row[name])
+        return log
+
     def as_dict(self) -> dict[str, list]:
         """Column-name to series mapping (CSV layout)."""
         return {

@@ -14,11 +14,15 @@ context-dependent oracle.  These helpers compute:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Mapping
+from pathlib import Path
 
 import numpy as np
 
 from repro.bandit.oracle import ExhaustiveOracle
-from repro.experiments.recorder import RunLog
+from repro.experiments import spec as spec_registry
+from repro.experiments.recorder import RunLog, write_csv
+from repro.experiments.spec import ExperimentSpec, ParamSpec
 from repro.testbed.config import ServiceConstraints
 
 
@@ -103,3 +107,90 @@ def regret_for_static_run(
     """Convenience: look up the oracle for a static context, then score."""
     best = oracle.best(constraints, snrs_db=snrs_db)
     return regret_against_constant_oracle(log, best.cost)
+
+
+# -- the ``regret`` experiment spec -------------------------------------
+
+
+def run_regret_cell(params: Mapping, seed) -> list[dict]:
+    """One EdgeBOL run vs the offline oracle, scored as regret curves."""
+    from repro.core import EdgeBOL
+    from repro.experiments.runner import run_agent
+    from repro.testbed.config import CostWeights, TestbedConfig
+    from repro.testbed.scenarios import static_scenario
+    from repro.utils.rng import seed_tree
+
+    mean_snr_db = 35.0
+    delta2 = float(params["delta2"])
+    testbed = TestbedConfig(n_levels=int(params["levels"]))
+    constraints = ServiceConstraints(0.4, 0.5)
+    weights = CostWeights(1.0, delta2)
+    grid = testbed.control_grid()
+    env_rng, oracle_rng = seed_tree(seed, 2)
+
+    env = static_scenario(mean_snr_db=mean_snr_db, rng=env_rng, config=testbed)
+    agent = EdgeBOL(grid, constraints, weights)
+    log = run_agent(env, agent, int(params["periods"]))
+
+    oracle_env = static_scenario(
+        mean_snr_db=mean_snr_db, rng=oracle_rng, config=testbed
+    )
+    oracle = ExhaustiveOracle(oracle_env, weights, control_grid=grid)
+    curves = regret_for_static_run(
+        log, oracle, constraints, snrs_db=[mean_snr_db] * env.n_users
+    )
+    return [
+        {
+            "delta2": delta2,
+            "t": t,
+            "regret": float(curves.per_period[t]),
+            "cumulative": float(curves.cumulative[t]),
+            "average": float(curves.average[t]),
+            "safety_cumulative": float(curves.safety_cumulative[t]),
+        }
+        for t in range(curves.per_period.size)
+    ]
+
+
+def report_regret(rows: list[dict], params: Mapping, out: Path) -> str:
+    """Final regret summary per delta2 plus ``regret.csv``."""
+    from repro.utils.ascii import render_table
+
+    summary = []
+    for delta2 in params["delta2"]:
+        cell = [r for r in rows if r["delta2"] == delta2]
+        if not cell:
+            continue
+        final = cell[-1]
+        per_period = np.array([r["regret"] for r in cell])
+        n = per_period.size
+        cut = max(1, n // 2)
+        sublinear = (
+            n >= 4 and float(np.mean(per_period[cut:]))
+            < float(np.mean(per_period[:cut]))
+        )
+        summary.append([
+            delta2, final["cumulative"], final["average"],
+            final["safety_cumulative"], sublinear,
+        ])
+    table = render_table(
+        ["delta2", "cum. regret", "avg regret", "cum. safety", "sublinear"],
+        summary,
+    )
+    path = write_csv(Path(out) / "regret.csv", rows)
+    return f"{table}\n\nwrote {path}"
+
+
+SPEC = spec_registry.register(ExperimentSpec(
+    name="regret",
+    help="regret vs the offline oracle (learning-theoretic lens)",
+    params=(
+        ParamSpec("delta2", type=float, default=(1.0, 8.0), sweep=True,
+                  help="BS energy prices to sweep"),
+        ParamSpec("periods", type=int, default=150, help="periods per run"),
+        ParamSpec("levels", type=int, default=7,
+                  help="control-grid levels per dimension"),
+    ),
+    run_cell=run_regret_cell,
+    report=report_regret,
+))

@@ -26,12 +26,33 @@ class ConstraintSchedule:
     initial: ServiceConstraints
     changes: tuple[tuple[int, ServiceConstraints], ...] = ()
 
+    def __post_init__(self) -> None:
+        """Validate change periods and sort the schedule once."""
+        starts = [start for start, _ in self.changes]
+        for start in starts:
+            if start < 0:
+                raise ValueError(
+                    f"schedule change periods must be non-negative, got {start}"
+                )
+        if len(set(starts)) != len(starts):
+            duplicates = sorted({s for s in starts if starts.count(s) > 1})
+            raise ValueError(
+                f"schedule change periods must be unique, got duplicate(s) "
+                f"{duplicates}"
+            )
+        object.__setattr__(
+            self,
+            "changes",
+            tuple(sorted(self.changes, key=lambda change: change[0])),
+        )
+
     def at(self, t: int) -> ServiceConstraints:
         """Constraints active at period ``t``."""
         active = self.initial
-        for start, constraints in sorted(self.changes):
-            if t >= start:
-                active = constraints
+        for start, constraints in self.changes:
+            if t < start:
+                break
+            active = constraints
         return active
 
 
@@ -124,6 +145,24 @@ def band(logs: Sequence[RunLog], field_name: str,
 
     This is the visual convention of the paper's plots (median with
     10th/90th percentile shading).
+
+    Raises
+    ------
+    ValueError
+        If ``logs`` is empty or the repetition logs have unequal
+        lengths (the error names the offending log).
     """
-    rows = np.array([getattr(log, field_name) for log in logs], dtype=float)
-    return percentile_band(rows, low=low, high=high)
+    if not logs:
+        raise ValueError(
+            f"band('{field_name}') needs at least one run log, got an empty "
+            "sequence"
+        )
+    series = [getattr(log, field_name) for log in logs]
+    expected = len(series[0])
+    for i, values in enumerate(series[1:], start=1):
+        if len(values) != expected:
+            raise ValueError(
+                f"band('{field_name}'): log {i} has {len(values)} periods "
+                f"but log 0 has {expected}; repetitions must be equal-length"
+            )
+    return percentile_band(np.array(series, dtype=float), low=low, high=high)

@@ -15,13 +15,17 @@ comparable across delta2 as in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
+from pathlib import Path
 
 import numpy as np
 
 from repro.bandit.oracle import ExhaustiveOracle
 from repro.core import EdgeBOL, EdgeBOLConfig
+from repro.experiments import spec as spec_registry
+from repro.experiments.recorder import write_csv
 from repro.experiments.runner import run_agent
+from repro.experiments.spec import ExperimentSpec, ParamSpec
 from repro.testbed.config import (
     ControlPolicy,
     CostWeights,
@@ -29,6 +33,8 @@ from repro.testbed.config import (
     TestbedConfig,
 )
 from repro.testbed.scenarios import static_scenario
+from repro.utils.ascii import render_table
+from repro.utils.rng import seed_tree
 
 #: The three constraint settings of Figs. 10-11.
 CONSTRAINT_SETTINGS = (
@@ -36,6 +42,12 @@ CONSTRAINT_SETTINGS = (
     ServiceConstraints(d_max_s=0.4, rho_min=0.5),   # medium
     ServiceConstraints(d_max_s=0.3, rho_min=0.6),   # stringent
 )
+
+#: Names of the Figs. 10-11 constraint settings (sweep-axis labels).
+CONSTRAINT_NAMES = ("lax", "medium", "stringent")
+
+#: Setting-name to constraint mapping used by the spec's cells.
+CONSTRAINTS_BY_NAME = dict(zip(CONSTRAINT_NAMES, CONSTRAINT_SETTINGS))
 
 #: delta2 sweep of Figs. 10-11.
 DELTA2_VALUES = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
@@ -84,17 +96,23 @@ def run_static_cell(
     testbed: TestbedConfig | None = None,
     agent_config: EdgeBOLConfig | None = None,
 ) -> StaticResult:
-    """One converged EdgeBOL run plus the oracle for the same cell."""
+    """One converged EdgeBOL run plus the oracle for the same cell.
+
+    ``seed`` may be an int, a :class:`numpy.random.SeedSequence` node
+    or a generator; the environment and oracle-environment generators
+    are spawned from it as one seed tree.
+    """
     testbed = testbed if testbed is not None else TestbedConfig()
     weights = CostWeights(1.0, delta2)
     grid = testbed.control_grid()
+    env_rng, oracle_rng = seed_tree(seed, 2)
 
-    env = static_scenario(mean_snr_db=mean_snr_db, rng=seed, config=testbed)
+    env = static_scenario(mean_snr_db=mean_snr_db, rng=env_rng, config=testbed)
     agent = EdgeBOL(grid, constraints, weights, config=agent_config)
     log = run_agent(env, agent, n_periods)
 
     oracle_env = static_scenario(
-        mean_snr_db=mean_snr_db, rng=seed + 1000, config=testbed
+        mean_snr_db=mean_snr_db, rng=oracle_rng, config=testbed
     )
     oracle = ExhaustiveOracle(oracle_env, weights, control_grid=grid)
     oracle_result = oracle.best(constraints, snrs_db=[mean_snr_db] * env.n_users)
@@ -133,3 +151,60 @@ def run_static_sweep(
         for delta2 in delta2_values:
             results.append(run_static_cell(constraints, delta2, **kwargs))
     return results
+
+
+# -- the ``static`` experiment spec -------------------------------------
+
+
+def expand_static(params: Mapping) -> list[dict]:
+    """Cross the three Figs. 10-11 constraint settings with delta2."""
+    return [
+        {"setting": name, "delta2": delta2}
+        for name in CONSTRAINT_NAMES
+        for delta2 in params["delta2"]
+    ]
+
+
+def run_static_spec_cell(params: Mapping, seed) -> list[dict]:
+    """One (constraint setting, delta2) cell of the static sweep."""
+    result = run_static_cell(
+        CONSTRAINTS_BY_NAME[params["setting"]],
+        float(params["delta2"]),
+        n_periods=int(params["periods"]),
+        seed=seed,
+        testbed=TestbedConfig(n_levels=int(params["levels"])),
+    )
+    return [result.as_dict()]
+
+
+def report_static(rows: list[dict], params: Mapping, out: Path) -> str:
+    """Figs. 10-11 summary table plus ``static.csv``."""
+    table = render_table(
+        ["d_max", "rho_min", "delta2", "cost", "oracle", "server W",
+         "BS W", "res", "airtime", "gpu", "mcs"],
+        [
+            [r["d_max_s"], r["rho_min"], r["delta2"], r["cost"],
+             r["oracle_cost"], r["server_power_w"], r["bs_power_w"],
+             r["resolution"], r["airtime"], r["gpu_speed"],
+             r["mcs_fraction"]]
+            for r in rows
+        ],
+    )
+    path = write_csv(Path(out) / "static.csv", rows)
+    return f"{table}\n\nwrote {path}"
+
+
+SPEC = spec_registry.register(ExperimentSpec(
+    name="static",
+    help="Figs. 10-11 static sweep",
+    params=(
+        ParamSpec("delta2", type=float, default=(1.0, 4.0, 16.0, 64.0),
+                  sweep=True, help="BS energy prices to sweep"),
+        ParamSpec("periods", type=int, default=150, help="periods per cell"),
+        ParamSpec("levels", type=int, default=9,
+                  help="control-grid levels per dimension"),
+    ),
+    run_cell=run_static_spec_cell,
+    report=report_static,
+    expand=expand_static,
+))

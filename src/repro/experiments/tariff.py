@@ -19,15 +19,20 @@ near-instantly while the coupled agent drags stale-cost data along.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Mapping
+from pathlib import Path
 
 import numpy as np
 
 from repro.core import EdgeBOL, EdgeBOLConfig
-from repro.experiments.recorder import RunLog
+from repro.experiments import spec as spec_registry
+from repro.experiments.recorder import RunLog, write_csv
+from repro.experiments.spec import ExperimentSpec, ParamSpec
 from repro.testbed.config import ServiceConstraints, TestbedConfig
 from repro.testbed.env import EdgeAIEnvironment
 from repro.testbed.scenarios import static_scenario
 from repro.testbed.tariffs import DayNightTariff, EnergyTariff
+from repro.utils.ascii import render_table
 
 
 @dataclass(frozen=True)
@@ -105,3 +110,52 @@ def band_costs(log: RunLog, tariff: EnergyTariff, setting: TariffSetting):
             order.append(key)
         bands[key].append(cost)
     return {key: float(np.mean(values)) for key, values in bands.items()}
+
+
+# -- the ``tariff`` experiment spec -------------------------------------
+
+
+def expand_tariff(params: Mapping) -> list[dict]:
+    """One cell per formulation: coupled vs decoupled power GPs."""
+    return [{"decoupled": False}, {"decoupled": True}]
+
+
+def run_tariff_cell(params: Mapping, seed) -> list[dict]:
+    """One agent run under the day/night tariff, summarised per band."""
+    setting = TariffSetting(
+        n_periods=int(params["periods"]), n_levels=int(params["levels"])
+    )
+    tariff = default_tariff(setting)
+    log = run_tariff_tracking(
+        bool(params["decoupled"]), setting=setting, tariff=tariff, seed=seed
+    )
+    return [
+        {"decoupled": bool(params["decoupled"]), "delta1": d1, "delta2": d2,
+         "mean_cost": cost}
+        for (d1, d2), cost in band_costs(log, tariff, setting).items()
+    ]
+
+
+def report_tariff(rows: list[dict], params: Mapping, out: Path) -> str:
+    """Per-band cost table plus ``tariff.csv``."""
+    table = render_table(
+        ["decoupled", "delta1", "delta2", "mean cost"],
+        [[r["decoupled"], r["delta1"], r["delta2"], r["mean_cost"]]
+         for r in rows],
+    )
+    path = write_csv(Path(out) / "tariff.csv", rows)
+    return f"{table}\n\nwrote {path}"
+
+
+SPEC = spec_registry.register(ExperimentSpec(
+    name="tariff",
+    help="day/night tariff tracking (extension)",
+    params=(
+        ParamSpec("periods", type=int, default=300, help="periods per run"),
+        ParamSpec("levels", type=int, default=9,
+                  help="control-grid levels per dimension"),
+    ),
+    run_cell=run_tariff_cell,
+    report=report_tariff,
+    expand=expand_tariff,
+))

@@ -19,16 +19,21 @@ def ensure_rng(rng: "int | np.random.Generator | None" = None) -> np.random.Gene
     Parameters
     ----------
     rng:
-        ``None`` (fresh nondeterministic generator), an integer seed, or an
-        existing generator (returned unchanged).
+        ``None`` (fresh nondeterministic generator), an integer seed, a
+        :class:`numpy.random.SeedSequence` (e.g. one node of a sweep's
+        spawn tree), or an existing generator (returned unchanged).
     """
     if rng is None:
         return np.random.default_rng()
     if isinstance(rng, np.random.Generator):
         return rng
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
     if isinstance(rng, (int, np.integer)):
         return np.random.default_rng(int(rng))
-    raise TypeError(f"expected None, int or numpy Generator, got {type(rng)!r}")
+    raise TypeError(
+        f"expected None, int, SeedSequence or numpy Generator, got {type(rng)!r}"
+    )
 
 
 def spawn_rngs(rng: "int | np.random.Generator | None", n: int) -> list[np.random.Generator]:
@@ -42,3 +47,32 @@ def spawn_rngs(rng: "int | np.random.Generator | None", n: int) -> list[np.rando
     parent = ensure_rng(rng)
     seeds = parent.integers(0, 2**63 - 1, size=n, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def seed_tree(
+    seed: "int | np.random.SeedSequence | np.random.Generator | None", n: int
+) -> list[np.random.Generator]:
+    """Split one seed into ``n`` independent generators via a spawn tree.
+
+    This is the canonical way experiments derive the generators for
+    their sub-components (environment, oracle environment, agent, ...):
+    one :class:`numpy.random.SeedSequence` root, ``n`` spawned children,
+    one generator per child.  It replaces ad-hoc ``seed + 1000``-style
+    offsets, which silently collide across sweep cells.
+
+    ``seed`` may be an integer, an existing ``SeedSequence`` (e.g. one
+    cell of the sweep engine's per-cell tree, which is then spawned
+    further), a ``Generator`` (children drawn via :func:`spawn_rngs`) or
+    ``None`` (nondeterministic).
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if isinstance(seed, np.random.Generator) or seed is None:
+        return spawn_rngs(seed, n)
+    if isinstance(seed, (int, np.integer)):
+        seed = np.random.SeedSequence(int(seed))
+    if not isinstance(seed, np.random.SeedSequence):
+        raise TypeError(
+            f"expected None, int, SeedSequence or numpy Generator, got {type(seed)!r}"
+        )
+    return [np.random.default_rng(child) for child in seed.spawn(n)]
