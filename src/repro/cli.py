@@ -18,18 +18,23 @@ plots and writes CSV artifacts (default under ``results/``).  Common
 flags on every experiment: ``--out`` / ``--seed`` / ``--jobs N``
 (process-parallel cells; completed cells checkpoint to a manifest and
 interrupted sweeps resume) / ``--telemetry JSONL`` (record a full
-trace of spans + metrics, see ``docs/OBSERVABILITY.md``);
-``telemetry-report`` renders a recorded trace.
+trace of spans + metrics, see ``docs/OBSERVABILITY.md``) /
+``--faults plan.json`` (install a deterministic fault-injection plan
+for the run, see ``docs/ROBUSTNESS.md``); ``telemetry-report`` renders
+a recorded trace.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 
 from repro.experiments import parallel
 from repro.experiments import spec as spec_registry
+from repro.faults import FaultPlan
+from repro.faults import runtime as faults
 from repro.telemetry import runtime as telemetry
 from repro.utils.ascii import render_table
 
@@ -48,6 +53,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--telemetry", type=Path, default=None, metavar="JSONL",
         help="record a telemetry trace (spans + metrics) to this JSONL file",
     )
+    parser.add_argument(
+        "--faults", type=Path, default=None, metavar="PLAN.JSON",
+        help="install a deterministic fault-injection plan for the run "
+             "(see docs/ROBUSTNESS.md)",
+    )
+
+
+def _load_fault_plan(path: "Path | None") -> "FaultPlan | None":
+    """Parse a ``--faults plan.json`` argument (SystemExit on bad input)."""
+    if path is None:
+        return None
+    try:
+        return FaultPlan.from_json(path)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(f"repro: cannot load fault plan {path}: {exc}") from None
 
 
 def run_spec(spec, params, *, out: Path, seed: int = 0, jobs: int = 1,
@@ -65,6 +85,11 @@ def run_spec(spec, params, *, out: Path, seed: int = 0, jobs: int = 1,
         pids = result.pids
         print(f"ran {len(result.cells) - result.resumed} cells on "
               f"{len(pids)} process(es) (jobs={jobs})")
+    if result.retries:
+        print(f"retried {result.retries} failing cell attempt(s)")
+    for cell in result.quarantined:
+        print(f"quarantined cell '{cell.cell_id}' after {cell.attempts} "
+              f"attempts: {cell.error}")
     return 0
 
 
@@ -202,13 +227,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     """Entry point (also exposed as ``python -m repro``)."""
     args = build_parser().parse_args(argv)
-    trace_path = getattr(args, "telemetry", None)
-    if trace_path is not None:
-        with telemetry.record(trace_path):
-            status = args.fn(args)
-        print(f"wrote telemetry trace {trace_path}")
-        return status
-    return args.fn(args)
+    plan = _load_fault_plan(getattr(args, "faults", None))
+    with faults.use(plan) if plan is not None else nullcontext():
+        trace_path = getattr(args, "telemetry", None)
+        if trace_path is not None:
+            with telemetry.record(trace_path):
+                status = args.fn(args)
+            print(f"wrote telemetry trace {trace_path}")
+            return status
+        return args.fn(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,6 +13,7 @@ from repro.core.kernels import Kernel, Matern, RBF
 from repro.core.persistence import load_edgebol, save_edgebol
 from repro.core.gp import GaussianProcess
 from repro.core.likelihood import fit_hyperparameters, log_marginal_likelihood
+from repro.core.numerics import NumericalInstabilityError, robust_cholesky
 from repro.core.posterior import EngineStats, PosteriorBatch, SurrogateEngine
 from repro.core.safeset import SafeSetEstimator
 from repro.core.acquisition import safe_lcb_index, safe_lcb_index_from_posterior
@@ -27,6 +28,8 @@ __all__ = [
     "Matern",
     "RBF",
     "GaussianProcess",
+    "NumericalInstabilityError",
+    "robust_cholesky",
     "fit_hyperparameters",
     "log_marginal_likelihood",
     "SafeSetEstimator",

@@ -17,6 +17,7 @@ per the paper's kernel-selection discussion.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,8 +26,10 @@ from repro.core.acquisition import safe_lcb_index_from_posterior
 from repro.core.gp import GaussianProcess
 from repro.core.kernels import Kernel, Matern
 from repro.core.likelihood import fit_hyperparameters
+from repro.core.numerics import NumericalInstabilityError
 from repro.core.posterior import PosteriorBatch, SurrogateEngine
 from repro.core.safeset import SafeSetEstimator
+from repro.faults import runtime as faults
 from repro.telemetry import runtime as telemetry
 from repro.testbed.config import (
     ControlPolicy,
@@ -113,6 +116,14 @@ class EdgeBOLConfig:
     max_observations:
         Observation budget per GP (subset-of-data for very long runs);
         ``None`` retains everything, as the paper does.
+    quarantine_spike_factor:
+        Robust outlier gate: once ``quarantine_min_history`` clean
+        observations exist, a cost exceeding this multiple of the
+        running median is quarantined (not fitted) — the guard against
+        injected/real power-meter spikes.  See ``docs/ROBUSTNESS.md``.
+    quarantine_min_history:
+        Clean observations required before the spike gate arms (early
+        exploration legitimately spans a wide cost range).
     """
 
     beta: float = 2.5
@@ -129,6 +140,8 @@ class EdgeBOLConfig:
     map_prior_mean: float = 0.0
     max_observations: int | None = None
     matern_nu: float = 1.5
+    quarantine_spike_factor: float = 6.0
+    quarantine_min_history: int = 10
     lengthscales: np.ndarray | None = field(default=None)
     #: Extension (Section 4.3 tariffs): model server and BS power with
     #: separate GPs so delta1/delta2 can change at runtime without any
@@ -138,6 +151,12 @@ class EdgeBOLConfig:
     def __post_init__(self) -> None:
         check_positive(self.beta, "beta")
         check_positive(self.delay_clip_s, "delay_clip_s")
+        check_positive(self.quarantine_spike_factor, "quarantine_spike_factor")
+        if self.quarantine_min_history < 1:
+            raise ValueError(
+                f"quarantine_min_history must be >= 1, got "
+                f"{self.quarantine_min_history}"
+            )
 
 
 class EdgeBOL:
@@ -213,6 +232,13 @@ class EdgeBOL:
             self.config.delay_prior_mean_s,
             self.config.map_prior_mean,
         )
+        # Fault-injection hook (None unless a fault plan with GP specs
+        # is installed): all heads share one injector so "one forced
+        # Cholesky failure" means one event across the agent.
+        gp_injector = faults.make_injector("gp")
+        self._gp_fault_hook = (
+            gp_injector.gp_hook if gp_injector is not None else None
+        )
         self._gps = [
             GaussianProcess(
                 kernel=Matern(
@@ -223,6 +249,7 @@ class EdgeBOL:
                 noise_variance=noise,
                 max_observations=self.config.max_observations,
                 prior_mean=mean,
+                fault_hook=self._gp_fault_hook,
             )
             for scales, scale, noise, mean in zip(
                 per_gp_lengthscales, output_scales, noises, prior_means
@@ -243,6 +270,7 @@ class EdgeBOL:
                     ),
                     noise_variance=noise,
                     max_observations=self.config.max_observations,
+                    fault_hook=self._gp_fault_hook,
                 )
                 for scale, noise in (
                     (40.0**2, 6.0),    # server power: ~50-250 W, 2% meter
@@ -268,6 +296,16 @@ class EdgeBOL:
             grid, ControlPolicy.max_resources().to_array()
         )
         self._last_safe_size: int | None = None
+        # Graceful-degradation state (docs/ROBUSTNESS.md): corrupted
+        # observations are quarantined instead of fitted, and the agent
+        # falls back to the always-safe S0 control while a surrogate
+        # has no usable factor.
+        self._quarantined = 0
+        self._degraded_periods = 0
+        self._surrogate_failures = 0
+        self._recoveries = 0
+        self._surrogate_down = False
+        self._recent_costs: deque[float] = deque(maxlen=64)
 
     # -- introspection ---------------------------------------------------
 
@@ -294,6 +332,36 @@ class EdgeBOL:
     def engine(self) -> SurrogateEngine:
         """The shared multi-head posterior engine (grid hot path)."""
         return self._engine
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the agent is currently running on the S0 fallback."""
+        return self._surrogate_down
+
+    @property
+    def quarantined_observations(self) -> int:
+        """Observations rejected by the quarantine gate so far."""
+        return self._quarantined
+
+    def robustness_stats(self) -> dict:
+        """Quarantine/degradation counters for the run log.
+
+        Keys: ``quarantined`` (observations rejected by the gate),
+        ``degraded_periods`` (periods served by the S0 fallback),
+        ``surrogate_failures`` (factorisations that exhausted the jitter
+        ladder), ``recoveries`` (successful refits after a failure),
+        ``jitter_retries`` / ``rank1_fallbacks`` (GP degradation-ladder
+        activity, summed over all heads).
+        """
+        gps = list(self._gps) + list(self._power_gps or ())
+        return {
+            "quarantined": self._quarantined,
+            "degraded_periods": self._degraded_periods,
+            "surrogate_failures": self._surrogate_failures,
+            "recoveries": self._recoveries,
+            "jitter_retries": sum(gp.jitter_retries for gp in gps),
+            "rank1_fallbacks": sum(gp.rank1_fallbacks for gp in gps),
+        }
 
     # -- the online loop --------------------------------------------------
 
@@ -343,24 +411,70 @@ class EdgeBOL:
         One :class:`SurrogateEngine` sweep evaluates every head over the
         context's joint grid; the safe set (eq. 8) and the acquisition
         (eq. 9) both consume that batch — no further ``predict`` calls.
+
+        Degraded mode: while any surrogate has no usable factor (a
+        factorisation exhausted the jitter ladder), the agent first
+        attempts a recovery refit; if that also fails it returns the
+        always-safe maximum-resource control S0 for the period instead
+        of crashing — the §5 "Practical Issues" stance.
         """
         with telemetry.span("edgebol.select") as sp:
-            batch = self._engine.posterior(
-                self._context_array(context), heads=self._select_heads()
-            )
-            mask = self._safe_mask_from_batch(batch)
-            self._last_safe_size = int(np.count_nonzero(mask))
-            if self._power_gps is not None:
-                index = self._decoupled_lcb_index(batch, mask)
-            else:
-                index = safe_lcb_index_from_posterior(
-                    batch.mean("cost"), batch.std("cost"), mask,
-                    beta=self.config.beta,
+            if self._surrogate_down and not self._try_recover():
+                return self._degraded_select(sp)
+            try:
+                batch = self._engine.posterior(
+                    self._context_array(context), heads=self._select_heads()
                 )
+                mask = self._safe_mask_from_batch(batch)
+                self._last_safe_size = int(np.count_nonzero(mask))
+                if self._power_gps is not None:
+                    index = self._decoupled_lcb_index(batch, mask)
+                else:
+                    index = safe_lcb_index_from_posterior(
+                        batch.mean("cost"), batch.std("cost"), mask,
+                        beta=self.config.beta,
+                    )
+            except NumericalInstabilityError:
+                self._mark_surrogate_down()
+                return self._degraded_select(sp)
             if sp:
                 sp.set("safe_set_size", self._last_safe_size)
                 sp.set("n_observations", self.n_observations)
             return ControlPolicy.from_array(self.control_grid[index])
+
+    def _degraded_select(self, sp) -> ControlPolicy:
+        """One period of the S0 fallback (surrogate unavailable)."""
+        self._degraded_periods += 1
+        telemetry.inc("edgebol.degraded_periods")
+        self._last_safe_size = 1
+        if sp:
+            sp.set("degraded", True)
+        return ControlPolicy.from_array(self.control_grid[self._s0_index])
+
+    def _mark_surrogate_down(self) -> None:
+        """Record one surrogate collapse (jitter ladder exhausted)."""
+        self._surrogate_down = True
+        self._surrogate_failures += 1
+        telemetry.inc("edgebol.surrogate_failures")
+
+    def _try_recover(self) -> bool:
+        """Refit every factor-less surrogate from its retained data.
+
+        The observation buffers survive a factorisation failure, so a
+        successful refit restores the full posterior (no knowledge is
+        lost); returns whether the agent is healthy again.
+        """
+        for gp in list(self._gps) + list(self._power_gps or ()):
+            if gp.factor_available:
+                continue
+            try:
+                gp.fit(gp.inputs, gp.targets)
+            except NumericalInstabilityError:
+                return False
+        self._surrogate_down = False
+        self._recoveries += 1
+        telemetry.inc("edgebol.recoveries")
+        return True
 
     def _decoupled_lcb_index(self, batch: "PosteriorBatch | np.ndarray",
                              mask: np.ndarray) -> int:
@@ -410,17 +524,51 @@ class EdgeBOL:
         """
         z = self._joint_point(context, policy)
         delay = float(np.clip(delay_s, 0.0, self._delay_clip))
-        self._gps[COST].add(z, float(cost))
-        self._gps[DELAY].add(z, delay)
-        self._gps[MAP].add(z, float(np.clip(map_score, 0.0, 1.0)))
-        if self._power_gps is not None:
-            if server_power_w is None or bs_power_w is None:
-                raise ValueError(
-                    "decoupled_power_gps requires server_power_w and "
-                    "bs_power_w in update()"
+        try:
+            self._gps[COST].add(z, float(cost))
+            self._gps[DELAY].add(z, delay)
+            self._gps[MAP].add(z, float(np.clip(map_score, 0.0, 1.0)))
+            if self._power_gps is not None:
+                if server_power_w is None or bs_power_w is None:
+                    raise ValueError(
+                        "decoupled_power_gps requires server_power_w and "
+                        "bs_power_w in update()"
+                    )
+                self._power_gps[0].add(z, float(server_power_w))
+                self._power_gps[1].add(z, float(bs_power_w))
+        except NumericalInstabilityError:
+            # The observation is retained in the GP buffers; the next
+            # select() attempts a recovery refit and serves S0 meanwhile.
+            self._mark_surrogate_down()
+
+    def _quarantine_reason(self, observation: TestbedObservation,
+                           cost: float) -> str | None:
+        """Why this observation must not reach the surrogates (or None).
+
+        Gates: non-finite cost or mAP, NaN delay (*infinite* delay is a
+        legitimate unserved-period signal and is clipped, not dropped),
+        non-finite or non-positive power readings (a real draw is never
+        0 W — a zero is a meter dropout), and — once enough clean
+        history exists — a cost spike beyond ``quarantine_spike_factor``
+        times the running median (meter outliers).
+        """
+        if not np.isfinite(cost):
+            return "non-finite cost"
+        if np.isnan(observation.delay_s):
+            return "NaN delay"
+        if not np.isfinite(observation.map_score):
+            return "non-finite mAP"
+        for name, power in (("server", observation.server_power_w),
+                            ("bs", observation.bs_power_w)):
+            if not np.isfinite(power) or power <= 0.0:
+                return f"implausible {name} power reading ({power!r} W)"
+        if len(self._recent_costs) >= self.config.quarantine_min_history:
+            median = float(np.median(self._recent_costs))
+            if median > 0.0 and cost > self.config.quarantine_spike_factor * median:
+                return (
+                    f"cost spike ({cost:.1f} vs running median {median:.1f})"
                 )
-            self._power_gps[0].add(z, float(server_power_w))
-            self._power_gps[1].add(z, float(bs_power_w))
+        return None
 
     def observe(
         self,
@@ -428,11 +576,26 @@ class EdgeBOL:
         policy: ControlPolicy,
         observation: TestbedObservation,
     ) -> float:
-        """Compute the cost (eq. 1) from raw KPIs and update; returns it."""
+        """Compute the cost (eq. 1) from raw KPIs and update; returns it.
+
+        Corrupted KPI samples (NaN/dropout/outlier power readings, NaN
+        delay or mAP) are *quarantined*: counted, logged, and withheld
+        from the surrogates — one bad meter sample must not poison the
+        safe set.  The (possibly garbage) cost is still returned so the
+        caller's accounting reflects what actually happened.
+        """
         with telemetry.span("edgebol.observe") as sp:
             cost = self.cost_weights.cost(
                 observation.server_power_w, observation.bs_power_w
             )
+            reason = self._quarantine_reason(observation, cost)
+            if reason is not None:
+                self._quarantined += 1
+                telemetry.inc("edgebol.quarantined")
+                if sp:
+                    sp.set("quarantined", reason)
+                return cost
+            self._recent_costs.append(float(cost))
             self.update(
                 context,
                 policy,
@@ -482,6 +645,8 @@ class EdgeBOL:
         such as day/night tariffs.
         """
         self.cost_weights = cost_weights
+        # The spike-gate history is in old-price units; rearm it.
+        self._recent_costs.clear()
 
     # -- offline hyperparameter fitting ------------------------------------
 

@@ -8,7 +8,14 @@ Cholesky factorisation of ``K + zeta^2 I``:
   quadratic rather than cubic;
 * an optional observation budget evicts the oldest points in blocks
   (subset-of-data), bounding memory and per-period cost for very long
-  runs such as the 3000-period comparison of Fig. 14.
+  runs such as the 3000-period comparison of Fig. 14;
+* numerical failures degrade instead of crashing: an unhealthy rank-1
+  extension falls back to a full refactorisation, the refactorisation
+  escalates diagonal jitter with bounded retries
+  (:func:`repro.core.numerics.robust_cholesky`), and only an exhausted
+  ladder raises a diagnosable
+  :class:`~repro.core.numerics.NumericalInstabilityError` — see
+  ``docs/ROBUSTNESS.md``.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ import numpy as np
 from scipy.linalg import cho_solve, cholesky, solve_triangular
 
 from repro.core.kernels import Kernel
+from repro.core.numerics import NumericalInstabilityError, robust_cholesky
 from repro.telemetry import runtime as telemetry
 from repro.utils.validation import check_finite_array, check_positive
 
@@ -43,6 +51,11 @@ class GaussianProcess:
         w.l.o.g.; for *safety-critical* surrogates a pessimistic prior
         mean (high for delay, low for mAP) makes unexplored regions
         fail the safe-set test instead of passing it optimistically.
+    fault_hook:
+        Optional ``hook(site, attempt)`` consulted before every
+        factorisation attempt; the fault-injection subsystem
+        (:mod:`repro.faults`) uses it to force deterministic
+        ``LinAlgError`` failures.  ``None`` (default) adds no overhead.
     """
 
     def __init__(
@@ -52,6 +65,7 @@ class GaussianProcess:
         max_observations: int | None = None,
         eviction_block: int = 100,
         prior_mean: float = 0.0,
+        fault_hook=None,
     ) -> None:
         self._factor_version = 0
         self.kernel = kernel
@@ -65,10 +79,14 @@ class GaussianProcess:
             raise ValueError("eviction_block must be >= 1")
         self.max_observations = max_observations
         self.eviction_block = int(eviction_block)
+        self._fault_hook = fault_hook
         self._x: np.ndarray | None = None
         self._y: np.ndarray | None = None
         self._chol: np.ndarray | None = None
         self._alpha: np.ndarray | None = None
+        self._jitter_retries = 0
+        self._rank1_fallbacks = 0
+        self._last_jitter = 0.0
 
     # -- state ----------------------------------------------------------
 
@@ -101,6 +119,31 @@ class GaussianProcess:
         kernel or noise change — bumps it.
         """
         return self._factor_version
+
+    @property
+    def jitter_retries(self) -> int:
+        """Cumulative jittered Cholesky retries (degradation ladder)."""
+        return self._jitter_retries
+
+    @property
+    def rank1_fallbacks(self) -> int:
+        """Rank-1 extensions that fell back to a full refactorisation."""
+        return self._rank1_fallbacks
+
+    @property
+    def last_jitter(self) -> float:
+        """Diagonal jitter of the current factor (0.0 = bare Cholesky)."""
+        return self._last_jitter
+
+    @property
+    def factor_available(self) -> bool:
+        """Whether a usable Cholesky factor exists for the current data.
+
+        ``False`` only after a factorisation exhausted the jitter ladder
+        (:class:`~repro.core.numerics.NumericalInstabilityError`); a
+        successful :meth:`fit` over the retained data restores it.
+        """
+        return self._x is None or self._chol is not None
 
     def _posterior_state(self):
         """``(x, chol, alpha, factor_version)`` without copies.
@@ -139,7 +182,7 @@ class GaussianProcess:
         if not np.isfinite(prior_mean):
             raise ValueError(f"prior_mean must be finite, got {prior_mean}")
         self.prior_mean = float(prior_mean)
-        if self._y is not None:
+        if self._y is not None and self._chol is not None:
             self._alpha = cho_solve((self._chol, True), self._y - self.prior_mean)
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> None:
@@ -199,10 +242,44 @@ class GaussianProcess:
             self.fit(x_new[None, :], np.array([y_new]))
             return
 
+        if not self._try_rank1(x_new, y_new):
+            # Degradation ladder step 1: the incremental extension is
+            # numerically unhealthy (or fault-injected) — retain the
+            # observation and rebuild the factor from scratch, which
+            # escalates jitter on its own if needed.
+            self._rank1_fallbacks += 1
+            telemetry.inc("core.gp.rank1_fallbacks")
+            self._x = np.vstack([self._x, x_new[None, :]])
+            self._y = np.append(self._y, float(y_new))
+            self._refactorize()
+        self._maybe_evict()
+
+    def _try_rank1(self, x_new: np.ndarray, y_new: float) -> bool:
+        """Attempt the O(N^2) rank-1 factor extension; False on failure.
+
+        Fails (without mutating state) when the forward solve produces
+        non-finite entries, the new pivot is significantly negative —
+        both symptoms of a factor drifting from the true Gram — or the
+        fault hook forces a failure.
+        """
+        if self._chol is None:
+            return False
+        if self._fault_hook is not None:
+            try:
+                self._fault_hook("rank1", 0)
+            except np.linalg.LinAlgError:
+                return False
         cross = self.kernel(self._x, x_new[None, :]).ravel()
         self_var = float(self.kernel.diag(x_new[None, :])[0]) + self.noise_variance
-        row = solve_triangular(self._chol, cross, lower=True)
+        try:
+            row = solve_triangular(self._chol, cross, lower=True)
+        except np.linalg.LinAlgError:
+            return False
         pivot_sq = self_var - float(row @ row)
+        if not np.all(np.isfinite(row)) or not np.isfinite(pivot_sq):
+            return False
+        if pivot_sq <= -1e-6 * self_var:
+            return False
         # Numerical floor: keep the factor positive definite even for a
         # duplicated input point.
         pivot = np.sqrt(max(pivot_sq, 1e-12))
@@ -216,7 +293,7 @@ class GaussianProcess:
         self._x = np.vstack([self._x, x_new[None, :]])
         self._y = np.append(self._y, float(y_new))
         self._alpha = cho_solve((self._chol, True), self._y - self.prior_mean)
-        self._maybe_evict()
+        return True
 
     def _maybe_evict(self) -> None:
         if self.max_observations is None:
@@ -229,9 +306,28 @@ class GaussianProcess:
         self._refactorize()
 
     def _refactorize(self) -> None:
+        """Rebuild the factor, escalating jitter before giving up.
+
+        Degradation ladder steps 2-3: a bare Cholesky first, then
+        bounded jittered retries; an exhausted ladder invalidates the
+        factor (data retained, :attr:`factor_available` false) and
+        raises :class:`~repro.core.numerics.NumericalInstabilityError`
+        so callers can degrade to a safe policy and re-:meth:`fit`
+        later.
+        """
         gram = self.kernel(self._x, self._x)
         gram[np.diag_indices_from(gram)] += self.noise_variance
-        self._chol = cholesky(gram, lower=True)
+        try:
+            chol, jitter, retries = robust_cholesky(
+                gram, fault_hook=self._fault_hook, site="refactorize"
+            )
+        except NumericalInstabilityError:
+            self._chol = self._alpha = None
+            self._factor_version += 1
+            raise
+        self._jitter_retries += retries
+        self._last_jitter = jitter
+        self._chol = chol
         self._alpha = cho_solve((self._chol, True), self._y - self.prior_mean)
         self._factor_version += 1
 
@@ -259,6 +355,11 @@ class GaussianProcess:
         prior_var = self.kernel.diag(x_star)
         if self._x is None:
             return np.full(x_star.shape[0], self.prior_mean), prior_var
+        if self._chol is None:
+            raise NumericalInstabilityError(
+                "posterior unavailable: the Cholesky factor was invalidated "
+                "by a failed refactorisation; call fit() to rebuild it"
+            )
         cross = self.kernel(self._x, x_star)
         mean = self.prior_mean + cross.T @ self._alpha
         v = solve_triangular(self._chol, cross, lower=True)

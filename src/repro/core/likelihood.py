@@ -10,10 +10,11 @@ local optima (Section 5, "Kernel selection").
 from __future__ import annotations
 
 import numpy as np
-from scipy.linalg import cho_solve, cholesky
+from scipy.linalg import cho_solve
 from scipy.optimize import minimize
 
 from repro.core.kernels import Kernel
+from repro.core.numerics import NumericalInstabilityError, robust_cholesky
 from repro.utils.rng import ensure_rng
 
 
@@ -24,6 +25,12 @@ def log_marginal_likelihood(
 
     ``log p(y | X) = -1/2 y^T K_n^-1 y - 1/2 log |K_n| - n/2 log 2 pi``
     with ``K_n = K + zeta^2 I``.
+
+    A near-singular ``K_n`` (e.g. lengthscale candidates that alias the
+    profiling grid) goes through the bounded jitter-escalation ladder of
+    :func:`repro.core.numerics.robust_cholesky` first; only an exhausted
+    ladder scores the candidate ``-inf`` so the optimiser steps away
+    instead of the fit crashing.
     """
     x = np.asarray(x, dtype=float)
     if x.ndim == 1:
@@ -36,8 +43,8 @@ def log_marginal_likelihood(
     gram = kernel(x, x)
     gram[np.diag_indices_from(gram)] += noise_variance
     try:
-        chol = cholesky(gram, lower=True)
-    except np.linalg.LinAlgError:
+        chol, _, _ = robust_cholesky(gram, site="likelihood")
+    except NumericalInstabilityError:
         return -np.inf
     alpha = cho_solve((chol, True), y)
     log_det = 2.0 * np.sum(np.log(np.diag(chol)))

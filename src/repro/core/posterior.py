@@ -304,6 +304,14 @@ class SurrogateEngine:
             state.n = 0
             mean = np.full(joint.shape[0], gp.prior_mean)
             return mean, state.prior_var.copy()
+        if chol is None:
+            from repro.core.numerics import NumericalInstabilityError
+
+            raise NumericalInstabilityError(
+                f"head '{name}' has no usable Cholesky factor (a "
+                "refactorisation exhausted the jitter ladder); refit the "
+                "surrogate before sweeping the grid"
+            )
 
         n = x.shape[0]
         if state.factor_version != factor_version:

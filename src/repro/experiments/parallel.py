@@ -19,13 +19,23 @@ into independent cells and executes them:
 * **telemetry** — when the parent records a trace, worker cells collect
   their own metrics snapshots which are merged (counters summed,
   histograms bucket-wise) into the parent registry so the final report
-  covers the whole sweep.
+  covers the whole sweep;
+* **robustness** — a crashing cell is retried with exponential backoff
+  (``sweep.cell.retries``); with ``cell_timeout_s`` set, a hung worker
+  cell is abandoned and retried (``sweep.cell.timeouts``); a cell that
+  still fails after ``max_retries`` is *quarantined* — recorded in the
+  manifest with its error instead of aborting the sweep
+  (``sweep.cell.quarantined``, re-run on resume).  When a fault plan is
+  installed (or passed via ``fault_plan``) it is re-installed inside
+  every cell scope with the cell's spawn key, so chaos runs are
+  bit-identical per seed at any ``--jobs`` (see ``docs/ROBUSTNESS.md``).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -34,6 +44,9 @@ import numpy as np
 
 from repro.experiments import spec as registry
 from repro.experiments.spec import ExperimentSpec
+from repro.faults import runtime as faults
+from repro.faults.injector import InjectedWorkerCrash
+from repro.faults.plan import FaultPlan
 from repro.telemetry import runtime as telemetry
 
 __all__ = ["SweepCell", "CellResult", "SweepResult", "run_sweep", "merge_metrics"]
@@ -60,7 +73,12 @@ class SweepCell:
 
 @dataclass
 class CellResult:
-    """Outcome of one executed (or resumed) cell."""
+    """Outcome of one executed (or resumed) cell.
+
+    ``attempts`` counts executions including retries; a non-``None``
+    ``error`` marks a quarantined cell (all attempts failed — ``rows``
+    is empty and the manifest records the failure for a later re-run).
+    """
 
     index: int
     cell_id: str
@@ -69,6 +87,8 @@ class CellResult:
     pid: int
     metrics: dict | None = None
     cached: bool = False
+    attempts: int = 1
+    error: str | None = None
 
 
 @dataclass
@@ -94,6 +114,16 @@ class SweepResult:
     def resumed(self) -> int:
         """How many cells were skipped thanks to the manifest."""
         return sum(1 for c in self.cells if c.cached)
+
+    @property
+    def retries(self) -> int:
+        """Total extra attempts across all cells (0 in a clean sweep)."""
+        return sum(max(0, c.attempts - 1) for c in self.cells)
+
+    @property
+    def quarantined(self) -> "list[CellResult]":
+        """Cells whose every attempt failed (empty in a clean sweep)."""
+        return [c for c in self.cells if c.error is not None]
 
 
 def _build_cells(spec: ExperimentSpec, params: dict, seed: int,
@@ -131,26 +161,57 @@ def _jsonable(value):
     return value
 
 
-def _execute_cell(spec_name: str, cell: SweepCell,
-                  collect_telemetry: bool) -> CellResult:
+def _maybe_inject_worker_fault(cell: SweepCell, attempt: int) -> None:
+    """Apply the plan's worker faults to this cell execution, if any.
+
+    Mode ``crash`` raises :class:`InjectedWorkerCrash` before the cell
+    body runs; mode ``hang`` sleeps for ``magnitude`` seconds first (a
+    stuck worker — pair with ``cell_timeout_s`` to exercise the timeout
+    path).  Faults fire only on ``attempt == 0``, so the retry ladder
+    always recovers.
+    """
+    injector = faults.make_injector("worker")
+    if injector is None:
+        return
+    spec = injector.worker_decision(cell.index, attempt)
+    if spec is None:
+        return
+    if spec.mode == "hang":
+        time.sleep(float(spec.magnitude))
+        return
+    raise InjectedWorkerCrash(
+        f"injected worker crash in cell '{cell.cell_id}' (attempt {attempt})"
+    )
+
+
+def _execute_cell(spec_name: str, cell: SweepCell, collect_telemetry: bool,
+                  fault_plan: dict | None = None,
+                  attempt: int = 0) -> CellResult:
     """Run one cell — the worker-process entry point.
 
     Top-level so it pickles under any multiprocessing start method;
-    looks the spec up by name after (re-)loading the registry.
+    looks the spec up by name after (re-)loading the registry.  The
+    fault plan crosses the process boundary as a plain dict and is
+    installed for the cell scope with the cell's spawn key, so fault
+    streams are per-cell reproducible regardless of which worker runs
+    the cell.
     """
     registry.load_all()
     spec = registry.get(spec_name)
+    plan = FaultPlan.from_dict(fault_plan) if fault_plan is not None else None
     metrics = None
-    if collect_telemetry:
-        telemetry.reset_metrics()
-        telemetry.enable()
-        try:
+    with faults.use(plan, seed_path=cell.spawn_key):
+        _maybe_inject_worker_fault(cell, attempt)
+        if collect_telemetry:
+            telemetry.reset_metrics()
+            telemetry.enable()
+            try:
+                rows = spec.run_cell(cell.params, cell.seed_sequence())
+                metrics = telemetry.metrics_snapshot()
+            finally:
+                telemetry.disable()
+        else:
             rows = spec.run_cell(cell.params, cell.seed_sequence())
-            metrics = telemetry.metrics_snapshot()
-        finally:
-            telemetry.disable()
-    else:
-        rows = spec.run_cell(cell.params, cell.seed_sequence())
     return CellResult(
         index=cell.index,
         cell_id=cell.cell_id,
@@ -158,15 +219,18 @@ def _execute_cell(spec_name: str, cell: SweepCell,
         rows=_jsonable(rows),
         pid=os.getpid(),
         metrics=metrics,
+        attempts=attempt + 1,
     )
 
 
-def _run_cell_inprocess(spec: ExperimentSpec, cell: SweepCell) -> CellResult:
+def _run_cell_inprocess(spec: ExperimentSpec, cell: SweepCell,
+                        attempt: int = 0) -> CellResult:
     """Serial path: telemetry spans nest under the caller's trace."""
     with telemetry.span("sweep.cell") as sp:
         if sp:
             sp.set("spec", spec.name)
             sp.set("cell", cell.cell_id)
+        _maybe_inject_worker_fault(cell, attempt)
         rows = spec.run_cell(cell.params, cell.seed_sequence())
     return CellResult(
         index=cell.index,
@@ -174,6 +238,7 @@ def _run_cell_inprocess(spec: ExperimentSpec, cell: SweepCell) -> CellResult:
         params=cell.params,
         rows=_jsonable(rows),
         pid=os.getpid(),
+        attempts=attempt + 1,
     )
 
 
@@ -194,23 +259,41 @@ def _manifest_header(spec: ExperimentSpec, params: dict, seed: int) -> dict:
 
 
 def _load_manifest(path: Path, header: dict) -> dict[str, dict]:
-    """Completed-cell records of a matching previous run (empty on mismatch)."""
+    """Completed-cell records of a matching previous run (empty on mismatch).
+
+    A corrupt line — the classic failure being a truncated final append
+    after a crash or full disk — invalidates only itself and the tail
+    behind it: every intact record *before* it is still reused, and the
+    skipped lines are counted as ``sweep.manifest.corrupt_lines``.
+    """
     if not path.exists():
         return {}
-    done: dict[str, dict] = {}
     try:
         with path.open() as handle:
-            first = json.loads(next(handle, "null"))
-            if first != header:
-                return {}
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                record = json.loads(line)
-                done[record["cell_id"]] = record
-    except (json.JSONDecodeError, KeyError, OSError):
+            lines = handle.readlines()
+    except OSError:
         return {}
+    if not lines:
+        return {}
+    try:
+        first = json.loads(lines[0])
+    except json.JSONDecodeError:
+        return {}
+    if first != header:
+        return {}
+    done: dict[str, dict] = {}
+    for position, line in enumerate(lines[1:], start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = json.loads(stripped)
+            cell_id = record["cell_id"]
+        except (json.JSONDecodeError, KeyError, TypeError):
+            telemetry.inc("sweep.manifest.corrupt_lines",
+                          len(lines) - position)
+            break
+        done[cell_id] = record
     return done
 
 
@@ -228,6 +311,8 @@ def _resume_cells(cells: "list[SweepCell]",
         record = records.get(cell.cell_id)
         if record is None:
             continue
+        if record.get("quarantined"):
+            continue  # a poisoned cell gets a fresh chance on resume
         if record.get("spawn_key") != list(cell.spawn_key):
             continue
         if record.get("params") != _jsonable(cell.params):
@@ -240,6 +325,7 @@ def _resume_cells(cells: "list[SweepCell]",
             pid=record.get("pid", -1),
             metrics=record.get("metrics"),
             cached=True,
+            attempts=record.get("attempts", 1),
         )
     return done
 
@@ -269,10 +355,10 @@ class _ManifestWriter:
         self._spawn_keys = {c.cell_id: c.spawn_key for c in cells}
 
     def append(self, result: CellResult) -> None:
-        """Checkpoint one completed cell."""
+        """Checkpoint one completed (or quarantined) cell."""
         if self._handle is None:
             return
-        self._write({
+        record = {
             "index": result.index,
             "cell_id": result.cell_id,
             "spawn_key": list(self._spawn_keys.get(result.cell_id, ())),
@@ -280,7 +366,12 @@ class _ManifestWriter:
             "rows": result.rows,
             "pid": result.pid,
             "metrics": result.metrics,
-        })
+            "attempts": result.attempts,
+        }
+        if result.error is not None:
+            record["quarantined"] = True
+            record["error"] = result.error
+        self._write(record)
 
     def close(self) -> None:
         """Close the underlying file (no-op without a path)."""
@@ -342,6 +433,120 @@ def _fold_into_parent_registry(merged: dict) -> None:
 # -- the engine ---------------------------------------------------------
 
 
+def _quarantined_result(cell: SweepCell, attempts: int,
+                        error: BaseException) -> CellResult:
+    """Poison-cell record: every attempt failed; the sweep carries on."""
+    telemetry.inc("sweep.cell.quarantined")
+    return CellResult(
+        index=cell.index,
+        cell_id=cell.cell_id,
+        params=cell.params,
+        rows=[],
+        pid=-1,
+        attempts=attempts,
+        error=repr(error),
+    )
+
+
+def _backoff(retry_backoff_s: float, attempt: int) -> None:
+    """Exponential pre-retry pause (attempt is the one that failed)."""
+    telemetry.inc("sweep.cell.retries")
+    if retry_backoff_s > 0.0:
+        time.sleep(retry_backoff_s * (2.0 ** attempt))
+
+
+def _run_serial(spec, pending, results, writer, plan, max_retries,
+                retry_backoff_s):
+    """In-process execution with the same retry/quarantine ladder."""
+    for cell in pending:
+        result = None
+        failure: BaseException | None = None
+        for attempt in range(max_retries + 1):
+            if attempt:
+                _backoff(retry_backoff_s, attempt - 1)
+            try:
+                with faults.use(plan, seed_path=cell.spawn_key):
+                    result = _run_cell_inprocess(spec, cell, attempt)
+                break
+            except Exception as exc:  # noqa: BLE001 — quarantine ladder
+                failure = exc
+        if result is None:
+            result = _quarantined_result(cell, max_retries + 1, failure)
+        results[cell.cell_id] = result
+        writer.append(result)
+
+
+def _run_pool(spec, pending, results, writer, plan_dict, collect_telemetry,
+              jobs, max_retries, retry_backoff_s, cell_timeout_s):
+    """Pool execution: retries, per-cell deadlines, poison quarantine.
+
+    A timed-out future cannot be preempted inside a
+    :class:`ProcessPoolExecutor`; it is *abandoned* (stops being
+    waited on) and the cell is resubmitted — the stuck worker frees
+    itself when its cell body eventually returns.
+    """
+    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+
+        def submit(cell: SweepCell, attempt: int) -> None:
+            """Submit one cell attempt and start its deadline clock."""
+            future = pool.submit(
+                _execute_cell, spec.name, cell, collect_telemetry,
+                plan_dict, attempt,
+            )
+            deadline = (
+                time.monotonic() + cell_timeout_s
+                if cell_timeout_s is not None else None
+            )
+            tracked[future] = (cell, attempt, deadline)
+
+        def handle_failure(cell: SweepCell, attempt: int,
+                           error: BaseException) -> None:
+            """Retry with backoff, or quarantine once the budget is spent."""
+            if attempt < max_retries:
+                _backoff(retry_backoff_s, attempt)
+                submit(cell, attempt + 1)
+                return
+            result = _quarantined_result(cell, attempt + 1, error)
+            results[cell.cell_id] = result
+            writer.append(result)
+
+        tracked: dict = {}
+        for cell in pending:
+            submit(cell, 0)
+        while tracked:
+            wait_s = None
+            if cell_timeout_s is not None:
+                deadlines = [d for (_, _, d) in tracked.values() if d is not None]
+                if deadlines:
+                    wait_s = max(0.0, min(deadlines) - time.monotonic())
+            finished, _ = wait(
+                set(tracked), timeout=wait_s, return_when=FIRST_COMPLETED
+            )
+            for future in finished:
+                cell, attempt, _ = tracked.pop(future)
+                try:
+                    result = future.result()
+                except Exception as exc:  # noqa: BLE001 — quarantine ladder
+                    handle_failure(cell, attempt, exc)
+                else:
+                    results[result.cell_id] = result
+                    writer.append(result)
+            now = time.monotonic()
+            for future, (cell, attempt, deadline) in list(tracked.items()):
+                if deadline is None or now < deadline:
+                    continue
+                tracked.pop(future)
+                future.cancel()
+                telemetry.inc("sweep.cell.timeouts")
+                handle_failure(
+                    cell, attempt,
+                    TimeoutError(
+                        f"cell '{cell.cell_id}' exceeded "
+                        f"{cell_timeout_s:.1f}s (attempt {attempt})"
+                    ),
+                )
+
+
 def run_sweep(
     spec: ExperimentSpec,
     params: dict,
@@ -351,6 +556,10 @@ def run_sweep(
     out: "Path | str | None" = None,
     resume: bool = True,
     sweep_overrides: dict | None = None,
+    max_retries: int = 2,
+    retry_backoff_s: float = 0.05,
+    cell_timeout_s: float | None = None,
+    fault_plan: "FaultPlan | None" = None,
 ) -> SweepResult:
     """Execute every cell of ``spec`` for ``params`` (see module docs).
 
@@ -367,40 +576,48 @@ def run_sweep(
         Skip cells already recorded in a matching manifest.
     sweep_overrides:
         Extra/replacement axis values (``repro run --sweep key=a,b,c``).
+    max_retries:
+        Extra attempts per failing cell before it is quarantined.
+    retry_backoff_s:
+        Base of the exponential pre-retry pause (0 disables sleeping).
+    cell_timeout_s:
+        Per-cell wall-clock deadline (pool mode only — a serial cell
+        cannot be preempted); ``None`` disables it.
+    fault_plan:
+        Fault plan to install inside every cell scope; defaults to the
+        process's active plan (``repro run --faults plan.json``).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
     cells = _build_cells(spec, params, seed, sweep_overrides)
     header = _manifest_header(spec, params, seed)
     manifest_path = _manifest_path(spec, Path(out)) if out is not None else None
+    plan = fault_plan if fault_plan is not None else faults.active_plan()
 
     done: dict[str, CellResult] = {}
     if manifest_path is not None and resume:
         done = _resume_cells(cells, _load_manifest(manifest_path, header))
     pending = [c for c in cells if c.cell_id not in done]
 
-    writer = _ManifestWriter(manifest_path, header, fresh=not done)
+    # Rewrite the manifest from the reused records: a corrupt tail (or
+    # a stale quarantine entry) must not sit beneath fresh appends.
+    writer = _ManifestWriter(manifest_path, header, fresh=True)
     writer.track(cells)
     results: dict[str, CellResult] = dict(done)
     collect_telemetry = telemetry.enabled() and jobs > 1
     try:
+        for cached in sorted(done.values(), key=lambda r: r.index):
+            writer.append(cached)
         if jobs == 1 or len(pending) <= 1:
-            for cell in pending:
-                result = _run_cell_inprocess(spec, cell)
-                results[cell.cell_id] = result
-                writer.append(result)
+            _run_serial(spec, pending, results, writer, plan,
+                        max_retries, retry_backoff_s)
         else:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-                futures = {
-                    pool.submit(_execute_cell, spec.name, cell, collect_telemetry)
-                    for cell in pending
-                }
-                while futures:
-                    finished, futures = wait(futures, return_when=FIRST_COMPLETED)
-                    for future in finished:
-                        result = future.result()
-                        results[result.cell_id] = result
-                        writer.append(result)
+            _run_pool(spec, pending, results, writer,
+                      plan.to_dict() if plan is not None else None,
+                      collect_telemetry, jobs, max_retries,
+                      retry_backoff_s, cell_timeout_s)
     finally:
         writer.close()
 

@@ -24,7 +24,10 @@ class RunLog:
     counters (kernel evaluations, cache hits, rebuilds, wall time) when
     the agent exposes a posterior engine; ``telemetry`` carries one
     end-of-run :func:`repro.telemetry.metrics_snapshot` when the run
-    executed with telemetry enabled.
+    executed with telemetry enabled; ``robustness`` carries the agent's
+    quarantine/degradation counters
+    (:meth:`~repro.core.edgebol.EdgeBOL.robustness_stats`) when the
+    agent exposes them — see ``docs/ROBUSTNESS.md``.
 
     Attributes
     ----------
@@ -64,6 +67,7 @@ class RunLog:
     rho_min: list[float] = field(default_factory=list)
     engine_stats: dict | None = None
     telemetry: dict | None = None
+    robustness: dict | None = None
 
     def append(
         self,
@@ -219,6 +223,11 @@ def render_runlog(log: RunLog, title: str = "run") -> str:
     if log.engine_stats:
         stats_rows = [[key, value] for key, value in log.engine_stats.items()]
         parts.append(render_table(["engine counter", "value"], stats_rows))
+    if log.robustness and any(log.robustness.values()):
+        parts.append(render_table(
+            ["robustness counter", "value"],
+            [[key, value] for key, value in log.robustness.items()],
+        ))
     if log.telemetry:
         counters = log.telemetry.get("counters") or {}
         if counters:

@@ -112,6 +112,9 @@ def run_agent(
     engine = getattr(agent, "engine", None)
     if engine is not None and hasattr(engine, "stats"):
         log.engine_stats = engine.stats.snapshot()
+    robustness = getattr(agent, "robustness_stats", None)
+    if callable(robustness):
+        log.robustness = robustness()
     if telemetry.enabled():
         log.telemetry = telemetry.metrics_snapshot()
     return log

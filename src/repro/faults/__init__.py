@@ -1,0 +1,40 @@
+"""Seedable, deterministic fault injection for chaos testing.
+
+The subsystem has three parts:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultSpec`,
+  the typed, JSON-serialisable description of *what* to inject
+  (KPI sensor corruption, GP numerical failure, O-RAN bus loss/delay,
+  sweep-worker crash/hang) and *when* it fires;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, the seeded
+  per-layer decision engine with telemetry counters;
+* :mod:`repro.faults.runtime` — process-local plan installation, the
+  hook every instrumented layer consults at construction time.
+
+Every experiment CLI accepts ``--faults plan.json``; the degradation
+paths the faults exercise are documented in ``docs/ROBUSTNESS.md``.
+"""
+
+from repro.faults.injector import FaultInjector, InjectedWorkerCrash
+from repro.faults.plan import KINDS, MODES, FaultPlan, FaultSpec
+from repro.faults.runtime import (
+    active_plan,
+    install,
+    make_injector,
+    uninstall,
+    use,
+)
+
+__all__ = [
+    "FaultInjector",
+    "InjectedWorkerCrash",
+    "FaultPlan",
+    "FaultSpec",
+    "KINDS",
+    "MODES",
+    "active_plan",
+    "install",
+    "make_injector",
+    "uninstall",
+    "use",
+]

@@ -1,0 +1,118 @@
+"""Process-local fault-plan state and injector hand-out.
+
+Mirrors the :mod:`repro.telemetry.runtime` pattern: a fault plan is
+*installed* process-wide, and instrumented layers ask for an injector
+at construction time::
+
+    from repro.faults import runtime as faults
+
+    with faults.use(plan):
+        env = EdgeAIEnvironment(...)   # picks up a 'sensor' injector
+        agent = EdgeBOL(...)           # picks up a 'gp' injector
+
+With no plan installed (the default), :func:`make_injector` returns
+``None`` and every consumer takes its zero-overhead fault-free path —
+experiment results are bit-identical with and without this module
+imported.
+
+Seeding: each injector draws from
+``SeedSequence(plan.seed, spawn_key=(kind_id, *seed_path, instance))``
+where ``seed_path`` is the sweep cell's spawn key inside worker
+processes (installed by :mod:`repro.experiments.parallel`) — the same
+spawn-tree discipline as :func:`repro.utils.rng.seed_tree`, so firing
+decisions are reproducible per (plan seed, cell, construction order)
+and independent of the experiment's own noise streams.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import KINDS, FaultPlan
+
+__all__ = [
+    "install", "uninstall", "use", "active_plan", "make_injector",
+]
+
+
+class _State:
+    """Mutable process-local fault state (one instance per process)."""
+
+    __slots__ = ("plan", "seed_path", "instances")
+
+    def __init__(self) -> None:
+        """Start with no plan installed."""
+        self.plan: FaultPlan | None = None
+        self.seed_path: tuple[int, ...] = ()
+        self.instances: dict[str, int] = {}
+
+
+_STATE = _State()
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently installed plan (``None`` when fault-free)."""
+    return _STATE.plan
+
+
+def install(plan: FaultPlan | None, seed_path: tuple[int, ...] = ()) -> None:
+    """Install ``plan`` process-wide (``None`` clears it).
+
+    ``seed_path`` namespaces the injector seed tree — sweep workers pass
+    the cell's spawn key so each cell gets independent, reproducible
+    fault streams.  Installing resets the per-layer instance counters,
+    so two identical runs hand out identical injectors.
+    """
+    if plan is not None and not isinstance(plan, FaultPlan):
+        raise TypeError(f"expected a FaultPlan or None, got {type(plan)!r}")
+    _STATE.plan = plan
+    _STATE.seed_path = tuple(int(k) for k in seed_path)
+    _STATE.instances = {}
+
+
+def uninstall() -> None:
+    """Clear any installed plan (no-op when none is active)."""
+    install(None)
+
+
+@contextmanager
+def use(plan: FaultPlan | None, seed_path: tuple[int, ...] = ()):
+    """Install ``plan`` for the duration of the block, then restore.
+
+    The previous plan (and seed path) is reinstated on exit, so nested
+    scopes compose — e.g. a chaos test wrapping a sweep whose workers
+    re-install the plan per cell.
+    """
+    previous = (_STATE.plan, _STATE.seed_path)
+    install(plan, seed_path=seed_path)
+    try:
+        yield
+    finally:
+        install(previous[0], seed_path=previous[1])
+
+
+def make_injector(kind: str) -> FaultInjector | None:
+    """An injector for one layer, or ``None`` when no fault applies.
+
+    Consumers call this once at construction.  Returns ``None`` when no
+    plan is installed or the plan has no specs of ``kind``, so the
+    fault-free hot path stays allocation-free.
+    """
+    if kind not in KINDS:
+        raise ValueError(f"fault kind must be one of {KINDS}, got {kind!r}")
+    plan = _STATE.plan
+    if plan is None:
+        return None
+    specs = plan.for_kind(kind)
+    if not specs:
+        return None
+    instance = _STATE.instances.get(kind, 0)
+    _STATE.instances[kind] = instance + 1
+    seed = np.random.SeedSequence(
+        plan.seed,
+        spawn_key=(KINDS.index(kind), *_STATE.seed_path, instance),
+    )
+    return FaultInjector(specs, rng=np.random.default_rng(seed), kind=kind)

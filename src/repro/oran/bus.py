@@ -5,6 +5,11 @@ publish to named topics ("a1", "e2.control", "o1", ...) and subscribers
 are invoked synchronously in registration order.  A bounded history per
 topic supports test assertions and debugging without unbounded memory
 growth.
+
+When a fault plan with ``bus`` specs is installed (see
+``docs/ROBUSTNESS.md``), publishes may be dropped (mode ``loss``) or
+held back and delivered before a later publish on the same topic (mode
+``delay``) — modelling a lossy/reordering O-RAN transport.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from __future__ import annotations
 from collections import defaultdict, deque
 from collections.abc import Callable
 
+from repro.faults import runtime as faults
 from repro.telemetry import runtime as telemetry
 
 
@@ -31,6 +37,11 @@ class MessageBus:
         self._history: dict[str, deque] = defaultdict(
             lambda: deque(maxlen=history_limit)
         )
+        # Bus fault injection: None unless a fault plan with `bus`
+        # specs is installed when the bus is constructed.
+        self._bus_faults = faults.make_injector("bus")
+        #: Held-back messages per topic: [publishes_remaining, message].
+        self._delayed: dict[str, list[list]] = defaultdict(list)
 
     def subscribe(self, topic: str, handler: Callable[[object], None]) -> None:
         """Register ``handler`` for messages published on ``topic``."""
@@ -49,14 +60,46 @@ class MessageBus:
     def publish(self, topic: str, message: object) -> int:
         """Deliver ``message`` to every subscriber of ``topic``.
 
-        Returns the number of handlers invoked.  Handlers run
-        synchronously; exceptions propagate to the publisher (fail
-        fast — silent loss of a control message would be worse).
-        Counted as ``oran.bus.published`` (one per call) and
-        ``oran.bus.delivered`` (one per handler invoked).
+        Returns the number of handlers invoked for *this* message.
+        Handlers run synchronously; exceptions propagate to the
+        publisher (fail fast — silent loss of a control message would
+        be worse).  Counted as ``oran.bus.published`` (one per call)
+        and ``oran.bus.delivered`` (one per handler invoked).
+
+        Under an installed fault plan a publish may be dropped
+        (``oran.bus.lost``, returns 0 and invokes no handlers) or held
+        back for ``magnitude`` subsequent publishes on the topic
+        (``oran.bus.delayed`` — delivered, late and out of order, ahead
+        of the publish that releases it).
         """
         if not topic:
             raise ValueError("topic must be non-empty")
+        if self._bus_faults is not None:
+            spec = self._bus_faults.bus_decision(topic)
+            if spec is not None and spec.mode == "loss":
+                telemetry.inc("oran.bus.lost")
+                return 0
+            self._release_due(topic)
+            if spec is not None and spec.mode == "delay":
+                hold = max(1, int(spec.magnitude))
+                self._delayed[topic].append([hold, message])
+                telemetry.inc("oran.bus.delayed")
+                return 0
+        return self._deliver(topic, message)
+
+    def _release_due(self, topic: str) -> None:
+        """Age held-back messages by one publish; deliver any now due."""
+        still_held = []
+        for entry in self._delayed[topic]:
+            entry[0] -= 1
+            if entry[0] <= 0:
+                self._deliver(topic, entry[1])
+            else:
+                still_held.append(entry)
+        self._delayed[topic] = still_held
+
+    def _deliver(self, topic: str, message: object) -> int:
+        """Record ``message`` and invoke the topic's handlers."""
         self._history[topic].append(message)
         handlers = list(self._subscribers.get(topic, []))
         telemetry.inc("oran.bus.published")

@@ -20,6 +20,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.faults import runtime as faults
 from repro.service.detection import SyntheticDetector
 from repro.service.images import SyntheticCocoDataset
 from repro.service.pipeline import ServiceModel, UserEquipment
@@ -135,6 +136,10 @@ class EdgeAIEnvironment:
         self._meter = PowerMeter(noise_rel=cfg.power_noise_rel, rng=meter_rng)
         self._detector = SyntheticDetector(rng=detector_rng)
         self._dataset = SyntheticCocoDataset(rng=dataset_rng)
+        # Sensor fault injection (docs/ROBUSTNESS.md): None unless a
+        # fault plan with `sensor` specs is installed; faulted readings
+        # replace the *noisy* KPI samples the agent would have seen.
+        self._sensor_faults = faults.make_injector("sensor")
         self._current_snrs = [float(ch.step()) for ch in self.channels]
 
     @property
@@ -186,6 +191,12 @@ class EdgeAIEnvironment:
             bs_power = self._meter.read(bs_power)
             if self.map_mode == "profile":
                 map_score = self._noise.noisy_map(true_map)
+            if self._sensor_faults is not None:
+                corrupt = self._sensor_faults.corrupt_reading
+                server_power = corrupt("server_power", server_power)
+                bs_power = corrupt("bs_power", bs_power)
+                delay = corrupt("delay", delay)
+                map_score = corrupt("map", map_score)
         gpu_delays = state.per_user_gpu_delay_s
         finite_gpu = gpu_delays[np.isfinite(gpu_delays)]
         gpu_delay = float(finite_gpu.max()) if finite_gpu.size else float("inf")

@@ -1,0 +1,172 @@
+"""Sweep-engine robustness: manifest corruption, retries, quarantine.
+
+Drives :func:`repro.experiments.parallel.run_sweep` through crash/hang
+fault plans and corrupted checkpoint manifests, asserting the engine
+recovers without losing completed work (``docs/ROBUSTNESS.md``).
+"""
+
+import json
+
+import pytest
+
+import repro.experiments  # noqa: F401  (populate the spec registry)
+from repro.experiments import spec as spec_registry
+from repro.experiments.parallel import run_sweep
+from repro.faults import FaultPlan, FaultSpec, uninstall
+from repro.telemetry import runtime as telemetry
+
+
+@pytest.fixture(autouse=True)
+def _fault_free():
+    """Every test starts and ends with no plan installed."""
+    uninstall()
+    yield
+    uninstall()
+
+
+@pytest.fixture
+def convergence():
+    spec = spec_registry.get("convergence")
+    params = spec.resolve({
+        "delta2": (1.0, 2.0), "periods": 3, "repetitions": 2, "levels": 3,
+    })
+    return spec, params  # 4 cells
+
+
+@pytest.fixture
+def metrics():
+    """Parent-side metrics collection around the test body."""
+    telemetry.reset_metrics()
+    telemetry.enable()
+    yield telemetry.metrics_snapshot
+    telemetry.disable()
+    telemetry.reset_metrics()
+
+
+def _counter(snapshot, name):
+    return snapshot().get("counters", {}).get(name, 0)
+
+
+def _manifest_lines(path):
+    return [line for line in path.read_text().splitlines() if line.strip()]
+
+
+# -- manifest corruption -------------------------------------------------
+
+
+def test_corrupt_trailing_line_keeps_completed_prefix(
+        convergence, tmp_path, metrics):
+    spec, params = convergence
+    first = run_sweep(spec, params, seed=3, jobs=1, out=tmp_path)
+    manifest = first.manifest_path
+    lines = _manifest_lines(manifest)
+    # Simulate a truncated final append (crash/full disk mid-write).
+    manifest.write_text("\n".join(lines[:-1]) + "\n"
+                        + lines[-1][: len(lines[-1]) // 2] + "\n")
+
+    second = run_sweep(spec, params, seed=3, jobs=1, out=tmp_path)
+    assert second.resumed == len(first.cells) - 1  # only the tail re-ran
+    assert _counter(metrics, "sweep.manifest.corrupt_lines") == 1
+    assert [c.rows for c in second.cells] == [c.rows for c in first.cells]
+
+
+def test_corrupt_middle_line_skips_the_tail(convergence, tmp_path, metrics):
+    spec, params = convergence
+    first = run_sweep(spec, params, seed=3, jobs=1, out=tmp_path)
+    lines = _manifest_lines(first.manifest_path)
+    lines[2] = "{not json"  # second record of four
+    first.manifest_path.write_text("\n".join(lines) + "\n")
+
+    second = run_sweep(spec, params, seed=3, jobs=1, out=tmp_path)
+    assert second.resumed == 1  # only the record before the bad line
+    # The bad line plus the two intact-but-unreachable tail records.
+    assert _counter(metrics, "sweep.manifest.corrupt_lines") == 3
+    assert [c.rows for c in second.cells] == [c.rows for c in first.cells]
+
+
+def test_resume_rewrites_the_manifest_clean(convergence, tmp_path):
+    spec, params = convergence
+    first = run_sweep(spec, params, seed=3, jobs=1, out=tmp_path)
+    manifest = first.manifest_path
+    with manifest.open("a") as handle:
+        handle.write('{"cell_id": "truncated...\n')
+
+    run_sweep(spec, params, seed=3, jobs=1, out=tmp_path)
+    records = [json.loads(line) for line in _manifest_lines(manifest)]
+    assert len(records) == 1 + len(first.cells)  # header + every cell, parseable
+
+
+# -- retries and quarantine ----------------------------------------------
+
+
+def test_serial_crash_is_retried_and_rows_match_fault_free(
+        convergence, metrics):
+    spec, params = convergence
+    clean = run_sweep(spec, params, seed=5, jobs=1, out=None)
+    plan = FaultPlan(specs=(
+        FaultSpec(kind="worker", mode="crash", at=(0, 2), max_events=2),
+    ))
+    chaotic = run_sweep(spec, params, seed=5, jobs=1, out=None,
+                        fault_plan=plan)
+    assert chaotic.retries == 2
+    assert chaotic.quarantined == []
+    assert _counter(metrics, "sweep.cell.retries") == 2
+    # The retry re-runs the cell from its own seed node: bit-identical.
+    assert [c.rows for c in chaotic.cells] == [c.rows for c in clean.cells]
+
+
+def test_pool_crash_is_retried_and_rows_match_fault_free(convergence):
+    spec, params = convergence
+    clean = run_sweep(spec, params, seed=5, jobs=1, out=None)
+    plan = FaultPlan(specs=(
+        FaultSpec(kind="worker", mode="crash", at=(0,), max_events=1),
+    ))
+    chaotic = run_sweep(spec, params, seed=5, jobs=2, out=None,
+                        fault_plan=plan)
+    assert chaotic.retries >= 1
+    assert chaotic.quarantined == []
+    assert [c.rows for c in chaotic.cells] == [c.rows for c in clean.cells]
+
+
+def test_poison_cell_is_quarantined_then_recovers_on_resume(
+        convergence, tmp_path, metrics):
+    spec, params = convergence
+    plan = FaultPlan(specs=(
+        FaultSpec(kind="worker", mode="crash", at=(1,)),
+    ))
+    # No retry budget: the injected crash poisons the cell outright.
+    poisoned = run_sweep(spec, params, seed=5, jobs=1, out=tmp_path,
+                         fault_plan=plan, max_retries=0)
+    assert len(poisoned.quarantined) == 1
+    bad = poisoned.quarantined[0]
+    assert bad.index == 1 and bad.rows == [] and "InjectedWorkerCrash" in bad.error
+    assert _counter(metrics, "sweep.cell.quarantined") == 1
+    record = json.loads(_manifest_lines(poisoned.manifest_path)[2])
+    assert record["quarantined"] is True and record["cell_id"] == bad.cell_id
+
+    # A fault-free re-run resumes the healthy cells and heals the poison.
+    healed = run_sweep(spec, params, seed=5, jobs=1, out=tmp_path)
+    assert healed.resumed == len(poisoned.cells) - 1
+    assert healed.quarantined == []
+    assert all(c.rows for c in healed.cells)
+
+
+def test_hung_worker_times_out_and_the_retry_recovers(convergence, metrics):
+    spec, params = convergence
+    plan = FaultPlan(specs=(
+        FaultSpec(kind="worker", mode="hang", at=(0,), magnitude=3.0,
+                  max_events=1),
+    ))
+    result = run_sweep(spec, params, seed=5, jobs=2, out=None,
+                       fault_plan=plan, cell_timeout_s=0.5,
+                       retry_backoff_s=0.0)
+    assert _counter(metrics, "sweep.cell.timeouts") == 1
+    assert result.retries >= 1
+    assert result.quarantined == []
+    assert all(c.rows for c in result.cells)
+
+
+def test_run_sweep_rejects_negative_max_retries(convergence):
+    spec, params = convergence
+    with pytest.raises(ValueError, match="max_retries"):
+        run_sweep(spec, params, max_retries=-1)
