@@ -1,0 +1,130 @@
+"""Perf benchmark: decision-trace overhead on an EdgeBOL run.
+
+Times the same seeded EdgeBOL loop three ways:
+
+* **untraced** — no decision sink installed: ``make_tracer`` returns
+  ``None`` and every agent hook is a single ``is not None`` check (run
+  twice, so the pair's spread doubles as the measurement-noise yardstick);
+* **traced (memory)** — a :class:`repro.obs.ListSink`: full record
+  assembly (margins, price of safety, calibration z-scores, drift)
+  without serialisation;
+* **traced (jsonl)** — a :class:`~repro.telemetry.export.JsonlSink`:
+  the real ``--trace-decisions`` path including per-line JSON + flush.
+
+Emits ``BENCH_observability.json`` at the repo root and asserts the
+disabled-mode cost is within the noise between the two untraced
+timings, i.e. tracing is pay-for-what-you-use.  KPI equality between
+the untraced and traced runs (the bit-identical guarantee) is asserted
+on every rep, not just in the unit tests.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import EdgeBOL
+from repro.experiments.runner import run_agent
+from repro.obs import runtime as obs
+from repro.testbed.config import CostWeights, ServiceConstraints, TestbedConfig
+from repro.testbed.scenarios import static_scenario
+
+RESULT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_observability.json"
+)
+
+N_LEVELS = 5
+N_PERIODS = 40
+REPS = 3
+#: The untraced/untraced ratio bounds the run-to-run noise; the
+#: disabled-mode "overhead" must stay inside the same envelope with
+#: this much headroom (generous: CI machines are noisy).
+NOISE_HEADROOM = 1.5
+
+
+def run_once(seed, sink_or_path=None):
+    """One seeded run; returns (elapsed_s, cost_series)."""
+    testbed = TestbedConfig(n_levels=N_LEVELS)
+    env = static_scenario(
+        mean_snr_db=35.0, rng=np.random.default_rng(seed), config=testbed
+    )
+    agent = EdgeBOL(
+        testbed.control_grid(), ServiceConstraints(0.4, 0.5),
+        CostWeights(1.0, 8.0),
+    )
+    started = time.perf_counter()
+    if sink_or_path is None:
+        log = run_agent(env, agent, N_PERIODS, oracle_cost=100.0)
+    else:
+        with obs.use(sink_or_path):
+            log = run_agent(env, agent, N_PERIODS, oracle_cost=100.0)
+    return time.perf_counter() - started, log.cost
+
+
+def test_perf_observability_overhead(tmp_path):
+    base_a, base_b, mem, jsonl = [], [], [], []
+    reference_costs = None
+    for rep in range(REPS):
+        t_a, costs_a = run_once(rep)
+        t_b, costs_b = run_once(rep)
+        t_mem, costs_mem = run_once(rep, obs.ListSink())
+        t_jsonl, costs_jsonl = run_once(
+            rep, tmp_path / f"decisions_{rep}.jsonl"
+        )
+        assert costs_a == costs_b == costs_mem == costs_jsonl, (
+            f"rep {rep}: traced KPIs diverged from untraced"
+        )
+        reference_costs = costs_a
+        base_a.append(t_a)
+        base_b.append(t_b)
+        mem.append(t_mem)
+        jsonl.append(t_jsonl)
+    assert reference_costs is not None
+
+    untraced_a = float(np.median(base_a))
+    untraced_b = float(np.median(base_b))
+    noise_ratio = max(untraced_a, untraced_b) / min(untraced_a, untraced_b)
+    untraced = min(untraced_a, untraced_b)
+    traced_mem = float(np.median(mem))
+    traced_jsonl = float(np.median(jsonl))
+
+    payload = {
+        "benchmark": (
+            f"decision-trace overhead on a {N_PERIODS}-period EdgeBOL run "
+            f"({N_LEVELS}^4 grid, median of {REPS} reps)"
+        ),
+        "unit": "seconds per run",
+        "results": {
+            "untraced_s": untraced,
+            "untraced_repeat_s": max(untraced_a, untraced_b),
+            "noise_ratio": noise_ratio,
+            "traced_memory_s": traced_mem,
+            "traced_jsonl_s": traced_jsonl,
+            "traced_memory_overhead": traced_mem / untraced - 1.0,
+            "traced_jsonl_overhead": traced_jsonl / untraced - 1.0,
+        },
+        "bit_identical_kpis": True,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print()
+    print(f"untraced     {untraced:.3f}s (repeat ratio {noise_ratio:.3f})")
+    print(f"traced (mem) {traced_mem:.3f}s "
+          f"(+{payload['results']['traced_memory_overhead'] * 100:.1f}%)")
+    print(f"traced (jsonl) {traced_jsonl:.3f}s "
+          f"(+{payload['results']['traced_jsonl_overhead'] * 100:.1f}%)")
+
+    # Disabled-mode tracing must be free: the two untraced timings are
+    # the same code path, so their spread *is* the noise floor, and a
+    # regression that sneaks work into the disabled path would show up
+    # as a systematic gap wider than that floor allows.
+    assert noise_ratio <= NOISE_HEADROOM, (
+        f"untraced repeat ratio {noise_ratio:.2f} exceeds {NOISE_HEADROOM} — "
+        "either the machine is too noisy to benchmark or the disabled "
+        "path stopped being free"
+    )
+    # Full tracing stays a modest multiple of the run itself.
+    assert traced_jsonl <= 3.0 * untraced, (
+        f"jsonl-traced run {traced_jsonl:.3f}s vs untraced {untraced:.3f}s"
+    )

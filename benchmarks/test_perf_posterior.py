@@ -10,11 +10,16 @@ retained observations:
   every period;
 * **engine** — one :class:`SurrogateEngine` sweep, including the
   incremental cross-kernel/solve extension for the observation added
-  that period.
+  that period;
+* **engine (hit)** — a repeat sweep for the same context with no new
+  observation, i.e. the pure cache-hit path (the earlier benchmark
+  revision only timed the extension path, which is why its committed
+  ``cache_hits`` read 0 — every timed query was preceded by three
+  ``gp.add`` calls, so no query could ever take the hit branch).
 
 Emits ``BENCH_posterior.json`` at the repo root (the start of the
 repo's perf trajectory) and asserts the >= 5x speedup target at
-N = 500.
+N = 500 plus non-zero cache hits.
 """
 
 import json
@@ -67,7 +72,7 @@ def time_sweeps(n_obs, rng):
     joint = engine.joint_grid(context)
     engine.posterior(context)  # amortised first-contact rebuild, untimed
 
-    engine_times, direct_times = [], []
+    engine_times, hit_times, direct_times = [], [], []
     for _ in range(REPS[n_obs]):
         z = np.concatenate([context, rng.random(4)])
         for gp in heads.values():
@@ -76,6 +81,12 @@ def time_sweeps(n_obs, rng):
         started = time.perf_counter()
         batch = engine.posterior(context)
         engine_times.append(time.perf_counter() - started)
+
+        # Same context, no new data: the pure cache-hit path (the grid
+        # re-query a same-period safe-set/diagnostics consumer issues).
+        started = time.perf_counter()
+        engine.posterior(context)
+        hit_times.append(time.perf_counter() - started)
 
         started = time.perf_counter()
         direct = {name: gp.predict(joint) for name, gp in heads.items()}
@@ -92,6 +103,7 @@ def time_sweeps(n_obs, rng):
         "grid_points": int(grid.shape[0]),
         "heads": len(heads),
         "engine_s": float(np.median(engine_times)),
+        "engine_hit_s": float(np.median(hit_times)),
         "direct_s": float(np.median(direct_times)),
         "speedup": float(np.median(direct_times) / np.median(engine_times)),
         "engine_stats": engine.stats.snapshot(),
@@ -109,13 +121,21 @@ def test_perf_posterior_sweep():
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     print()
-    print(f"{'N':>6} {'direct s':>12} {'engine s':>12} {'speedup':>9}")
+    print(f"{'N':>6} {'direct s':>12} {'engine s':>12} {'hit s':>12} "
+          f"{'speedup':>9}")
     for row in rows:
         print(f"{row['n_observations']:>6} {row['direct_s']:>12.4f} "
-              f"{row['engine_s']:>12.4f} {row['speedup']:>8.1f}x")
+              f"{row['engine_s']:>12.4f} {row['engine_hit_s']:>12.4f} "
+              f"{row['speedup']:>8.1f}x")
 
     at_500 = next(r for r in rows if r["n_observations"] == 500)
     assert at_500["speedup"] >= SPEEDUP_TARGET_AT_500, (
         f"engine speedup at N=500 is {at_500['speedup']:.1f}x, "
         f"target {SPEEDUP_TARGET_AT_500}x"
     )
+    for row in rows:
+        stats = row["engine_stats"]
+        assert stats["cache_hits"] >= REPS[row["n_observations"]] * 3, (
+            f"repeat-context queries at N={row['n_observations']} should "
+            f"hit the cache, stats: {stats}"
+        )

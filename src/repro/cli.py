@@ -12,6 +12,8 @@ shared sweep engine (:mod:`repro.experiments.parallel`).  Usage::
     python -m repro run static --sweep delta2=1,8,64 --jobs 4
     python -m repro static --telemetry results/static_trace.jsonl
     python -m repro telemetry-report results/static_trace.jsonl
+    python -m repro regret --trace-decisions
+    python -m repro diagnose results/regret_decisions.jsonl
 
 Every experiment prints the series the corresponding paper figure
 plots and writes CSV artifacts (default under ``results/``).  Common
@@ -19,9 +21,12 @@ flags on every experiment: ``--out`` / ``--seed`` / ``--jobs N``
 (process-parallel cells; completed cells checkpoint to a manifest and
 interrupted sweeps resume) / ``--telemetry JSONL`` (record a full
 trace of spans + metrics, see ``docs/OBSERVABILITY.md``) /
-``--faults plan.json`` (install a deterministic fault-injection plan
-for the run, see ``docs/ROBUSTNESS.md``); ``telemetry-report`` renders
-a recorded trace.
+``--trace-decisions [JSONL]`` (record one decision record per BO
+round — safe set, margins, calibration, drift, regret — merged across
+sweep cells) / ``--faults plan.json`` (install a deterministic
+fault-injection plan for the run, see ``docs/ROBUSTNESS.md``);
+``telemetry-report`` renders a recorded trace and ``diagnose`` renders
+a decision trace as a dashboard with anomaly flags.
 """
 
 from __future__ import annotations
@@ -39,6 +44,11 @@ from repro.telemetry import runtime as telemetry
 from repro.utils.ascii import render_table
 
 
+#: Sentinel for ``--trace-decisions`` used without a path: the real
+#: default depends on ``--out`` and the spec name, resolved at run time.
+_DEFAULT_DECISIONS = Path("<default>")
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--out", type=Path, default=Path("results"),
                         help="output directory for CSV files")
@@ -52,6 +62,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--telemetry", type=Path, default=None, metavar="JSONL",
         help="record a telemetry trace (spans + metrics) to this JSONL file",
+    )
+    parser.add_argument(
+        "--trace-decisions", type=Path, nargs="?", metavar="JSONL",
+        default=None, const=_DEFAULT_DECISIONS,
+        help="record one decision record per BO round to this JSONL file "
+             "(default <out>/<spec>_decisions.jsonl; render with "
+             "'repro diagnose')",
     )
     parser.add_argument(
         "--faults", type=Path, default=None, metavar="PLAN.JSON",
@@ -70,14 +87,32 @@ def _load_fault_plan(path: "Path | None") -> "FaultPlan | None":
         raise SystemExit(f"repro: cannot load fault plan {path}: {exc}") from None
 
 
+def resolve_decision_path(trace_decisions, spec, out: Path) -> "Path | None":
+    """Resolve the ``--trace-decisions`` value to a concrete path.
+
+    ``None`` means untraced; the bare-flag sentinel becomes
+    ``<out>/<spec>_decisions.jsonl``.
+    """
+    if trace_decisions is None:
+        return None
+    if trace_decisions == _DEFAULT_DECISIONS:
+        return Path(out) / f"{spec.name}_decisions.jsonl"
+    return Path(trace_decisions)
+
+
 def run_spec(spec, params, *, out: Path, seed: int = 0, jobs: int = 1,
-             resume: bool = True, sweep_overrides=None) -> int:
+             resume: bool = True, sweep_overrides=None,
+             decision_path: "Path | None" = None) -> int:
     """Execute one spec through the sweep engine and print its report."""
     result = parallel.run_sweep(
         spec, params, seed=seed, jobs=jobs, out=out, resume=resume,
-        sweep_overrides=sweep_overrides,
+        sweep_overrides=sweep_overrides, decision_path=decision_path,
     )
     print(spec.report(result.rows, params, out))
+    if decision_path is not None:
+        n_records = sum(len(c.decisions or ()) for c in result.cells)
+        print(f"wrote decision trace {decision_path} ({n_records} records; "
+              f"render with 'repro diagnose {decision_path}')")
     if result.resumed:
         print(f"resumed {result.resumed}/{len(result.cells)} cells from "
               f"{result.manifest_path}")
@@ -103,6 +138,9 @@ def _cmd_spec(args) -> int:
     return run_spec(
         spec, params, out=args.out, seed=args.seed, jobs=args.jobs,
         resume=not args.no_resume,
+        decision_path=resolve_decision_path(
+            args.trace_decisions, spec, args.out
+        ),
     )
 
 
@@ -162,7 +200,34 @@ def _cmd_run(args) -> int:
     return run_spec(
         spec, params, out=args.out, seed=args.seed, jobs=args.jobs,
         resume=not args.no_resume, sweep_overrides=sweep_overrides,
+        decision_path=resolve_decision_path(
+            args.trace_decisions, spec, args.out
+        ),
     )
+
+
+def _cmd_diagnose(args) -> int:
+    """``repro diagnose``: dashboard + anomaly flags for a decision trace."""
+    import json
+
+    from repro.obs import diagnose
+
+    try:
+        records = diagnose.load_decisions(args.path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro diagnose: {exc}") from None
+    anomalies = diagnose.detect_anomalies(records)
+    if args.json:
+        print(json.dumps(
+            {"records": len(records), "anomalies": anomalies}, indent=2
+        ))
+    else:
+        print(diagnose.render_dashboard(records, anomalies=anomalies))
+    if args.fail_on_anomaly and anomalies:
+        print(f"repro diagnose: {len(anomalies)} anomaly flag(s) raised",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_telemetry_report(args) -> int:
@@ -220,6 +285,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--selftest", action="store_true",
                    help="generate and render a synthetic trace (CI smoke test)")
     p.set_defaults(fn=_cmd_telemetry_report)
+
+    p = sub.add_parser(
+        "diagnose",
+        help="render a decision trace (--trace-decisions JSONL) as an ASCII "
+             "dashboard with anomaly flags",
+    )
+    p.add_argument("path", type=Path,
+                   help="decision trace written via --trace-decisions")
+    p.add_argument("--json", action="store_true",
+                   help="print machine-readable anomaly flags instead of "
+                        "the dashboard")
+    p.add_argument("--fail-on-anomaly", action="store_true",
+                   help="exit non-zero when any anomaly flag is raised")
+    p.set_defaults(fn=_cmd_diagnose)
 
     return parser
 

@@ -23,6 +23,34 @@ from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_non_negative
 
 
+def lcb_values(mean: np.ndarray, std: np.ndarray, beta: float = 2.5) -> np.ndarray:
+    """Full-grid LCB surface ``mu - sqrt(beta) * sigma`` (eq. 9 objective).
+
+    Decision traces record this surface's value at the chosen control
+    and at the unconstrained minimiser (the "price of safety"); the
+    selection itself goes through :func:`safe_lcb_index_from_values`.
+    """
+    check_non_negative(beta, "beta")
+    return np.asarray(mean, dtype=float) - beta * np.asarray(std, dtype=float)
+
+
+def safe_lcb_index_from_values(lcb: np.ndarray, safe_mask: np.ndarray) -> int:
+    """Index of the safe grid point minimising a precomputed LCB surface.
+
+    Ties resolve to the lowest grid index (matching ``np.argmin`` over
+    the safe subset in grid order), so selections are identical whether
+    the LCB is evaluated on the safe subset or on the full grid.
+    """
+    lcb = np.asarray(lcb, dtype=float)
+    safe_mask = np.asarray(safe_mask, dtype=bool)
+    if safe_mask.size != lcb.size:
+        raise ValueError("safe_mask and LCB values must have equal length")
+    safe_indices = np.nonzero(safe_mask)[0]
+    if safe_indices.size == 0:
+        raise ValueError("safe set is empty; include S0 in the mask")
+    return int(safe_indices[int(np.argmin(lcb[safe_indices]))])
+
+
 def safe_lcb_index_from_posterior(
     mean: np.ndarray,
     std: np.ndarray,
@@ -35,17 +63,11 @@ def safe_lcb_index_from_posterior(
     :class:`~repro.core.posterior.SurrogateEngine` sweep; the moments
     must cover the *whole* grid (same length as ``safe_mask``).
     """
-    check_non_negative(beta, "beta")
-    safe_mask = np.asarray(safe_mask, dtype=bool)
     mean = np.asarray(mean, dtype=float)
     std = np.asarray(std, dtype=float)
-    if safe_mask.size != mean.size or mean.size != std.size:
+    if mean.size != std.size:
         raise ValueError("safe_mask and posterior moments must have equal length")
-    safe_indices = np.nonzero(safe_mask)[0]
-    if safe_indices.size == 0:
-        raise ValueError("safe set is empty; include S0 in the mask")
-    lcb = mean[safe_indices] - beta * std[safe_indices]
-    return int(safe_indices[int(np.argmin(lcb))])
+    return safe_lcb_index_from_values(lcb_values(mean, std, beta), safe_mask)
 
 
 def safe_lcb_index(

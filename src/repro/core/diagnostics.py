@@ -12,6 +12,10 @@ observations:
   ~N(0, 1) for a calibrated model.
 * :func:`calibration_report` — both, plus mean interval width, as a
   dict for logging.
+* :class:`RunningCalibration` — a streaming accumulator of the same
+  coverage statistic, fed one standardised error per round; this is
+  what per-round decision traces report (``docs/OBSERVABILITY.md``)
+  without ever re-touching held-out data.
 
 Each helper accepts an optional precomputed ``posterior`` —
 ``(mean, variance)`` arrays such as one head of a
@@ -81,6 +85,75 @@ def interval_coverage(
 def expected_coverage(z: float) -> float:
     """Gaussian mass within +/- z standard deviations."""
     return float(math.erf(z / math.sqrt(2.0)))
+
+
+class RunningCalibration:
+    """Streaming z-score coverage of one surrogate head.
+
+    Each round contributes one standardised error
+    ``(y - mu) / sqrt(sigma^2 + zeta^2)`` computed from the posterior
+    the agent *already evaluated* to make its decision (one-step-ahead,
+    so the update that follows the observation never leaks into the
+    score).  The running coverage converges to
+    :func:`expected_coverage` for a calibrated model; a persistent gap
+    below nominal is the "GP certifies unsafe controls" alarm.
+
+    Parameters
+    ----------
+    z:
+        Half-width of the monitored interval in predictive standard
+        deviations (2.0 matches the default of
+        :func:`interval_coverage`).
+    """
+
+    __slots__ = ("z", "n", "within", "error_sum", "error_sq_sum")
+
+    def __init__(self, z: float = 2.0) -> None:
+        """Start with no observed errors."""
+        if z <= 0:
+            raise ValueError(f"z must be positive, got {z}")
+        self.z = float(z)
+        self.n = 0
+        self.within = 0
+        self.error_sum = 0.0
+        self.error_sq_sum = 0.0
+
+    def update(self, error: float) -> None:
+        """Fold in one standardised error (non-finite values rejected)."""
+        error = float(error)
+        if not math.isfinite(error):
+            raise ValueError(f"standardised error must be finite, got {error!r}")
+        self.n += 1
+        if abs(error) <= self.z:
+            self.within += 1
+        self.error_sum += error
+        self.error_sq_sum += error * error
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of errors inside +/- z so far (NaN before any)."""
+        return self.within / self.n if self.n else float("nan")
+
+    @property
+    def expected(self) -> float:
+        """Nominal coverage of a calibrated model at this z."""
+        return expected_coverage(self.z)
+
+    def snapshot(self) -> dict:
+        """JSON-ready running statistics (coverage, z-moments, n)."""
+        if self.n:
+            mean = self.error_sum / self.n
+            var = max(self.error_sq_sum / self.n - mean * mean, 0.0)
+        else:
+            mean = var = float("nan")
+        return {
+            "n": self.n,
+            "z": self.z,
+            "coverage": self.coverage,
+            "expected": self.expected,
+            "error_mean": mean,
+            "error_std": math.sqrt(var) if self.n else float("nan"),
+        }
 
 
 def calibration_report(

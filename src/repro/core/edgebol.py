@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.acquisition import safe_lcb_index_from_posterior
+from repro.core.acquisition import lcb_values, safe_lcb_index_from_posterior
 from repro.core.gp import GaussianProcess
 from repro.core.kernels import Kernel, Matern
 from repro.core.likelihood import fit_hyperparameters
@@ -306,6 +306,11 @@ class EdgeBOL:
         self._recoveries = 0
         self._surrogate_down = False
         self._recent_costs: deque[float] = deque(maxlen=64)
+        # Decision tracing (docs/OBSERVABILITY.md): None keeps every
+        # hook to a single attribute check, so untraced runs pay
+        # nothing and traced runs stay bit-identical (the tracer only
+        # reads the batch the selection already computed).
+        self._tracer = None
 
     # -- introspection ---------------------------------------------------
 
@@ -342,6 +347,27 @@ class EdgeBOL:
     def quarantined_observations(self) -> int:
         """Observations rejected by the quarantine gate so far."""
         return self._quarantined
+
+    def head_surrogates(self) -> dict:
+        """Head-name → GP mapping, in the engine's head order.
+
+        The decision tracer (:mod:`repro.obs`) uses this to report GP
+        hyperparameters and calibration per head without reaching into
+        private state.
+        """
+        heads = dict(zip(HEAD_NAMES, self._gps))
+        if self._power_gps is not None:
+            heads.update(zip(POWER_HEAD_NAMES, self._power_gps))
+        return heads
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach a decision tracer (``None`` detaches).
+
+        The tracer receives ``on_select`` / ``on_degraded`` /
+        ``on_observe`` callbacks each period; see
+        :class:`repro.obs.decision.DecisionTracer`.
+        """
+        self._tracer = tracer
 
     def robustness_stats(self) -> dict:
         """Quarantine/degradation counters for the run log.
@@ -420,7 +446,7 @@ class EdgeBOL:
         """
         with telemetry.span("edgebol.select") as sp:
             if self._surrogate_down and not self._try_recover():
-                return self._degraded_select(sp)
+                return self._degraded_select(sp, context)
             try:
                 batch = self._engine.posterior(
                     self._context_array(context), heads=self._select_heads()
@@ -436,17 +462,21 @@ class EdgeBOL:
                     )
             except NumericalInstabilityError:
                 self._mark_surrogate_down()
-                return self._degraded_select(sp)
+                return self._degraded_select(sp, context)
+            if self._tracer is not None:
+                self._tracer.on_select(context, batch, mask, index)
             if sp:
                 sp.set("safe_set_size", self._last_safe_size)
                 sp.set("n_observations", self.n_observations)
             return ControlPolicy.from_array(self.control_grid[index])
 
-    def _degraded_select(self, sp) -> ControlPolicy:
+    def _degraded_select(self, sp, context: Context) -> ControlPolicy:
         """One period of the S0 fallback (surrogate unavailable)."""
         self._degraded_periods += 1
         telemetry.inc("edgebol.degraded_periods")
         self._last_safe_size = 1
+        if self._tracer is not None:
+            self._tracer.on_degraded(context)
         if sp:
             sp.set("degraded", True)
         return ControlPolicy.from_array(self.control_grid[self._s0_index])
@@ -506,6 +536,27 @@ class EdgeBOL:
         std = np.sqrt((d1 * s_std) ** 2 + (d2 * b_std) ** 2)
         lcb = mean - self.config.beta * std
         return int(safe_indices[int(np.argmin(lcb))])
+
+    def cost_lcb_values(self, batch: PosteriorBatch) -> np.ndarray:
+        """Full-grid eq.-9 objective (cost LCB) from an engine sweep.
+
+        In the default coupled mode this is exactly the surface the
+        acquisition minimised; in decoupled-power mode it assembles the
+        same linear-combination posterior as
+        :meth:`_decoupled_lcb_index` but over the whole grid.  Decision
+        traces use it to price safety (chosen vs unconstrained LCB);
+        it reads only the batch, so calling it cannot perturb a run.
+        """
+        if self._power_gps is None:
+            return lcb_values(
+                batch.mean("cost"), batch.std("cost"), beta=self.config.beta
+            )
+        s_mean, s_std = batch.moments("server_power")
+        b_mean, b_std = batch.moments("bs_power")
+        d1, d2 = self.cost_weights.delta1, self.cost_weights.delta2
+        mean = d1 * s_mean + d2 * b_mean
+        std = np.sqrt((d1 * s_std) ** 2 + (d2 * b_std) ** 2)
+        return mean - self.config.beta * std
 
     def update(
         self,
@@ -592,10 +643,20 @@ class EdgeBOL:
             if reason is not None:
                 self._quarantined += 1
                 telemetry.inc("edgebol.quarantined")
+                if self._tracer is not None:
+                    self._tracer.on_observe(
+                        context, policy, observation, cost, reason
+                    )
                 if sp:
                     sp.set("quarantined", reason)
                 return cost
             self._recent_costs.append(float(cost))
+            if self._tracer is not None:
+                # Before update(): the tracer scores the select-time
+                # posterior against this observation (one-step-ahead),
+                # so the record must close before the GP absorbs it.
+                self._tracer.on_observe(context, policy, observation,
+                                        cost, None)
             self.update(
                 context,
                 policy,

@@ -113,6 +113,56 @@ class SafeSetEstimator:
             d_max_s=d_max_s, rho_min=rho_min, always_safe=always_safe,
         )
 
+    def _widths(
+        self,
+        delay_mean: np.ndarray,
+        delay_std: np.ndarray,
+        map_std: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Confidence-bound half-widths of the two eq.-8 tests."""
+        delay_width = self.beta * delay_std + (
+            self.noise_beta * self.delay_noise_rel * np.abs(delay_mean)
+        )
+        map_width = self.beta * map_std + self.noise_beta * self.map_noise_std
+        return delay_width, map_width
+
+    def margins_from_moments(
+        self,
+        delay_mean: np.ndarray,
+        delay_std: np.ndarray,
+        map_mean: np.ndarray,
+        map_std: np.ndarray,
+        d_max_s: float,
+        rho_min: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-point slack of each eq.-8 constraint (>= 0 means safe).
+
+        Returns ``(delay_slack_s, map_slack)``: the delay slack is
+        ``d_max - (mu_d + width_d)`` in seconds, the mAP slack is
+        ``(mu_q - width_q) - rho_min`` in mAP units.  These are the
+        "how close to the boundary did we certify" quantities decision
+        traces record per round (``docs/OBSERVABILITY.md``).
+        """
+        delay_width, map_width = self._widths(delay_mean, delay_std, map_std)
+        return (
+            d_max_s - (delay_mean + delay_width),
+            (map_mean - map_width) - rho_min,
+        )
+
+    def margins_from_batch(
+        self,
+        batch: PosteriorBatch,
+        d_max_s: float,
+        rho_min: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`margins_from_moments` on a precomputed engine sweep."""
+        delay_mean, delay_std = batch.moments(DELAY_HEAD)
+        map_mean, map_std = batch.moments(MAP_HEAD)
+        return self.margins_from_moments(
+            delay_mean, delay_std, map_mean, map_std,
+            d_max_s=d_max_s, rho_min=rho_min,
+        )
+
     def mask_from_moments(
         self,
         delay_mean: np.ndarray,
@@ -124,10 +174,7 @@ class SafeSetEstimator:
         always_safe: np.ndarray | None = None,
     ) -> np.ndarray:
         """Eq. 8 applied to precomputed posterior moments."""
-        delay_width = self.beta * delay_std + (
-            self.noise_beta * self.delay_noise_rel * np.abs(delay_mean)
-        )
-        map_width = self.beta * map_std + self.noise_beta * self.map_noise_std
+        delay_width, map_width = self._widths(delay_mean, delay_std, map_std)
         mask = (delay_mean + delay_width <= d_max_s) & (
             map_mean - map_width >= rho_min
         )

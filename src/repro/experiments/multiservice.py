@@ -21,6 +21,7 @@ from repro.core import EdgeBOL, EdgeBOLConfig
 from repro.experiments import spec as spec_registry
 from repro.experiments.recorder import RunLog, write_csv
 from repro.experiments.spec import ExperimentSpec, ParamSpec
+from repro.obs import runtime as obs
 from repro.ran.channel import GaussMarkovChannel
 from repro.testbed.config import (
     CostWeights,
@@ -89,25 +90,43 @@ def run_per_slice_edgebol(
     ]
     logs = [RunLog(), RunLog()]
     constraints = [setting.ar_constraints, setting.surveillance_constraints]
-    for _ in range(setting.n_periods):
-        contexts = env.observe_contexts()
-        policies = [
-            agent.select(context) for agent, context in zip(agents, contexts)
-        ]
-        observations = env.step(policies)
-        for agent, context, policy, observation, log, limits in zip(
-            agents, contexts, policies, observations, logs, constraints
-        ):
-            cost = agent.observe(context, policy, observation)
-            log.append(
-                cost=cost,
-                policy=policy,
-                observation=observation,
-                safe_set_size=agent.last_safe_set_size,
-                snr_db=float("nan"),
-                d_max_s=limits.d_max_s,
-                rho_min=limits.rho_min,
-            )
+    # One labelled tracer per slice: both emit into the shared sink,
+    # records distinguished by their "agent" field.
+    tracers = [
+        obs.make_tracer(agent, label=name)
+        for agent, name in zip(agents, ("ar", "surveillance"))
+    ]
+    for agent, tracer in zip(agents, tracers):
+        if tracer is not None:
+            agent.attach_tracer(tracer)
+    try:
+        for _ in range(setting.n_periods):
+            contexts = env.observe_contexts()
+            policies = [
+                agent.select(context)
+                for agent, context in zip(agents, contexts)
+            ]
+            observations = env.step(policies)
+            for agent, context, policy, observation, log, limits in zip(
+                agents, contexts, policies, observations, logs, constraints
+            ):
+                cost = agent.observe(context, policy, observation)
+                log.append(
+                    cost=cost,
+                    policy=policy,
+                    observation=observation,
+                    safe_set_size=agent.last_safe_set_size,
+                    snr_db=float("nan"),
+                    d_max_s=limits.d_max_s,
+                    rho_min=limits.rho_min,
+                )
+    finally:
+        for agent, tracer in zip(agents, tracers):
+            if tracer is not None:
+                agent.attach_tracer(None)
+    for log, tracer in zip(logs, tracers):
+        if tracer is not None:
+            log.decisions = tracer.summary()
     return logs[0], logs[1]
 
 

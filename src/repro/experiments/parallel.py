@@ -37,6 +37,7 @@ import json
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -47,7 +48,9 @@ from repro.experiments.spec import ExperimentSpec
 from repro.faults import runtime as faults
 from repro.faults.injector import InjectedWorkerCrash
 from repro.faults.plan import FaultPlan
+from repro.obs import runtime as obs
 from repro.telemetry import runtime as telemetry
+from repro.telemetry.export import JsonlSink
 
 __all__ = ["SweepCell", "CellResult", "SweepResult", "run_sweep", "merge_metrics"]
 
@@ -89,6 +92,9 @@ class CellResult:
     cached: bool = False
     attempts: int = 1
     error: str | None = None
+    #: Per-period decision records the cell emitted while a decision
+    #: sink was active (``--trace-decisions``); ``None`` when untraced.
+    decisions: list | None = None
 
 
 @dataclass
@@ -186,7 +192,8 @@ def _maybe_inject_worker_fault(cell: SweepCell, attempt: int) -> None:
 
 def _execute_cell(spec_name: str, cell: SweepCell, collect_telemetry: bool,
                   fault_plan: dict | None = None,
-                  attempt: int = 0) -> CellResult:
+                  attempt: int = 0,
+                  collect_decisions: bool = False) -> CellResult:
     """Run one cell — the worker-process entry point.
 
     Top-level so it pickles under any multiprocessing start method;
@@ -194,24 +201,31 @@ def _execute_cell(spec_name: str, cell: SweepCell, collect_telemetry: bool,
     fault plan crosses the process boundary as a plain dict and is
     installed for the cell scope with the cell's spawn key, so fault
     streams are per-cell reproducible regardless of which worker runs
-    the cell.
+    the cell.  With ``collect_decisions`` the cell runs under its own
+    decision sink (labelled with the cell id) and the records ride back
+    on the result for the parent to merge.
     """
     registry.load_all()
     spec = registry.get(spec_name)
     plan = FaultPlan.from_dict(fault_plan) if fault_plan is not None else None
     metrics = None
+    decision_sink = obs.ListSink() if collect_decisions else None
     with faults.use(plan, seed_path=cell.spawn_key):
         _maybe_inject_worker_fault(cell, attempt)
-        if collect_telemetry:
-            telemetry.reset_metrics()
-            telemetry.enable()
-            try:
-                rows = spec.run_cell(cell.params, cell.seed_sequence())
-                metrics = telemetry.metrics_snapshot()
-            finally:
-                telemetry.disable()
-        else:
-            rows = spec.run_cell(cell.params, cell.seed_sequence())
+        with obs.use(decision_sink) if decision_sink is not None \
+                else nullcontext():
+            with obs.scope(cell.cell_id) if decision_sink is not None \
+                    else nullcontext():
+                if collect_telemetry:
+                    telemetry.reset_metrics()
+                    telemetry.enable()
+                    try:
+                        rows = spec.run_cell(cell.params, cell.seed_sequence())
+                        metrics = telemetry.metrics_snapshot()
+                    finally:
+                        telemetry.disable()
+                else:
+                    rows = spec.run_cell(cell.params, cell.seed_sequence())
     return CellResult(
         index=cell.index,
         cell_id=cell.cell_id,
@@ -220,18 +234,33 @@ def _execute_cell(spec_name: str, cell: SweepCell, collect_telemetry: bool,
         pid=os.getpid(),
         metrics=metrics,
         attempts=attempt + 1,
+        decisions=(
+            _jsonable(decision_sink.records)
+            if decision_sink is not None else None
+        ),
     )
 
 
 def _run_cell_inprocess(spec: ExperimentSpec, cell: SweepCell,
-                        attempt: int = 0) -> CellResult:
-    """Serial path: telemetry spans nest under the caller's trace."""
+                        attempt: int = 0,
+                        collect_decisions: bool = False) -> CellResult:
+    """Serial path: telemetry spans nest under the caller's trace.
+
+    Decision records are still buffered per cell (not streamed to the
+    parent's sink) so serial and pool sweeps produce identically-merged
+    traces in cell-index order.
+    """
+    decision_sink = obs.ListSink() if collect_decisions else None
     with telemetry.span("sweep.cell") as sp:
         if sp:
             sp.set("spec", spec.name)
             sp.set("cell", cell.cell_id)
         _maybe_inject_worker_fault(cell, attempt)
-        rows = spec.run_cell(cell.params, cell.seed_sequence())
+        with obs.use(decision_sink) if decision_sink is not None \
+                else nullcontext():
+            with obs.scope(cell.cell_id) if decision_sink is not None \
+                    else nullcontext():
+                rows = spec.run_cell(cell.params, cell.seed_sequence())
     return CellResult(
         index=cell.index,
         cell_id=cell.cell_id,
@@ -239,6 +268,10 @@ def _run_cell_inprocess(spec: ExperimentSpec, cell: SweepCell,
         rows=_jsonable(rows),
         pid=os.getpid(),
         attempts=attempt + 1,
+        decisions=(
+            _jsonable(decision_sink.records)
+            if decision_sink is not None else None
+        ),
     )
 
 
@@ -326,6 +359,7 @@ def _resume_cells(cells: "list[SweepCell]",
             metrics=record.get("metrics"),
             cached=True,
             attempts=record.get("attempts", 1),
+            decisions=record.get("decisions"),
         )
     return done
 
@@ -368,6 +402,8 @@ class _ManifestWriter:
             "metrics": result.metrics,
             "attempts": result.attempts,
         }
+        if result.decisions is not None:
+            record["decisions"] = result.decisions
         if result.error is not None:
             record["quarantined"] = True
             record["error"] = result.error
@@ -421,6 +457,31 @@ def merge_metrics(snapshots: "list[dict]") -> dict:
     return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
 
+def _merge_decisions(ordered: "list[CellResult]",
+                     decision_path: "Path | str | None") -> None:
+    """Re-emit every cell's decision records in cell-index order.
+
+    With a ``decision_path`` the merged trace is written there as one
+    JSONL file (records already carry their ``cell`` label from the
+    worker's scope); otherwise each record goes through
+    :func:`repro.obs.emit` into the caller's installed sink, keeping
+    interleaving with any recording telemetry sinks.
+    """
+    records = [
+        record for result in ordered for record in (result.decisions or [])
+    ]
+    if decision_path is not None:
+        sink = JsonlSink(decision_path)
+        try:
+            for record in records:
+                sink.emit(record)
+        finally:
+            sink.close()
+        return
+    for record in records:
+        obs.emit(record)
+
+
 def _fold_into_parent_registry(merged: dict) -> None:
     """Add merged worker counters/gauges to the parent's registry."""
     reg = telemetry.get_registry()
@@ -456,7 +517,7 @@ def _backoff(retry_backoff_s: float, attempt: int) -> None:
 
 
 def _run_serial(spec, pending, results, writer, plan, max_retries,
-                retry_backoff_s):
+                retry_backoff_s, collect_decisions=False):
     """In-process execution with the same retry/quarantine ladder."""
     for cell in pending:
         result = None
@@ -466,7 +527,10 @@ def _run_serial(spec, pending, results, writer, plan, max_retries,
                 _backoff(retry_backoff_s, attempt - 1)
             try:
                 with faults.use(plan, seed_path=cell.spawn_key):
-                    result = _run_cell_inprocess(spec, cell, attempt)
+                    result = _run_cell_inprocess(
+                        spec, cell, attempt,
+                        collect_decisions=collect_decisions,
+                    )
                 break
             except Exception as exc:  # noqa: BLE001 — quarantine ladder
                 failure = exc
@@ -477,7 +541,8 @@ def _run_serial(spec, pending, results, writer, plan, max_retries,
 
 
 def _run_pool(spec, pending, results, writer, plan_dict, collect_telemetry,
-              jobs, max_retries, retry_backoff_s, cell_timeout_s):
+              jobs, max_retries, retry_backoff_s, cell_timeout_s,
+              collect_decisions=False):
     """Pool execution: retries, per-cell deadlines, poison quarantine.
 
     A timed-out future cannot be preempted inside a
@@ -491,7 +556,7 @@ def _run_pool(spec, pending, results, writer, plan_dict, collect_telemetry,
             """Submit one cell attempt and start its deadline clock."""
             future = pool.submit(
                 _execute_cell, spec.name, cell, collect_telemetry,
-                plan_dict, attempt,
+                plan_dict, attempt, collect_decisions,
             )
             deadline = (
                 time.monotonic() + cell_timeout_s
@@ -560,6 +625,7 @@ def run_sweep(
     retry_backoff_s: float = 0.05,
     cell_timeout_s: float | None = None,
     fault_plan: "FaultPlan | None" = None,
+    decision_path: "Path | str | None" = None,
 ) -> SweepResult:
     """Execute every cell of ``spec`` for ``params`` (see module docs).
 
@@ -586,6 +652,14 @@ def run_sweep(
     fault_plan:
         Fault plan to install inside every cell scope; defaults to the
         process's active plan (``repro run --faults plan.json``).
+    decision_path:
+        JSONL file for the merged decision trace
+        (``--trace-decisions``): every cell runs under its own decision
+        sink, records come back on the :class:`CellResult` (persisting
+        through the manifest, so resumed cells keep their traces) and
+        are written here in cell-index order.  ``None`` falls back to
+        the caller's installed :mod:`repro.obs` sink, if any; with
+        neither, cells run untraced.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -607,17 +681,20 @@ def run_sweep(
     writer.track(cells)
     results: dict[str, CellResult] = dict(done)
     collect_telemetry = telemetry.enabled() and jobs > 1
+    collect_decisions = decision_path is not None or obs.enabled()
     try:
         for cached in sorted(done.values(), key=lambda r: r.index):
             writer.append(cached)
         if jobs == 1 or len(pending) <= 1:
             _run_serial(spec, pending, results, writer, plan,
-                        max_retries, retry_backoff_s)
+                        max_retries, retry_backoff_s,
+                        collect_decisions=collect_decisions)
         else:
             _run_pool(spec, pending, results, writer,
                       plan.to_dict() if plan is not None else None,
                       collect_telemetry, jobs, max_retries,
-                      retry_backoff_s, cell_timeout_s)
+                      retry_backoff_s, cell_timeout_s,
+                      collect_decisions=collect_decisions)
     finally:
         writer.close()
 
@@ -629,6 +706,8 @@ def run_sweep(
             _fold_into_parent_registry(merged)
 
     ordered = sorted(results.values(), key=lambda r: r.index)
+    if collect_decisions:
+        _merge_decisions(ordered, decision_path)
     return SweepResult(
         spec_name=spec.name,
         params=params,

@@ -27,7 +27,10 @@ class RunLog:
     executed with telemetry enabled; ``robustness`` carries the agent's
     quarantine/degradation counters
     (:meth:`~repro.core.edgebol.EdgeBOL.robustness_stats`) when the
-    agent exposes them — see ``docs/ROBUSTNESS.md``.
+    agent exposes them — see ``docs/ROBUSTNESS.md``; ``decisions``
+    carries the decision tracer's run-level roll-up
+    (:meth:`repro.obs.decision.DecisionTracer.summary`) when the run
+    was traced — see ``docs/OBSERVABILITY.md``.
 
     Attributes
     ----------
@@ -68,6 +71,7 @@ class RunLog:
     engine_stats: dict | None = None
     telemetry: dict | None = None
     robustness: dict | None = None
+    decisions: dict | None = None
 
     def append(
         self,
@@ -228,6 +232,17 @@ def render_runlog(log: RunLog, title: str = "run") -> str:
             ["robustness counter", "value"],
             [[key, value] for key, value in log.robustness.items()],
         ))
+    if log.decisions:
+        rows = []
+        for key, value in log.decisions.items():
+            if isinstance(value, dict):
+                value = ", ".join(
+                    f"{head}={cov:.3f}" if isinstance(cov, float) else
+                    f"{head}={cov}"
+                    for head, cov in value.items()
+                )
+            rows.append([key, value if value is not None else "n/a"])
+        parts.append(render_table(["decision-trace stat", "value"], rows))
     if log.telemetry:
         counters = log.telemetry.get("counters") or {}
         if counters:

@@ -130,15 +130,20 @@ def run_regret_cell(params: Mapping, seed) -> list[dict]:
 
     env = static_scenario(mean_snr_db=mean_snr_db, rng=env_rng, config=testbed)
     agent = EdgeBOL(grid, constraints, weights)
-    log = run_agent(env, agent, int(params["periods"]))
 
+    # Oracle first (its own RNG branch, so run order cannot leak into
+    # the agent's streams): knowing u* up front lets a traced run put
+    # per-period regret into its decision records.
     oracle_env = static_scenario(
         mean_snr_db=mean_snr_db, rng=oracle_rng, config=testbed
     )
     oracle = ExhaustiveOracle(oracle_env, weights, control_grid=grid)
-    curves = regret_for_static_run(
-        log, oracle, constraints, snrs_db=[mean_snr_db] * env.n_users
+    best = oracle.best(constraints, snrs_db=[mean_snr_db] * env.n_users)
+
+    log = run_agent(
+        env, agent, int(params["periods"]), oracle_cost=best.cost
     )
+    curves = regret_against_constant_oracle(log, best.cost)
     return [
         {
             "delta2": delta2,

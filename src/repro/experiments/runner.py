@@ -8,6 +8,7 @@ from collections.abc import Callable, Sequence
 import numpy as np
 
 from repro.experiments.recorder import RunLog
+from repro.obs import runtime as obs
 from repro.telemetry import runtime as telemetry
 from repro.testbed.config import ServiceConstraints
 from repro.testbed.env import EdgeAIEnvironment
@@ -62,6 +63,7 @@ def run_agent(
     n_periods: int,
     schedule: ConstraintSchedule | None = None,
     track_safe_set: bool = False,
+    oracle_cost: float | None = None,
 ) -> RunLog:
     """Drive ``agent`` in ``env`` for ``n_periods`` and log everything.
 
@@ -73,6 +75,14 @@ def run_agent(
     traced as one ``experiment.run`` root span with one
     ``experiment.period`` child per period, and the log absorbs a
     metrics snapshot (``log.telemetry``) alongside ``engine_stats``.
+
+    With a decision sink installed (:func:`repro.obs.use`), a
+    :class:`~repro.obs.decision.DecisionTracer` is attached for the run
+    and every period emits a ``type: "decision"`` record; the tracer's
+    roll-up lands in ``log.decisions``.  ``oracle_cost`` (a clairvoyant
+    per-period cost, when the caller knows one) enables the records'
+    regret block.  Tracing never alters the run — KPIs stay
+    bit-identical (``tests/test_obs.py``).
     """
     if n_periods < 0:
         raise ValueError(f"n_periods must be non-negative, got {n_periods}")
@@ -80,35 +90,44 @@ def run_agent(
     active = schedule.initial if schedule is not None else getattr(
         agent, "constraints", ServiceConstraints()
     )
-    with telemetry.span("experiment.run") as run_sp:
-        if run_sp:
-            run_sp.set("periods", n_periods)
-            run_sp.set("agent", type(agent).__name__)
-        for t in range(n_periods):
-            with telemetry.span("experiment.period"):
-                if schedule is not None:
-                    new_constraints = schedule.at(t)
-                    if new_constraints != active:
-                        agent.set_constraints(new_constraints)
-                        active = new_constraints
-                snr = float(np.mean(env.current_snrs_db))
-                context = env.observe_context()
-                policy = agent.select(context)
-                observation = env.step(policy)
-                cost = agent.observe(context, policy, observation)
-                safe_size = (
-                    getattr(agent, "last_safe_set_size", None)
-                    if track_safe_set else None
-                )
-                log.append(
-                    cost=cost,
-                    policy=policy,
-                    observation=observation,
-                    safe_set_size=safe_size,
-                    snr_db=snr,
-                    d_max_s=active.d_max_s,
-                    rho_min=active.rho_min,
-                )
+    tracer = obs.make_tracer(agent, oracle_cost=oracle_cost)
+    if tracer is not None:
+        agent.attach_tracer(tracer)
+    try:
+        with telemetry.span("experiment.run") as run_sp:
+            if run_sp:
+                run_sp.set("periods", n_periods)
+                run_sp.set("agent", type(agent).__name__)
+            for t in range(n_periods):
+                with telemetry.span("experiment.period"):
+                    if schedule is not None:
+                        new_constraints = schedule.at(t)
+                        if new_constraints != active:
+                            agent.set_constraints(new_constraints)
+                            active = new_constraints
+                    snr = float(np.mean(env.current_snrs_db))
+                    context = env.observe_context()
+                    policy = agent.select(context)
+                    observation = env.step(policy)
+                    cost = agent.observe(context, policy, observation)
+                    safe_size = (
+                        getattr(agent, "last_safe_set_size", None)
+                        if track_safe_set else None
+                    )
+                    log.append(
+                        cost=cost,
+                        policy=policy,
+                        observation=observation,
+                        safe_set_size=safe_size,
+                        snr_db=snr,
+                        d_max_s=active.d_max_s,
+                        rho_min=active.rho_min,
+                    )
+    finally:
+        if tracer is not None:
+            agent.attach_tracer(None)
+    if tracer is not None:
+        log.decisions = tracer.summary()
     engine = getattr(agent, "engine", None)
     if engine is not None and hasattr(engine, "stats"):
         log.engine_stats = engine.stats.snapshot()

@@ -28,6 +28,7 @@ from repro.core import EdgeBOL, EdgeBOLConfig
 from repro.experiments import spec as spec_registry
 from repro.experiments.recorder import RunLog, write_csv
 from repro.experiments.spec import ExperimentSpec, ParamSpec
+from repro.obs import runtime as obs
 from repro.testbed.config import ServiceConstraints, TestbedConfig
 from repro.testbed.env import EdgeAIEnvironment
 from repro.testbed.scenarios import static_scenario
@@ -76,25 +77,34 @@ def run_tariff_tracking(
     )
     log = RunLog()
     active = tariff.weights_at(0)
-    for t in range(setting.n_periods):
-        weights = tariff.weights_at(t)
-        if weights != active:
-            agent.set_cost_weights(weights)
-            active = weights
-        snr = float(np.mean(env.current_snrs_db))
-        context = env.observe_context()
-        policy = agent.select(context)
-        observation = env.step(policy)
-        cost = agent.observe(context, policy, observation)
-        log.append(
-            cost=cost,
-            policy=policy,
-            observation=observation,
-            safe_set_size=agent.last_safe_set_size,
-            snr_db=snr,
-            d_max_s=setting.d_max_s,
-            rho_min=setting.rho_min,
-        )
+    tracer = obs.make_tracer(agent)
+    if tracer is not None:
+        agent.attach_tracer(tracer)
+    try:
+        for t in range(setting.n_periods):
+            weights = tariff.weights_at(t)
+            if weights != active:
+                agent.set_cost_weights(weights)
+                active = weights
+            snr = float(np.mean(env.current_snrs_db))
+            context = env.observe_context()
+            policy = agent.select(context)
+            observation = env.step(policy)
+            cost = agent.observe(context, policy, observation)
+            log.append(
+                cost=cost,
+                policy=policy,
+                observation=observation,
+                safe_set_size=agent.last_safe_set_size,
+                snr_db=snr,
+                d_max_s=setting.d_max_s,
+                rho_min=setting.rho_min,
+            )
+    finally:
+        if tracer is not None:
+            agent.attach_tracer(None)
+    if tracer is not None:
+        log.decisions = tracer.summary()
     return log
 
 

@@ -1,0 +1,51 @@
+"""Decision-trace observability for EdgeBOL runs.
+
+The safe-BO loop makes one irreversible choice per orchestration period;
+this package records *why*.  A :class:`~repro.obs.decision.DecisionTracer`
+attached to an agent emits one ``type: "decision"`` JSONL record per
+round — safe-set size, constraint margins, price of safety, running GP
+calibration, context drift, quarantine/degraded state and regret —
+through the process-local sink of :mod:`repro.obs.runtime`, reusing the
+posteriors the agent already computed (no extra ``predict`` calls, no
+RNG draws: traced runs are bit-identical to untraced ones).
+
+``repro diagnose trace.jsonl`` (:mod:`repro.obs.diagnose`) renders the
+trace as an ASCII dashboard and derives machine-readable anomaly flags.
+See ``docs/OBSERVABILITY.md`` ("Decision traces").
+"""
+
+from repro.obs.decision import DecisionTracer
+from repro.obs.diagnose import (
+    detect_anomalies,
+    diagnose_path,
+    load_decisions,
+    render_dashboard,
+)
+from repro.obs.drift import DriftMonitor
+from repro.obs.runtime import (
+    ListSink,
+    emit,
+    enabled,
+    install,
+    make_tracer,
+    scope,
+    uninstall,
+    use,
+)
+
+__all__ = [
+    "DecisionTracer",
+    "DriftMonitor",
+    "ListSink",
+    "detect_anomalies",
+    "diagnose_path",
+    "emit",
+    "enabled",
+    "install",
+    "load_decisions",
+    "make_tracer",
+    "render_dashboard",
+    "scope",
+    "uninstall",
+    "use",
+]

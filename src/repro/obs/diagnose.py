@@ -1,0 +1,293 @@
+"""Offline analysis of decision traces: anomaly flags and a dashboard.
+
+``repro diagnose trace.jsonl`` loads the ``type: "decision"`` lines a
+traced run emitted (:mod:`repro.obs.decision`) and renders an ASCII
+dashboard — safe-set growth, running calibration coverage against its
+nominal level, constraint-margin histograms, a per-period event
+timeline and the regret curve — plus machine-readable anomaly flags:
+
+* ``coverage_below_nominal`` — a head's running z-score coverage ended
+  materially below the calibrated level (the "GP certifies unsafe
+  controls" alarm);
+* ``persistent_negative_margin`` — the chosen control carried negative
+  certified slack on a constraint for several consecutive periods;
+* ``drift_episode`` — the context-drift monitor flagged a run of
+  out-of-distribution contexts;
+* ``degraded_stretch`` — consecutive periods served by the S0 fallback.
+
+Flags are plain dicts (``kind`` plus location fields) so CI can gate
+on them; the dashboard embeds the same list in human form.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.utils.ascii import render_chart, render_histogram, render_table
+
+#: Tolerated gap between running and nominal coverage before flagging.
+DEFAULT_COVERAGE_SLACK = 0.10
+#: Calibration sample size below which coverage is not judged.
+DEFAULT_MIN_CALIBRATION_N = 20
+#: Consecutive negative-margin periods before flagging.
+DEFAULT_MARGIN_RUN = 5
+
+
+def load_decisions(path: "str | Path") -> list[dict]:
+    """The ``type: "decision"`` records of a JSONL trace, in order.
+
+    Blank lines and other record types (spans, metrics) are skipped, so
+    a combined telemetry+decision trace loads the same as a pure one;
+    a malformed JSON line raises ``ValueError`` naming the line number.
+    """
+    records: list[dict] = []
+    with Path(path).open() as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: invalid JSON in trace ({exc})"
+                ) from exc
+            if isinstance(record, dict) and record.get("type") == "decision":
+                records.append(record)
+    return records
+
+
+def _runs(flags: "list[bool]") -> list[tuple[int, int]]:
+    """Half-open ``(start, end)`` index ranges of consecutive True."""
+    runs: list[tuple[int, int]] = []
+    start = None
+    for i, flag in enumerate(flags):
+        if flag and start is None:
+            start = i
+        elif not flag and start is not None:
+            runs.append((start, i))
+            start = None
+    if start is not None:
+        runs.append((start, len(flags)))
+    return runs
+
+
+def _margin(record: dict, key: str) -> "float | None":
+    margins = record.get("margins") or {}
+    value = margins.get(key)
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def detect_anomalies(
+    records: list[dict],
+    coverage_slack: float = DEFAULT_COVERAGE_SLACK,
+    min_calibration_n: int = DEFAULT_MIN_CALIBRATION_N,
+    margin_run: int = DEFAULT_MARGIN_RUN,
+) -> list[dict]:
+    """Machine-readable anomaly flags over one trace (see module doc)."""
+    flags: list[dict] = []
+    if not records:
+        return flags
+    final = records[-1]
+
+    for head, snap in sorted((final.get("calibration") or {}).items()):
+        coverage, expected = snap.get("coverage"), snap.get("expected")
+        if (
+            isinstance(coverage, (int, float))
+            and isinstance(expected, (int, float))
+            and snap.get("n", 0) >= min_calibration_n
+            and coverage < expected - coverage_slack
+        ):
+            flags.append({
+                "kind": "coverage_below_nominal",
+                "head": head,
+                "coverage": float(coverage),
+                "expected": float(expected),
+                "n": int(snap["n"]),
+            })
+
+    for key, constraint in (("delay_slack_s", "delay"), ("map_slack", "map")):
+        negative = [
+            (m := _margin(record, key)) is not None and m < 0.0
+            for record in records
+        ]
+        for start, end in _runs(negative):
+            if end - start >= margin_run:
+                flags.append({
+                    "kind": "persistent_negative_margin",
+                    "constraint": constraint,
+                    "start_t": int(records[start].get("t", start)),
+                    "end_t": int(records[end - 1].get("t", end - 1)),
+                    "length": end - start,
+                })
+
+    drifting = [
+        bool((record.get("drift") or {}).get("flag")) for record in records
+    ]
+    for start, end in _runs(drifting):
+        scores = [
+            s for record in records[start:end]
+            if isinstance(s := (record.get("drift") or {}).get("score"),
+                          (int, float))
+        ]
+        flags.append({
+            "kind": "drift_episode",
+            "start_t": int(records[start].get("t", start)),
+            "end_t": int(records[end - 1].get("t", end - 1)),
+            "length": end - start,
+            "peak_score": float(max(scores)) if scores else None,
+        })
+
+    degraded = [bool(record.get("degraded")) for record in records]
+    for start, end in _runs(degraded):
+        flags.append({
+            "kind": "degraded_stretch",
+            "start_t": int(records[start].get("t", start)),
+            "end_t": int(records[end - 1].get("t", end - 1)),
+            "length": end - start,
+        })
+    return flags
+
+
+def _timeline(records: list[dict], width: int = 72) -> str:
+    """One character per period: the worst event that round.
+
+    ``D`` degraded, ``Q`` quarantined, ``V`` constraint violation,
+    ``!`` drift flag, ``.`` clean — wrapped at ``width`` columns with
+    period offsets on the left.
+    """
+    chars = []
+    for record in records:
+        outcome = record.get("outcome") or {}
+        if record.get("degraded"):
+            chars.append("D")
+        elif record.get("quarantined"):
+            chars.append("Q")
+        elif outcome.get("delay_violation") or outcome.get("map_violation"):
+            chars.append("V")
+        elif (record.get("drift") or {}).get("flag"):
+            chars.append("!")
+        else:
+            chars.append(".")
+    label_w = len(str(len(chars)))
+    lines = []
+    for start in range(0, len(chars), width):
+        lines.append(
+            f"t={str(start).rjust(label_w)}  "
+            + "".join(chars[start:start + width])
+        )
+    lines.append("legend: D degraded  Q quarantined  V violation  "
+                 "! drift  . clean")
+    return "\n".join(lines)
+
+
+def _series(records: list[dict], getter) -> list[float]:
+    values = []
+    for record in records:
+        value = getter(record)
+        values.append(
+            float(value) if isinstance(value, (int, float)) else float("nan")
+        )
+    return values
+
+
+def render_dashboard(records: list[dict],
+                     anomalies: "list[dict] | None" = None) -> str:
+    """The full ASCII dashboard over one trace (string, print-ready)."""
+    if not records:
+        return "decision trace is empty — nothing to diagnose"
+    if anomalies is None:
+        anomalies = detect_anomalies(records)
+    final = records[-1]
+    outcome_costs = _series(
+        records, lambda r: (r.get("outcome") or {}).get("cost")
+    )
+    sections = []
+
+    robustness = final.get("robustness") or {}
+    grid = (final.get("safe_set") or {}).get("grid")
+    sections.append(render_table(
+        ["periods", "grid", "violations", "quarantined", "degraded",
+         "drift episodes", "mean cost"],
+        [[
+            len(records),
+            grid if grid is not None else "?",
+            sum(
+                1 for r in records
+                if (r.get("outcome") or {}).get("delay_violation")
+                or (r.get("outcome") or {}).get("map_violation")
+            ),
+            robustness.get("quarantined", 0),
+            robustness.get("degraded_periods", 0),
+            sum(1 for a in anomalies if a["kind"] == "drift_episode"),
+            float(np.nanmean(outcome_costs)),
+        ]],
+    ))
+
+    sections.append(render_chart(
+        {"safe fraction": _series(
+            records, lambda r: (r.get("safe_set") or {}).get("fraction")
+        )},
+        title="Safe-set fraction of the control grid per period",
+        height=10,
+    ))
+
+    coverage_series = {}
+    for head in sorted(final.get("calibration") or {}):
+        coverage_series[head] = _series(
+            records,
+            lambda r, h=head: (r.get("calibration") or {})
+            .get(h, {}).get("coverage"),
+        )
+    if coverage_series:
+        expected = (final["calibration"][next(iter(coverage_series))]
+                    .get("expected"))
+        if isinstance(expected, (int, float)):
+            coverage_series["nominal"] = [float(expected)] * len(records)
+        sections.append(render_chart(
+            coverage_series,
+            title="Running z-score coverage per head (vs nominal)",
+            height=10,
+        ))
+
+    for key, title in (
+        ("delay_slack_s", "Certified delay slack of chosen control (s)"),
+        ("map_slack", "Certified mAP slack of chosen control"),
+    ):
+        values = [m for r in records if (m := _margin(r, key)) is not None]
+        if values:
+            sections.append(render_histogram(values, title=title))
+
+    sections.append(
+        "Event timeline (one char per period)\n" + _timeline(records)
+    )
+
+    regret = _series(
+        records, lambda r: (r.get("regret") or {}).get("cumulative")
+    )
+    if np.isfinite(regret).any():
+        sections.append(render_chart(
+            {"cumulative regret": regret},
+            title="Cumulative regret vs oracle (cost units)",
+            height=10,
+        ))
+
+    if anomalies:
+        lines = ["Anomaly flags:"]
+        lines += [f"  - {json.dumps(flag, sort_keys=True)}"
+                  for flag in anomalies]
+        sections.append("\n".join(lines))
+    else:
+        sections.append("Anomaly flags: none")
+
+    return "\n\n".join(sections)
+
+
+def diagnose_path(path: "str | Path") -> tuple[str, list[dict]]:
+    """Load, flag and render one trace: ``(dashboard_text, anomalies)``."""
+    records = load_decisions(path)
+    anomalies = detect_anomalies(records)
+    return render_dashboard(records, anomalies=anomalies), anomalies

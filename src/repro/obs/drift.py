@@ -1,0 +1,101 @@
+"""Context-drift detection for the decision-trace layer.
+
+EdgeBOL's surrogates condition on the observed context ``c_t``; a
+sudden shift of the context distribution (a flash crowd, a channel
+collapse) invalidates the locality assumptions behind the kernel
+lengthscales long before the safe set reacts.  :class:`DriftMonitor`
+watches the *stream* of normalised context vectors and flags periods
+whose context is a statistical outlier against a rolling window — a
+cheap, dependency-free mean/variance shift detector in the spirit of
+the self-adaptation monitors of Tundo et al.
+
+The monitor is deliberately side-effect free (it never touches an RNG
+and never feeds back into the agent): it only annotates decision
+records, so traced and untraced runs stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+#: Absolute floor on the rolling std, in normalised context units.
+#: Contexts are CQI-quantised, so a window can be exactly constant; the
+#: floor keeps the z-score finite and calibrated to "a visible jump on
+#: a [0, 1] axis" rather than to numerical dust.
+_STD_FLOOR = 1e-2
+
+
+class DriftMonitor:
+    """Rolling mean/variance shift detector over the context stream.
+
+    Each period, the incoming context vector is z-scored against the
+    mean and standard deviation of the trailing ``window`` contexts
+    (per dimension, *before* the new vector enters the window).  A
+    period is flagged as drift when the largest per-dimension |z|
+    exceeds ``z_threshold``.  The first ``min_periods`` contexts only
+    warm the window and are never flagged.
+
+    Parameters
+    ----------
+    window:
+        Trailing contexts retained as the reference distribution.
+    z_threshold:
+        Flagging threshold on the max per-dimension |z-score|.
+    min_periods:
+        Contexts required before the detector arms.
+    """
+
+    def __init__(self, window: int = 30, z_threshold: float = 4.0,
+                 min_periods: int = 8) -> None:
+        """Create an armed-after-warmup monitor with an empty window."""
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if z_threshold <= 0:
+            raise ValueError(f"z_threshold must be positive, got {z_threshold}")
+        if min_periods < 2:
+            raise ValueError(f"min_periods must be >= 2, got {min_periods}")
+        self.window = int(window)
+        self.z_threshold = float(z_threshold)
+        self.min_periods = int(min_periods)
+        self._contexts: deque[np.ndarray] = deque(maxlen=self.window)
+        self._episodes = 0
+        self._in_episode = False
+
+    @property
+    def episodes(self) -> int:
+        """Completed-or-ongoing runs of consecutive flagged periods."""
+        return self._episodes
+
+    def update(self, context: np.ndarray) -> dict:
+        """Score one context vector and absorb it into the window.
+
+        Returns a JSON-ready dict: ``flag`` (drift detected), ``score``
+        (max per-dimension |z|, NaN while warming up) and ``dim`` (the
+        offending dimension index, or None).
+        """
+        arr = np.asarray(context, dtype=float).ravel()
+        if arr.size == 0:
+            raise ValueError("context must be non-empty")
+        if self._contexts and self._contexts[0].size != arr.size:
+            raise ValueError(
+                f"context dimension changed from {self._contexts[0].size} "
+                f"to {arr.size}"
+            )
+        if len(self._contexts) < self.min_periods:
+            self._contexts.append(arr)
+            self._in_episode = False
+            return {"flag": False, "score": float("nan"), "dim": None}
+        history = np.stack(self._contexts)
+        mean = history.mean(axis=0)
+        std = np.maximum(history.std(axis=0), _STD_FLOOR)
+        z = np.abs(arr - mean) / std
+        dim = int(np.argmax(z))
+        score = float(z[dim])
+        flag = score > self.z_threshold
+        if flag and not self._in_episode:
+            self._episodes += 1
+        self._in_episode = flag
+        self._contexts.append(arr)
+        return {"flag": flag, "score": score, "dim": dim if flag else None}

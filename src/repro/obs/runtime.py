@@ -1,0 +1,160 @@
+"""Process-local decision-trace state: sink install, scoping and emit.
+
+Mirrors the :mod:`repro.faults.runtime` / :mod:`repro.telemetry.runtime`
+pattern: a *decision sink* is installed process-wide, instrumented code
+emits records through :func:`emit`, and with nothing installed every
+entry point returns after one attribute check — traced and untraced
+runs are bit-identical because tracing never touches an RNG or the
+selection path (asserted by ``tests/test_obs.py``).
+
+Typical use::
+
+    from repro.obs import runtime as obs
+
+    with obs.use("results/decisions.jsonl"):
+        tracer = obs.make_tracer(agent, oracle_cost=oracle.cost)
+        agent.attach_tracer(tracer)
+        run_agent(env, agent, n_periods)
+
+Every record carries ``type: "decision"``; when telemetry is also
+recording, the same record is fanned to the telemetry sinks via
+:func:`repro.telemetry.runtime.emit_record`, so decision lines
+interleave with span/metrics lines in one trace file.  Sweep workers
+wrap each cell in :func:`scope` so merged traces keep a ``cell`` label.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.telemetry import runtime as telemetry
+from repro.telemetry.export import JsonlSink
+
+__all__ = [
+    "enabled", "install", "uninstall", "use", "scope", "emit",
+    "make_tracer", "ListSink",
+]
+
+
+class ListSink:
+    """Buffer decision records in a plain list (tests, sweep workers)."""
+
+    def __init__(self) -> None:
+        """Create an empty sink."""
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        """Append one record."""
+        self.records.append(record)
+
+    def close(self) -> None:
+        """No-op (memory needs no flushing)."""
+
+
+class _State:
+    """Mutable process-local decision-trace state (one per process)."""
+
+    __slots__ = ("sink", "label")
+
+    def __init__(self) -> None:
+        """Start with no sink installed and no scope label."""
+        self.sink = None
+        self.label: str | None = None
+
+
+_STATE = _State()
+
+
+def enabled() -> bool:
+    """Whether a decision sink is currently installed."""
+    return _STATE.sink is not None
+
+
+def install(sink) -> None:
+    """Install ``sink`` process-wide (``None`` clears it)."""
+    if sink is not None and not hasattr(sink, "emit"):
+        raise TypeError(f"sink must expose emit(record), got {sink!r}")
+    _STATE.sink = sink
+
+
+def uninstall() -> None:
+    """Clear any installed sink (no-op when none is active)."""
+    install(None)
+
+
+@contextmanager
+def use(sink_or_path):
+    """Install a decision sink for the duration of the block.
+
+    ``sink_or_path`` may be a path (a :class:`JsonlSink` is created and
+    closed on exit) or any object with ``emit(record)``.  The previous
+    sink is reinstated on exit so nested scopes compose; the sink is
+    the yielded value.
+    """
+    if isinstance(sink_or_path, (str, Path)):
+        sink = JsonlSink(sink_or_path)
+        owned = True
+    else:
+        sink = sink_or_path
+        owned = False
+    previous = _STATE.sink
+    install(sink)
+    try:
+        yield sink
+    finally:
+        _STATE.sink = previous
+        if owned:
+            sink.close()
+
+
+@contextmanager
+def scope(label: str):
+    """Attach ``label`` as the ``cell`` field of records in the block.
+
+    Sweep workers wrap each cell's run so the parent can merge per-cell
+    traces into one file without losing provenance.
+    """
+    previous = _STATE.label
+    _STATE.label = str(label)
+    try:
+        yield
+    finally:
+        _STATE.label = previous
+
+
+def emit(record: dict) -> None:
+    """Emit one decision record — no-op while no sink is installed.
+
+    The record gains ``type: "decision"`` (and the active :func:`scope`
+    label as ``cell``), goes to the installed sink, and is mirrored to
+    any recording telemetry sinks so one JSONL can interleave decisions
+    with spans and metrics.
+    """
+    sink = _STATE.sink
+    if sink is None:
+        return
+    full = {"type": "decision"}
+    if _STATE.label is not None:
+        full["cell"] = _STATE.label
+    full.update(record)
+    sink.emit(full)
+    telemetry.emit_record(full)
+
+
+def make_tracer(agent, oracle_cost: float | None = None,
+                label: str | None = None):
+    """A :class:`~repro.obs.decision.DecisionTracer` for ``agent``, or None.
+
+    Returns ``None`` when no sink is installed (the untraced hot path:
+    the agent keeps its ``tracer is None`` fast checks) or when the
+    agent does not support tracing (no ``attach_tracer``).  ``label``
+    stamps an ``agent`` field on every record, for callers tracing
+    several agents into one sink.  The import is deferred so this
+    module stays cheap for untraced callers.
+    """
+    if not enabled() or not hasattr(agent, "attach_tracer"):
+        return None
+    from repro.obs.decision import DecisionTracer
+
+    return DecisionTracer(agent, oracle_cost=oracle_cost, label=label)

@@ -41,7 +41,7 @@ __all__ = [
     "enabled", "enable", "disable", "add_sink", "remove_sink",
     "get_registry", "reset_metrics", "metrics_snapshot",
     "span", "trace", "current_span", "inc", "observe", "set_gauge",
-    "record",
+    "record", "emit_record",
 ]
 
 
@@ -143,6 +143,22 @@ def set_gauge(name: str, value: float) -> None:
 def _emit_span(completed: Span) -> None:
     """Fan one finished span's record out to every sink."""
     record = completed.to_record()
+    with _STATE.lock:
+        sinks = list(_STATE.sinks)
+    for sink in sinks:
+        sink.emit(record)
+
+
+def emit_record(record: dict) -> None:
+    """Fan an arbitrary typed record to every sink — no-op while disabled.
+
+    Other subsystems use this to interleave their own record types with
+    span/metrics lines in a recorded trace — e.g. the ``"decision"``
+    lines of :mod:`repro.obs` (``docs/OBSERVABILITY.md``); readers skip
+    types they do not know.
+    """
+    if not _STATE.enabled:
+        return
     with _STATE.lock:
         sinks = list(_STATE.sinks)
     for sink in sinks:

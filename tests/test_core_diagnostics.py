@@ -1,0 +1,169 @@
+"""Edge-case tests for GP calibration diagnostics.
+
+The calibration helpers sit under both the offline ``calibration_report``
+path and the per-round decision traces (``repro.obs``); these tests pin
+the numerically delicate corners: zero-variance posteriors, posterior
+shape mismatches, the ``expected_coverage`` round trip, and the
+streaming :class:`RunningCalibration` accumulator.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import (
+    RunningCalibration,
+    calibration_report,
+    expected_coverage,
+    interval_coverage,
+    standardised_errors,
+)
+from repro.core.gp import GaussianProcess
+from repro.core.kernels import Matern
+
+DIM = 3
+
+
+def make_gp(noise_variance=0.01):
+    kernel = Matern(lengthscales=np.full(DIM, 0.7), output_scale=2.0)
+    return GaussianProcess(kernel, noise_variance=noise_variance)
+
+
+class TestPrecomputedPosterior:
+    def test_zero_variance_posterior_is_finite(self):
+        """A collapsed posterior must not divide by zero.
+
+        With zero latent variance and (near-)zero observation noise the
+        predictive std collapses toward the 1e-12 floor — errors stay
+        finite (and huge) instead of inf/NaN.
+        """
+        gp = make_gp(noise_variance=1e-12)
+        x = np.zeros((2, DIM))
+        y = np.array([0.5, 0.0])
+        posterior = (np.array([0.5, 0.5]), np.zeros(2))
+        errors = standardised_errors(gp, x, y, posterior=posterior)
+        assert np.isfinite(errors).all()
+        assert errors[0] == 0.0
+        assert abs(errors[1]) >= 1e5
+        # Coverage degenerates gracefully too: the exact point is in,
+        # the far point is out.
+        assert interval_coverage(gp, x, y, posterior=posterior) == 0.5
+
+    def test_zero_variance_with_noise_uses_noise_floor(self):
+        gp = make_gp(noise_variance=0.04)
+        x = np.zeros((1, DIM))
+        posterior = (np.array([1.0]), np.zeros(1))
+        errors = standardised_errors(
+            gp, x, np.array([1.2]), posterior=posterior
+        )
+        np.testing.assert_allclose(errors, [0.2 / 0.2], rtol=1e-12)
+
+    def test_shape_mismatch_error_names_both_sizes(self):
+        gp = make_gp()
+        x = np.zeros((3, DIM))
+        posterior = (np.zeros(2), np.ones(2))
+        with pytest.raises(
+            ValueError, match=r"posterior moments cover 2 points but got 3"
+        ):
+            standardised_errors(gp, x, np.zeros(3), posterior=posterior)
+
+    def test_input_target_mismatch(self):
+        gp = make_gp()
+        with pytest.raises(ValueError, match="2 inputs but 3 targets"):
+            standardised_errors(gp, np.zeros((2, DIM)), np.zeros(3))
+
+    def test_report_matches_manual_posterior(self):
+        gp = make_gp(noise_variance=0.01)
+        rng = np.random.default_rng(0)
+        x = rng.random((50, DIM))
+        mean = rng.normal(size=50)
+        var = np.full(50, 0.03)
+        y = mean + rng.normal(scale=0.2, size=50)
+        report = calibration_report(gp, x, y, posterior=(mean, var))
+        std = math.sqrt(0.03 + 0.01)
+        assert report["n"] == 50
+        np.testing.assert_allclose(
+            report["mean_interval_width"], 2.0 * 2.0 * std, rtol=1e-12
+        )
+        expected_errors = (y - mean) / std
+        np.testing.assert_allclose(
+            report["error_mean"], expected_errors.mean(), rtol=1e-9
+        )
+
+
+class TestExpectedCoverage:
+    def test_round_trip_with_gaussian_samples(self):
+        """Empirical coverage of N(0,1) draws converges to the formula."""
+        rng = np.random.default_rng(1)
+        draws = rng.normal(size=200_000)
+        for z in (0.5, 1.0, 2.0, 3.0):
+            empirical = float(np.mean(np.abs(draws) <= z))
+            assert abs(empirical - expected_coverage(z)) < 5e-3
+
+    def test_known_values(self):
+        np.testing.assert_allclose(expected_coverage(1.0), 0.6826894921)
+        np.testing.assert_allclose(expected_coverage(2.0), 0.9544997361)
+        assert expected_coverage(8.0) == pytest.approx(1.0)
+
+    def test_interval_coverage_consistency(self):
+        """interval_coverage on calibrated synthetic data ≈ expected."""
+        gp = make_gp(noise_variance=1e-12)
+        rng = np.random.default_rng(2)
+        n = 5000
+        x = rng.random((n, DIM))
+        mean = np.zeros(n)
+        var = np.ones(n)
+        y = rng.normal(size=n)
+        cov = interval_coverage(gp, x, y, z=1.5, posterior=(mean, var))
+        assert abs(cov - expected_coverage(1.5)) < 0.02
+
+    def test_invalid_z_rejected(self):
+        gp = make_gp()
+        with pytest.raises(ValueError, match="z must be positive"):
+            interval_coverage(gp, np.zeros((1, DIM)), np.zeros(1), z=0.0)
+
+
+class TestRunningCalibration:
+    def test_empty_state_is_nan(self):
+        cal = RunningCalibration()
+        assert math.isnan(cal.coverage)
+        snap = cal.snapshot()
+        assert snap["n"] == 0
+        assert math.isnan(snap["error_mean"])
+        assert math.isnan(snap["error_std"])
+
+    def test_matches_batch_statistics(self):
+        rng = np.random.default_rng(3)
+        errors = rng.normal(size=500)
+        cal = RunningCalibration(z=1.0)
+        for e in errors:
+            cal.update(float(e))
+        snap = cal.snapshot()
+        assert snap["n"] == 500
+        np.testing.assert_allclose(
+            snap["coverage"], np.mean(np.abs(errors) <= 1.0), rtol=1e-12
+        )
+        np.testing.assert_allclose(snap["error_mean"], errors.mean(),
+                                   rtol=1e-9)
+        np.testing.assert_allclose(snap["error_std"], errors.std(),
+                                   rtol=1e-9)
+        np.testing.assert_allclose(snap["expected"], expected_coverage(1.0))
+
+    def test_rejects_non_finite_and_bad_z(self):
+        with pytest.raises(ValueError, match="z must be positive"):
+            RunningCalibration(z=0.0)
+        cal = RunningCalibration()
+        with pytest.raises(ValueError, match="must be finite"):
+            cal.update(float("nan"))
+        with pytest.raises(ValueError, match="must be finite"):
+            cal.update(float("inf"))
+        assert cal.n == 0  # the rejected updates left no trace
+
+    def test_boundary_error_counts_as_within(self):
+        cal = RunningCalibration(z=2.0)
+        cal.update(2.0)
+        cal.update(-2.0)
+        cal.update(2.0000001)
+        assert cal.within == 2
+        assert cal.coverage == pytest.approx(2.0 / 3.0)

@@ -206,6 +206,34 @@ class TestCacheBehaviour:
         assert engine.stats.kernel_evals == evals
         assert engine.stats.cache_hits >= 1
 
+    def test_repeat_context_workload_accumulates_cache_hits(self):
+        """Benchmark-shaped loop: add-then-query never hits, re-query does.
+
+        Regression for the committed ``BENCH_posterior.json`` showing
+        ``cache_hits: 0``: the counter was fine — the benchmark added
+        an observation to every head before each timed query, so every
+        query legitimately took the extension path.  A same-context
+        re-query with no new data must count one hit per head.
+        """
+        rng = np.random.default_rng(11)
+        grid = make_grid(rng)
+        engine, heads = make_engine(grid)
+        context = rng.random(CONTEXT_DIM)
+        engine.posterior(context)  # first-contact rebuilds, no hits yet
+        assert engine.stats.cache_hits == 0
+        rounds = 4
+        for t in range(rounds):
+            z = np.concatenate([context, grid[t]])
+            for gp in heads.values():
+                gp.add(z, float(t))
+            hits_before = engine.stats.cache_hits
+            engine.posterior(context)  # extension path: no hit
+            assert engine.stats.cache_hits == hits_before
+            engine.posterior(context)  # pure re-query: one hit per head
+            assert engine.stats.cache_hits == hits_before + len(heads)
+        assert engine.stats.cache_hits == rounds * len(heads)
+        assert_matches_direct(engine, heads, context)
+
     def test_eviction_triggers_rebuild(self):
         rng = np.random.default_rng(8)
         grid = make_grid(rng)

@@ -1,0 +1,640 @@
+"""Decision-trace subsystem: runtime state, tracer, diagnose, CLI.
+
+Covers the contract chain end to end: sink install/scope semantics in
+:mod:`repro.obs.runtime`, the :class:`DriftMonitor`, the per-round
+record schema assembled by :class:`DecisionTracer` (including the
+bit-identical-KPIs guarantee the whole design hangs on), per-cell
+collection and merging in the sweep engine, the ``repro diagnose``
+anomaly detector/dashboard, and the CLI wiring.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.core import EdgeBOL
+from repro.experiments import parallel
+from repro.experiments import spec as spec_registry
+from repro.experiments.runner import run_agent
+from repro.obs import diagnose
+from repro.obs import runtime as obs
+from repro.obs.decision import DecisionTracer
+from repro.obs.drift import DriftMonitor
+from repro.telemetry import runtime as telemetry
+from repro.testbed.config import CostWeights, ServiceConstraints, TestbedConfig
+from repro.testbed.scenarios import static_scenario
+
+N_PERIODS = 10
+
+
+@pytest.fixture(autouse=True)
+def _no_sink():
+    """Every test starts and ends with no decision sink installed."""
+    obs.uninstall()
+    yield
+    obs.uninstall()
+
+
+def make_env_agent(seed=0, n_levels=4, oracle=None):
+    testbed = TestbedConfig(n_levels=n_levels)
+    env = static_scenario(
+        mean_snr_db=35.0, rng=np.random.default_rng(seed), config=testbed
+    )
+    agent = EdgeBOL(
+        testbed.control_grid(), ServiceConstraints(0.4, 0.5),
+        CostWeights(1.0, 8.0),
+    )
+    return env, agent
+
+
+def traced_run(seed=0, periods=N_PERIODS, oracle_cost=120.0):
+    """One short traced run; returns (records, run_log)."""
+    env, agent = make_env_agent(seed)
+    sink = obs.ListSink()
+    with obs.use(sink):
+        log = run_agent(env, agent, periods, oracle_cost=oracle_cost)
+    return sink.records, log
+
+
+# -- runtime state -------------------------------------------------------
+
+
+class TestRuntime:
+    def test_emit_is_noop_without_sink(self):
+        assert not obs.enabled()
+        obs.emit({"t": 0})  # must not raise, must not require a sink
+
+    def test_install_rejects_non_sink(self):
+        with pytest.raises(TypeError, match="emit"):
+            obs.install(object())
+        assert not obs.enabled()
+
+    def test_use_restores_previous_sink(self):
+        outer, inner = obs.ListSink(), obs.ListSink()
+        with obs.use(outer):
+            obs.emit({"k": 1})
+            with obs.use(inner):
+                obs.emit({"k": 2})
+            obs.emit({"k": 3})
+        assert not obs.enabled()
+        assert [r["k"] for r in outer.records] == [1, 3]
+        assert [r["k"] for r in inner.records] == [2]
+
+    def test_use_with_path_writes_jsonl(self, tmp_path):
+        path = tmp_path / "d.jsonl"
+        with obs.use(path):
+            obs.emit({"t": 0})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["type"] == "decision"
+        assert record["t"] == 0
+
+    def test_scope_labels_records(self):
+        sink = obs.ListSink()
+        with obs.use(sink):
+            obs.emit({"t": 0})
+            with obs.scope("cell-7"):
+                obs.emit({"t": 1})
+            obs.emit({"t": 2})
+        assert "cell" not in sink.records[0]
+        assert sink.records[1]["cell"] == "cell-7"
+        assert "cell" not in sink.records[2]
+
+    def test_emit_mirrors_into_telemetry_trace(self, tmp_path):
+        """Decision lines interleave with spans in one telemetry file."""
+        trace = tmp_path / "trace.jsonl"
+        with telemetry.record(trace):
+            with obs.use(obs.ListSink()):
+                with telemetry.span("experiment.period"):
+                    obs.emit({"t": 0})
+        types = [json.loads(line)["type"]
+                 for line in trace.read_text().splitlines()]
+        assert "decision" in types
+        assert "span" in types
+
+    def test_make_tracer_requires_sink_and_capable_agent(self):
+        _, agent = make_env_agent()
+        assert obs.make_tracer(agent) is None  # no sink installed
+        with obs.use(obs.ListSink()):
+            assert obs.make_tracer(object()) is None  # no attach_tracer
+            tracer = obs.make_tracer(agent, oracle_cost=50.0)
+            assert isinstance(tracer, DecisionTracer)
+            assert tracer.oracle_cost == 50.0
+
+
+# -- drift monitor -------------------------------------------------------
+
+
+class TestDriftMonitor:
+    def test_warmup_never_flags(self):
+        monitor = DriftMonitor(window=10, min_periods=4)
+        for _ in range(3):
+            result = monitor.update([0.5, 0.5])
+            assert result["flag"] is False
+            assert np.isnan(result["score"])
+            assert result["dim"] is None
+
+    def test_stable_stream_not_flagged(self):
+        rng = np.random.default_rng(0)
+        monitor = DriftMonitor(window=20, z_threshold=4.0, min_periods=5)
+        flags = [
+            monitor.update(0.5 + 0.05 * rng.standard_normal(3))["flag"]
+            for _ in range(60)
+        ]
+        assert sum(flags) == 0
+        assert monitor.episodes == 0
+
+    def test_jump_is_flagged_on_offending_dimension(self):
+        monitor = DriftMonitor(window=10, z_threshold=4.0, min_periods=4)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            monitor.update([0.2 + 0.02 * rng.standard_normal(), 0.8])
+        result = monitor.update([0.95, 0.8])  # dim 0 jumps
+        assert result["flag"] is True
+        assert result["dim"] == 0
+        assert result["score"] > 4.0
+
+    def test_episode_counts_runs_not_periods(self):
+        monitor = DriftMonitor(window=30, z_threshold=4.0, min_periods=4)
+        for _ in range(30):
+            monitor.update([0.2])
+        # Two consecutive outliers: the second still clears the
+        # threshold (one contaminant barely inflates a 30-wide window),
+        # but the sustained excursion counts as ONE episode.
+        assert monitor.update([0.9])["flag"]
+        assert monitor.update([0.9])["flag"]
+        assert monitor.episodes == 1
+        # Window absorbed the outliers; a long calm stretch re-arms it.
+        for _ in range(30):
+            monitor.update([0.2])
+        assert monitor.update([0.9])["flag"]
+        assert monitor.episodes == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            DriftMonitor(window=1)
+        with pytest.raises(ValueError, match="z_threshold"):
+            DriftMonitor(z_threshold=0.0)
+        with pytest.raises(ValueError, match="min_periods"):
+            DriftMonitor(min_periods=1)
+        monitor = DriftMonitor()
+        with pytest.raises(ValueError, match="non-empty"):
+            monitor.update([])
+        monitor.update([0.1, 0.2])
+        with pytest.raises(ValueError, match="dimension changed"):
+            monitor.update([0.1])
+
+
+# -- decision tracer -----------------------------------------------------
+
+
+class TestDecisionTracer:
+    def test_one_record_per_period_with_full_schema(self):
+        records, log = traced_run()
+        assert len(records) == N_PERIODS
+        for t, record in enumerate(records):
+            assert record["type"] == "decision"
+            assert record["t"] == t
+            assert record["degraded"] is False
+            assert record["safe_set"]["grid"] == 4**4
+            assert 1 <= record["safe_set"]["size"] <= 4**4
+            assert 0.0 < record["safe_set"]["fraction"] <= 1.0
+            # margins of the chosen control exist every healthy period
+            assert isinstance(record["margins"]["delay_slack_s"], float)
+            assert isinstance(record["margins"]["map_slack"], float)
+            acq = record["acquisition"]
+            assert acq["price_of_safety"] >= 0.0
+            assert acq["chosen_lcb"] == pytest.approx(
+                acq["best_lcb"] + acq["price_of_safety"]
+            )
+            assert set(record["calibration"]) == set(record["gp"])
+            for snap in record["calibration"].values():
+                assert snap["z"] == 2.0
+                assert snap["expected"] == pytest.approx(0.9544997, rel=1e-5)
+            # gp state is captured at decision time, before the round's
+            # observation lands, so counts trail t by design
+            for head_stats in record["gp"].values():
+                assert head_stats["n"] >= 0
+                assert head_stats["noise_variance"] > 0.0
+            assert set(record["drift"]) == {"flag", "score", "dim"}
+            assert record["outcome"]["cost"] == pytest.approx(log.cost[t])
+            assert record["regret"]["instant"] >= 0.0
+            assert len(record["control"]) == 4
+
+    def test_calibration_accumulates_one_step_ahead(self):
+        records, _ = traced_run()
+        final = records[-1]["calibration"]
+        # First record was scored before any coverage existed beyond its
+        # own round; by the end every clean round has contributed.
+        assert all(snap["n"] >= N_PERIODS - 2 for snap in final.values())
+        ns = [records[t]["calibration"]["cost"]["n"]
+              for t in range(N_PERIODS)]
+        assert ns == sorted(ns)  # monotone: a streaming tally
+
+    def test_cumulative_regret_is_monotone(self):
+        records, _ = traced_run(oracle_cost=120.0)
+        cum = [r["regret"]["cumulative"] for r in records]
+        assert all(b >= a for a, b in zip(cum, cum[1:]))
+        assert cum[-1] == pytest.approx(
+            sum(r["regret"]["instant"] for r in records)
+        )
+
+    def test_no_oracle_means_no_regret_block(self):
+        env, agent = make_env_agent()
+        sink = obs.ListSink()
+        with obs.use(sink):
+            run_agent(env, agent, 3)
+        assert all(r["regret"] is None for r in sink.records)
+
+    def test_traced_run_is_bit_identical_to_untraced(self):
+        """The acceptance criterion: tracing never perturbs the run."""
+        env_a, agent_a = make_env_agent(seed=7)
+        untraced = run_agent(env_a, agent_a, N_PERIODS)
+        records, traced = traced_run(seed=7)
+        assert traced.cost == untraced.cost
+        assert traced.delay_s == untraced.delay_s
+        assert traced.map_score == untraced.map_score
+        assert traced.resolution == untraced.resolution
+        assert traced.airtime == untraced.airtime
+        assert traced.gpu_speed == untraced.gpu_speed
+        assert traced.mcs_fraction == untraced.mcs_fraction
+        assert len(records) == N_PERIODS
+
+    def test_detach_stops_emission(self):
+        env, agent = make_env_agent()
+        sink = obs.ListSink()
+        with obs.use(sink):
+            run_agent(env, agent, 2)
+        assert len(sink.records) == 2
+        with obs.use(sink):
+            # run_agent detached the tracer on exit: a bare loop with no
+            # tracer attached emits nothing.
+            context = env.observe_context()
+            policy = agent.select(context)
+            agent.observe(context, policy, env.step(policy))
+        assert len(sink.records) == 2
+
+    def test_runlog_carries_summary(self):
+        records, log = traced_run()
+        assert log.decisions is not None
+        assert log.decisions["periods"] == N_PERIODS
+        assert log.decisions["records"] == N_PERIODS
+        assert set(log.decisions["coverage"]) == set(
+            records[-1]["calibration"]
+        )
+        assert log.decisions["cumulative_regret"] == pytest.approx(
+            records[-1]["regret"]["cumulative"]
+        )
+
+    def test_degraded_hook_emits_minimal_record(self):
+        env, agent = make_env_agent()
+        sink = obs.ListSink()
+        with obs.use(sink):
+            tracer = obs.make_tracer(agent)
+            tracer.on_degraded(env.observe_context())
+            from repro.testbed.config import ControlPolicy
+            policy = ControlPolicy.max_resources()
+            observation = env.step(policy)
+            tracer.on_observe(env.observe_context(), policy, observation,
+                              cost=123.0, quarantine_reason=None)
+        (record,) = sink.records
+        assert record["degraded"] is True
+        assert record["safe_set"]["size"] == 1
+        assert record["margins"] == {"delay_slack_s": None, "map_slack": None}
+        assert record["acquisition"] is None
+        assert tracer.summary()["degraded_rounds"] == 1
+        # Degraded rounds must not pollute the calibration tallies.
+        assert all(cal.n == 0 for cal in tracer.calibration.values())
+
+    def test_observe_without_select_still_emits(self):
+        """A direct observe() (no select) yields a minimal record."""
+        from repro.testbed.config import ControlPolicy
+
+        env, agent = make_env_agent()
+        sink = obs.ListSink()
+        with obs.use(sink):
+            tracer = obs.make_tracer(agent)
+            agent.attach_tracer(tracer)
+            policy = ControlPolicy.max_resources()
+            context = env.observe_context()
+            agent.observe(context, policy, env.step(policy))
+            agent.attach_tracer(None)
+        (record,) = sink.records
+        assert record["chosen_index"] is None
+        assert record["safe_set"] is None
+        assert record["outcome"]["cost"] is not None
+
+
+# -- sweep integration ---------------------------------------------------
+
+
+@pytest.fixture
+def regret_spec():
+    spec = spec_registry.get("regret")
+    params = spec.resolve({"delta2": (1.0, 8.0), "periods": 3, "levels": 3})
+    return spec, params  # 2 cells, 3 periods each
+
+
+class TestSweepDecisions:
+    def test_decision_path_merges_cells_in_order(self, regret_spec, tmp_path):
+        spec, params = regret_spec
+        path = tmp_path / "decisions.jsonl"
+        result = parallel.run_sweep(
+            spec, params, seed=3, jobs=1, out=tmp_path, decision_path=path
+        )
+        cells = [c.cell_id for c in result.cells]
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert len(records) == len(cells) * 3
+        assert [r["cell"] for r in records] == [
+            cell for cell in cells for _ in range(3)
+        ]
+        assert [r["t"] for r in records] == [0, 1, 2] * len(cells)
+        # Regret cells know the oracle, so traces carry the regret block.
+        assert all(r["regret"]["instant"] >= 0.0 for r in records)
+
+    def test_pool_matches_serial(self, regret_spec, tmp_path):
+        spec, params = regret_spec
+        serial = tmp_path / "serial.jsonl"
+        pooled = tmp_path / "pooled.jsonl"
+        parallel.run_sweep(spec, params, seed=3, jobs=1, out=None,
+                           decision_path=serial)
+        parallel.run_sweep(spec, params, seed=3, jobs=2, out=None,
+                           decision_path=pooled)
+        assert serial.read_text() == pooled.read_text()
+
+    def test_resume_preserves_decisions(self, regret_spec, tmp_path):
+        spec, params = regret_spec
+        first = tmp_path / "first.jsonl"
+        second = tmp_path / "second.jsonl"
+        parallel.run_sweep(spec, params, seed=3, jobs=1, out=tmp_path,
+                           decision_path=first)
+        result = parallel.run_sweep(spec, params, seed=3, jobs=1,
+                                    out=tmp_path, decision_path=second)
+        assert result.resumed == len(result.cells)
+        assert second.read_text() == first.read_text()
+
+    def test_untraced_sweep_writes_nothing(self, regret_spec, tmp_path):
+        spec, params = regret_spec
+        result = parallel.run_sweep(spec, params, seed=3, jobs=1, out=None)
+        assert all(c.decisions is None for c in result.cells)
+
+
+class TestCustomLoopExperiments:
+    """Experiments with hand-rolled loops must trace too."""
+
+    def test_tariff_traces_decoupled_agent(self):
+        """Tariff runs the decoupled-power GP path under tracing."""
+        from repro.experiments.tariff import TariffSetting, run_tariff_tracking
+
+        setting = TariffSetting(n_periods=6, n_levels=3)
+        sink = obs.ListSink()
+        with obs.use(sink):
+            log = run_tariff_tracking(decoupled=True, setting=setting, seed=0)
+        assert len(sink.records) == 6
+        record = sink.records[-1]
+        # Decoupled agents carry the per-power heads end to end.
+        assert {"server_power", "bs_power"} <= set(record["calibration"])
+        assert record["acquisition"]["price_of_safety"] >= 0.0
+        assert log.decisions["periods"] == 6
+
+    def test_tariff_kpis_bit_identical_under_tracing(self):
+        from repro.experiments.tariff import TariffSetting, run_tariff_tracking
+
+        setting = TariffSetting(n_periods=6, n_levels=3)
+        untraced = run_tariff_tracking(decoupled=True, setting=setting, seed=1)
+        with obs.use(obs.ListSink()):
+            traced = run_tariff_tracking(
+                decoupled=True, setting=setting, seed=1
+            )
+        assert traced.cost == untraced.cost
+        assert traced.resolution == untraced.resolution
+
+    def test_multiservice_labels_each_slice(self):
+        from repro.experiments.multiservice import (
+            MultiServiceSetting,
+            run_per_slice_edgebol,
+        )
+
+        setting = MultiServiceSetting(n_periods=4, n_levels=3)
+        sink = obs.ListSink()
+        with obs.use(sink):
+            ar_log, sv_log = run_per_slice_edgebol(setting=setting, seed=0)
+        assert len(sink.records) == 2 * 4
+        labels = {r["agent"] for r in sink.records}
+        assert labels == {"ar", "surveillance"}
+        assert ar_log.decisions["periods"] == 4
+        assert sv_log.decisions["periods"] == 4
+        for label in labels:
+            ts = [r["t"] for r in sink.records if r["agent"] == label]
+            assert ts == [0, 1, 2, 3]
+
+
+# -- diagnose ------------------------------------------------------------
+
+
+def synthetic_records(n=30):
+    """A hand-built trace exercising every anomaly detector."""
+    records = []
+    for t in range(n):
+        records.append({
+            "type": "decision",
+            "t": t,
+            "degraded": 10 <= t < 13,
+            "quarantined": "stale" if t == 5 else None,
+            "safe_set": {"size": 4 + t, "grid": 256,
+                         "fraction": (4 + t) / 256},
+            "margins": {
+                # six consecutive negative delay margins from t=20
+                "delay_slack_s": -0.05 if 20 <= t < 26 else 0.1,
+                "map_slack": 0.02,
+            },
+            "acquisition": {"chosen_lcb": 50.0, "best_lcb": 45.0,
+                            "best_index": 0, "price_of_safety": 5.0},
+            "calibration": {
+                "cost": {"n": t + 1, "z": 2.0, "coverage": 0.70,
+                         "expected": 0.954, "error_mean": 0.0,
+                         "error_std": 1.0},
+            },
+            "gp": {"cost": {"n": t + 1, "noise_variance": 1.0,
+                            "output_scale": 100.0}},
+            "drift": {"flag": t in (15, 16), "score": 5.0 if t in (15, 16)
+                      else 0.5, "dim": 0 if t in (15, 16) else None},
+            "outcome": {"cost": 60.0, "delay_s": 0.45 if t == 7 else 0.2,
+                        "map_score": 0.8, "d_max_s": 0.4, "rho_min": 0.5,
+                        "delay_violation": t == 7, "map_violation": False},
+            "regret": {"instant": 1.0, "cumulative": float(t + 1)},
+            "robustness": {"quarantined": 1, "degraded_periods": 3},
+        })
+    return records
+
+
+class TestDiagnose:
+    def test_load_skips_blank_and_foreign_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"type": "span", "name": "x"}\n'
+            "\n"
+            '{"type": "decision", "t": 0}\n'
+            '{"type": "metric", "name": "y"}\n'
+            '{"type": "decision", "t": 1}\n'
+        )
+        records = diagnose.load_decisions(path)
+        assert [r["t"] for r in records] == [0, 1]
+
+    def test_load_names_bad_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "decision", "t": 0}\nnot json\n')
+        with pytest.raises(ValueError, match=r"trace\.jsonl:2"):
+            diagnose.load_decisions(path)
+
+    def test_detects_every_anomaly_kind(self):
+        flags = diagnose.detect_anomalies(synthetic_records())
+        kinds = {f["kind"] for f in flags}
+        assert kinds == {
+            "coverage_below_nominal", "persistent_negative_margin",
+            "drift_episode", "degraded_stretch",
+        }
+        margin = next(f for f in flags
+                      if f["kind"] == "persistent_negative_margin")
+        assert margin["constraint"] == "delay"
+        assert (margin["start_t"], margin["end_t"]) == (20, 25)
+        assert margin["length"] == 6
+        drift = next(f for f in flags if f["kind"] == "drift_episode")
+        assert drift["peak_score"] == 5.0
+        degraded = next(f for f in flags if f["kind"] == "degraded_stretch")
+        assert (degraded["start_t"], degraded["end_t"]) == (10, 12)
+
+    def test_short_negative_runs_not_flagged(self):
+        records = synthetic_records()
+        for record in records:
+            t = record["t"]
+            record["margins"]["delay_slack_s"] = (
+                -0.05 if 20 <= t < 23 else 0.1  # run of 3 < threshold 5
+            )
+        kinds = {f["kind"] for f in diagnose.detect_anomalies(records)}
+        assert "persistent_negative_margin" not in kinds
+
+    def test_coverage_needs_enough_samples(self):
+        records = synthetic_records(n=10)  # final n=10 < 20
+        kinds = {f["kind"] for f in diagnose.detect_anomalies(records)}
+        assert "coverage_below_nominal" not in kinds
+
+    def test_dashboard_renders_all_sections(self):
+        records = synthetic_records()
+        text = diagnose.render_dashboard(records)
+        assert "Safe-set fraction" in text
+        assert "Running z-score coverage" in text
+        assert "delay slack" in text
+        assert "Event timeline" in text
+        assert "Cumulative regret" in text
+        assert "coverage_below_nominal" in text
+        assert "legend: D degraded" in text
+
+    def test_dashboard_on_empty_trace(self):
+        assert "empty" in diagnose.render_dashboard([])
+
+    def test_dashboard_on_real_trace(self):
+        """A genuine traced run renders without error and flags nothing
+        catastrophic."""
+        records, _ = traced_run()
+        text = diagnose.render_dashboard(records)
+        assert "Safe-set fraction" in text
+        assert "Cumulative regret" in text
+
+    def test_diagnose_path_roundtrip(self, tmp_path):
+        path = tmp_path / "d.jsonl"
+        with obs.use(path):
+            for record in synthetic_records():
+                obs.emit(record)
+        text, anomalies = diagnose.diagnose_path(path)
+        assert "Anomaly flags:" in text
+        assert anomalies == diagnose.detect_anomalies(
+            diagnose.load_decisions(path)
+        )
+
+
+# -- CLI -----------------------------------------------------------------
+
+
+class TestCli:
+    def write_trace(self, tmp_path, records):
+        path = tmp_path / "trace.jsonl"
+        with path.open("w") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        return path
+
+    def test_diagnose_renders_dashboard(self, tmp_path, capsys):
+        path = self.write_trace(tmp_path, synthetic_records())
+        assert cli.main(["diagnose", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Event timeline" in out
+
+    def test_diagnose_json_output(self, tmp_path, capsys):
+        path = self.write_trace(tmp_path, synthetic_records())
+        assert cli.main(["diagnose", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records"] == 30
+        kinds = {f["kind"] for f in payload["anomalies"]}
+        assert "coverage_below_nominal" in kinds
+
+    def test_diagnose_fail_on_anomaly(self, tmp_path, capsys):
+        bad = self.write_trace(tmp_path, synthetic_records())
+        assert cli.main(["diagnose", str(bad), "--fail-on-anomaly"]) == 1
+        assert "anomaly flag(s)" in capsys.readouterr().err
+        clean = tmp_path / "clean.jsonl"
+        records, _ = traced_run(periods=3)
+        clean.write_text(
+            "".join(json.dumps(r) + "\n" for r in records)
+        )
+        assert cli.main(["diagnose", str(clean), "--fail-on-anomaly"]) == 0
+
+    def test_diagnose_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="diagnose"):
+            cli.main(["diagnose", str(tmp_path / "absent.jsonl")])
+
+    def test_trace_decisions_end_to_end(self, tmp_path, capsys):
+        """`repro run regret --trace-decisions` then `repro diagnose`."""
+        status = cli.main([
+            "run", "regret", "--sweep", "delta2=1.0",
+            "--set", "periods=3", "--set", "levels=3",
+            "--out", str(tmp_path), "--trace-decisions",
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        default = tmp_path / "regret_decisions.jsonl"
+        assert default.exists()
+        assert "wrote decision trace" in out
+        records = diagnose.load_decisions(default)
+        assert len(records) == 3
+        for record in records:
+            assert record["safe_set"]["fraction"] > 0.0
+            assert record["calibration"]
+            assert record["margins"]
+            assert record["regret"] is not None
+        assert cli.main(["diagnose", str(default)]) == 0
+
+    def test_trace_decisions_explicit_path(self, tmp_path, capsys):
+        explicit = tmp_path / "custom.jsonl"
+        status = cli.main([
+            "run", "regret", "--sweep", "delta2=1.0",
+            "--set", "periods=2", "--set", "levels=3",
+            "--out", str(tmp_path), "--trace-decisions", str(explicit),
+        ])
+        assert status == 0
+        capsys.readouterr()
+        assert explicit.exists()
+        assert len(diagnose.load_decisions(explicit)) == 2
+
+    def test_resolve_decision_path(self, tmp_path):
+        spec = spec_registry.get("regret")
+        assert cli.resolve_decision_path(None, spec, tmp_path) is None
+        assert cli.resolve_decision_path(
+            cli._DEFAULT_DECISIONS, spec, tmp_path
+        ) == tmp_path / "regret_decisions.jsonl"
+        explicit = tmp_path / "x.jsonl"
+        assert cli.resolve_decision_path(explicit, spec, tmp_path) == explicit
