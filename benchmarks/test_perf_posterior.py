@@ -1,25 +1,29 @@
-"""Perf benchmark: per-period posterior sweep, engine vs direct predict.
+"""Perf benchmark: per-period posterior sweep across numerics modes.
 
 Times one orchestration period's three-head posterior sweep over the
-paper's full 11^4 = 14641-point control grid at N in {100, 500, 1000}
-retained observations:
+paper's full 11^4 = 14641-point control grid at
+N in {100, 250, 500, 1000, 2000} retained observations, per numerics
+mode:
 
 * **direct** — what Algorithm 1 cost before the engine: one
   ``GaussianProcess.predict`` per head over the joint grid, i.e. a
   fresh ``N x M`` cross-kernel plus an ``O(N^2 M)`` triangular solve
-  every period;
-* **engine** — one :class:`SurrogateEngine` sweep, including the
-  incremental cross-kernel/solve extension for the observation added
-  that period;
-* **engine (hit)** — a repeat sweep for the same context with no new
-  observation, i.e. the pure cache-hit path (the earlier benchmark
-  revision only timed the extension path, which is why its committed
-  ``cache_hits`` read 0 — every timed query was preceded by three
-  ``gp.add`` calls, so no query could ever take the hit branch).
+  every period (skipped above N = 1000, where it is pointlessly slow);
+* **dense** — one :class:`SurrogateEngine` sweep (per-head loops, the
+  bit-identity reference), including the incremental cross-kernel and
+  solve extension for the observation added that period, plus the pure
+  cache-hit re-query path;
+* **batched** — the same sweep through stacked multi-head linear
+  algebra (``REPRO_BATCHED_HEADS``); its :class:`EngineStats` counters
+  are asserted identical to the dense ones, tally for tally;
+* **sparse** — heads bounded to a 200-observation budget with the
+  inducing-subset eviction policy of :mod:`repro.core.sparse`; this is
+  the mode whose per-period cost must stay *flat* as the nominal N
+  grows (the flat-cost claim: N = 2000 within 1.5x of N = 250).
 
-Emits ``BENCH_posterior.json`` at the repo root (the start of the
-repo's perf trajectory) and asserts the >= 5x speedup target at
-N = 500 plus non-zero cache hits.
+Emits ``BENCH_posterior.json`` at the repo root and asserts the >= 5x
+engine-vs-direct speedup at N = 500, non-zero cache hits, dense/batched
+counter identity, and the sparse flat-cost bound.
 """
 
 import json
@@ -31,52 +35,104 @@ import numpy as np
 from repro.core.gp import GaussianProcess
 from repro.core.kernels import Matern
 from repro.core.posterior import SurrogateEngine
+from repro.core.sparse import make_eviction_policy
 from repro.utils.grids import cartesian_grid, linear_levels
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_posterior.json"
 
 CONTEXT_DIM = 3
 N_LEVELS = 11  # |X| = 14641, the paper's grid
-N_VALUES = (100, 500, 1000)
+N_VALUES = (100, 250, 500, 1000, 2000)
 #: Timed periods per N (median reported); direct at N=1000 is slow.
-REPS = {100: 5, 500: 3, 1000: 2}
+REPS = {100: 5, 250: 5, 500: 3, 1000: 2, 2000: 3}
+#: Timed periods for the sparse mode (cheap at every N, so always
+#: enough reps for a noise-robust minimum).
+SPARSE_REPS = 6
+#: Largest N still timed through per-head ``predict`` (the O(N^2 M) wall).
+DIRECT_MAX_N = 1000
+#: Largest N where engine-vs-direct moments are verified allclose.
+VERIFY_MAX_N = 500
 SPEEDUP_TARGET_AT_500 = 5.0
+#: Sparse-mode observation budget and eviction granularity.
+SPARSE_BUDGET = 200
+SPARSE_BLOCK = 50
+#: Flat-cost bound: sparse per-period seconds at N=2000 vs at N=250.
+FLAT_COST_FACTOR = 1.5
+
+HEAD_SPECS = (
+    ("cost", 60.0**2, 4.0, 0.0),
+    ("delay", 0.15**2, 4e-4, 0.8),
+    ("map", 0.15**2, 4e-4, 0.0),
+)
 
 
-def make_heads(rng, n_obs):
-    lengthscales = np.full(CONTEXT_DIM + 4, 0.8)
-    heads = {
-        "cost": GaussianProcess(
-            Matern(lengthscales, output_scale=60.0**2), noise_variance=4.0
-        ),
-        "delay": GaussianProcess(
-            Matern(lengthscales, output_scale=0.15**2),
-            noise_variance=4e-4, prior_mean=0.8,
-        ),
-        "map": GaussianProcess(
-            Matern(lengthscales, output_scale=0.15**2), noise_variance=4e-4
-        ),
-    }
+def make_dataset(n_obs, rng):
+    """Deterministic training set + per-period additions for one N."""
     x = rng.random((n_obs, CONTEXT_DIM + 4))
-    for gp in heads.values():
-        gp.fit(x, rng.normal(size=n_obs))
+    y = rng.normal(size=(n_obs, len(HEAD_SPECS)))
+    context = rng.random(CONTEXT_DIM)
+    adds = [
+        (np.concatenate([context, rng.random(4)]),
+         rng.normal(size=len(HEAD_SPECS)))
+        for _ in range(max(REPS[n_obs], SPARSE_REPS))
+    ]
+    return x, y, context, adds
+
+
+def build_heads(x, y, sparse):
+    """The three benchmark heads, optionally budget-bounded (sparse).
+
+    Sparse heads are seeded with a ``fit`` over the first budget-sized
+    chunk and then stream the rest through ``add`` so the eviction
+    policy actually churns, exactly as a long run would.
+    """
+    lengthscales = np.full(CONTEXT_DIM + 4, 0.8)
+    budget_kwargs = {}
+    if sparse:
+        budget_kwargs = {
+            "max_observations": SPARSE_BUDGET,
+            "eviction_block": SPARSE_BLOCK,
+            "eviction_policy": make_eviction_policy(lengthscales),
+        }
+    heads = {}
+    for column, (name, output_scale, noise, prior) in enumerate(HEAD_SPECS):
+        gp = GaussianProcess(
+            Matern(lengthscales, output_scale=output_scale),
+            noise_variance=noise,
+            prior_mean=prior,
+            **budget_kwargs,
+        )
+        n = x.shape[0]
+        if sparse and n > SPARSE_BUDGET:
+            gp.fit(x[:SPARSE_BUDGET], y[:SPARSE_BUDGET, column])
+            for j in range(SPARSE_BUDGET, n):
+                gp.add(x[j], float(y[j, column]))
+        else:
+            gp.fit(x, y[:, column])
+        heads[name] = gp
     return heads
 
 
-def time_sweeps(n_obs, rng):
-    """Median per-period sweep seconds for both implementations."""
-    grid = cartesian_grid(*[linear_levels(N_LEVELS)] * 4)
-    heads = make_heads(rng, n_obs)
-    engine = SurrogateEngine(heads, grid, context_dim=CONTEXT_DIM)
-    context = rng.random(CONTEXT_DIM)
-    joint = engine.joint_grid(context)
+def time_mode(mode, x, y, context, adds, grid, n_reps):
+    """Per-period engine/hit seconds for one numerics mode.
+
+    Every mode replays a prefix of the identical observation stream, so
+    counters and moments are comparable across modes (dense and batched
+    replay the same ``n_reps``).  Reports the median (typical period)
+    and the minimum (noise-robust intrinsic cost).  Returns the mode
+    row plus the live engine and last batch for cross-mode assertions.
+    """
+    heads = build_heads(x, y, sparse=(mode == "sparse"))
+    engine = SurrogateEngine(
+        heads, grid, context_dim=CONTEXT_DIM, batched=(mode == "batched")
+    )
     engine.posterior(context)  # amortised first-contact rebuild, untimed
 
-    engine_times, hit_times, direct_times = [], [], []
-    for _ in range(REPS[n_obs]):
-        z = np.concatenate([context, rng.random(4)])
-        for gp in heads.values():
-            gp.add(z, float(rng.normal()))
+    engine_times, hit_times = [], []
+    batch = None
+    for z, targets in adds[:n_reps]:
+        for column, gp in enumerate(heads.values()):
+            gp.add(z, float(targets[column]))
 
         started = time.perf_counter()
         batch = engine.posterior(context)
@@ -88,45 +144,131 @@ def time_sweeps(n_obs, rng):
         engine.posterior(context)
         hit_times.append(time.perf_counter() - started)
 
-        started = time.perf_counter()
-        direct = {name: gp.predict(joint) for name, gp in heads.items()}
-        direct_times.append(time.perf_counter() - started)
+    row = {
+        "engine_s": float(np.median(engine_times)),
+        "engine_min_s": float(np.min(engine_times)),
+        "engine_hit_s": float(np.median(hit_times)),
+        "engine_stats": engine.stats.snapshot(),
+    }
+    if mode == "sparse":
+        row["budget"] = SPARSE_BUDGET
+        row["eviction_block"] = SPARSE_BLOCK
+        row["retained"] = int(next(iter(heads.values())).n_observations)
+        row["evictions"] = int(next(iter(heads.values())).evictions)
+    return row, heads, batch
 
-        for name, (mean, var) in direct.items():
-            np.testing.assert_allclose(batch.mean(name), mean,
-                                       atol=1e-8, rtol=0)
-            np.testing.assert_allclose(batch.variance(name), var,
-                                       atol=1e-8, rtol=0)
+
+def time_direct(heads, joint):
+    """One per-head ``predict`` sweep (the pre-engine cost), timed."""
+    started = time.perf_counter()
+    posteriors = {name: gp.predict(joint) for name, gp in heads.items()}
+    return time.perf_counter() - started, posteriors
+
+
+def _counters(stats):
+    """Engine counters without the (non-deterministic) wall time."""
+    return {k: v for k, v in stats.items() if k != "wall_time_s"}
+
+
+def bench_one_n(n_obs, rng, grid):
+    """All modes at one retained-observation count N."""
+    x, y, context, adds = make_dataset(n_obs, rng)
+    modes = {}
+    dense_row, dense_heads, dense_batch = time_mode(
+        "dense", x, y, context, adds, grid, REPS[n_obs]
+    )
+    modes["dense"] = dense_row
+    batched_row, _, batched_batch = time_mode(
+        "batched", x, y, context, adds, grid, REPS[n_obs]
+    )
+    modes["batched"] = batched_row
+    sparse_row, _, _ = time_mode(
+        "sparse", x, y, context, adds, grid, SPARSE_REPS
+    )
+    modes["sparse"] = sparse_row
+
+    # Batched mode must count work identically and agree numerically.
+    assert _counters(batched_row["engine_stats"]) == \
+        _counters(dense_row["engine_stats"]), (
+            f"batched counters diverged at N={n_obs}: "
+            f"{batched_row['engine_stats']} vs {dense_row['engine_stats']}"
+        )
+    for name in dense_batch.heads:
+        np.testing.assert_allclose(
+            batched_batch.mean(name), dense_batch.mean(name),
+            atol=1e-6, rtol=1e-9,
+        )
+        np.testing.assert_allclose(
+            batched_batch.variance(name), dense_batch.variance(name),
+            atol=1e-8, rtol=1e-9,
+        )
+
+    direct_s = None
+    if n_obs <= DIRECT_MAX_N:
+        joint = np.empty((grid.shape[0], CONTEXT_DIM + grid.shape[1]))
+        joint[:, :CONTEXT_DIM] = context
+        joint[:, CONTEXT_DIM:] = grid
+        direct_times = []
+        for _ in range(REPS[n_obs]):
+            elapsed, posteriors = time_direct(dense_heads, joint)
+            direct_times.append(elapsed)
+        direct_s = float(np.median(direct_times))
+        if n_obs <= VERIFY_MAX_N:
+            for name, (mean, var) in posteriors.items():
+                np.testing.assert_allclose(dense_batch.mean(name), mean,
+                                           atol=1e-8, rtol=0)
+                np.testing.assert_allclose(dense_batch.variance(name), var,
+                                           atol=1e-8, rtol=0)
 
     return {
         "n_observations": n_obs,
         "grid_points": int(grid.shape[0]),
-        "heads": len(heads),
-        "engine_s": float(np.median(engine_times)),
-        "engine_hit_s": float(np.median(hit_times)),
-        "direct_s": float(np.median(direct_times)),
-        "speedup": float(np.median(direct_times) / np.median(engine_times)),
-        "engine_stats": engine.stats.snapshot(),
+        "heads": len(HEAD_SPECS),
+        # Legacy top-level keys: the dense reference mode.
+        "engine_s": dense_row["engine_s"],
+        "engine_hit_s": dense_row["engine_hit_s"],
+        "direct_s": direct_s,
+        "speedup": (
+            float(direct_s / dense_row["engine_s"])
+            if direct_s is not None else None
+        ),
+        "engine_stats": dense_row["engine_stats"],
+        "modes": modes,
     }
 
 
 def test_perf_posterior_sweep():
     rng = np.random.default_rng(0)
-    rows = [time_sweeps(n, rng) for n in N_VALUES]
+    grid = cartesian_grid(*[linear_levels(N_LEVELS)] * 4)
+    rows = [bench_one_n(n, rng, grid) for n in N_VALUES]
     payload = {
         "benchmark": "per-period three-head posterior sweep over 11^4 grid",
         "unit": "seconds (median per period)",
+        "modes": {
+            "dense": "per-head loops (bit-identity reference)",
+            "batched": "stacked multi-head solves (REPRO_BATCHED_HEADS=1)",
+            "sparse": (
+                f"subset-of-data, budget {SPARSE_BUDGET} + "
+                f"block {SPARSE_BLOCK} inducing-subset eviction"
+            ),
+        },
         "results": rows,
     }
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     print()
-    print(f"{'N':>6} {'direct s':>12} {'engine s':>12} {'hit s':>12} "
-          f"{'speedup':>9}")
+    print(f"{'N':>6} {'direct s':>10} {'dense s':>10} {'batched s':>10} "
+          f"{'sparse s':>10} {'hit s':>10} {'speedup':>9}")
     for row in rows:
-        print(f"{row['n_observations']:>6} {row['direct_s']:>12.4f} "
-              f"{row['engine_s']:>12.4f} {row['engine_hit_s']:>12.4f} "
-              f"{row['speedup']:>8.1f}x")
+        direct = (f"{row['direct_s']:>10.4f}"
+                  if row["direct_s"] is not None else f"{'-':>10}")
+        speedup = (f"{row['speedup']:>8.1f}x"
+                   if row["speedup"] is not None else f"{'-':>9}")
+        print(f"{row['n_observations']:>6} {direct} "
+              f"{row['modes']['dense']['engine_s']:>10.4f} "
+              f"{row['modes']['batched']['engine_s']:>10.4f} "
+              f"{row['modes']['sparse']['engine_s']:>10.4f} "
+              f"{row['engine_hit_s']:>10.4f} {speedup}")
 
     at_500 = next(r for r in rows if r["n_observations"] == 500)
     assert at_500["speedup"] >= SPEEDUP_TARGET_AT_500, (
@@ -138,4 +280,22 @@ def test_perf_posterior_sweep():
         assert stats["cache_hits"] >= REPS[row["n_observations"]] * 3, (
             f"repeat-context queries at N={row['n_observations']} should "
             f"hit the cache, stats: {stats}"
+        )
+
+    # The flat-cost claim: a budget-bounded sweep costs the same at
+    # N=2000 as at N=250 (both retain <= budget + block points).
+    sparse_250 = next(
+        r for r in rows if r["n_observations"] == 250
+    )["modes"]["sparse"]
+    sparse_2000 = next(
+        r for r in rows if r["n_observations"] == 2000
+    )["modes"]["sparse"]
+    assert sparse_2000["retained"] <= SPARSE_BUDGET + SPARSE_BLOCK
+    # Compare minima: the intrinsic per-period cost, robust to CI
+    # scheduling noise (medians are reported in the JSON alongside).
+    assert sparse_2000["engine_min_s"] <= \
+        FLAT_COST_FACTOR * sparse_250["engine_min_s"], (
+            f"sparse per-period cost is not flat: "
+            f"{sparse_2000['engine_min_s']:.4f}s at N=2000 vs "
+            f"{sparse_250['engine_min_s']:.4f}s at N=250"
         )

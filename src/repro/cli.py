@@ -24,9 +24,13 @@ trace of spans + metrics, see ``docs/OBSERVABILITY.md``) /
 ``--trace-decisions [JSONL]`` (record one decision record per BO
 round — safe set, margins, calibration, drift, regret — merged across
 sweep cells) / ``--faults plan.json`` (install a deterministic
-fault-injection plan for the run, see ``docs/ROBUSTNESS.md``);
-``telemetry-report`` renders a recorded trace and ``diagnose`` renders
-a decision trace as a dashboard with anomaly flags.
+fault-injection plan for the run, see ``docs/ROBUSTNESS.md``) /
+``--numerics MODE`` + ``--gp-budget N`` + ``--backend NAME`` (GP
+numerics mode: batched multi-head solves and/or a sparse observation
+budget, exported via environment so sweep workers inherit it — see
+``docs/NUMERICS.md``); ``telemetry-report`` renders a recorded trace
+and ``diagnose`` renders a decision trace as a dashboard with anomaly
+flags.
 """
 
 from __future__ import annotations
@@ -74,6 +78,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--faults", type=Path, default=None, metavar="PLAN.JSON",
         help="install a deterministic fault-injection plan for the run "
              "(see docs/ROBUSTNESS.md)",
+    )
+    parser.add_argument(
+        "--numerics", default=None,
+        choices=("dense", "batched", "sparse", "sparse-batched"),
+        help="GP numerics mode: dense (default, bit-identical reference), "
+             "batched (stacked multi-head solves), sparse (bounded "
+             "observation budget, flat per-period cost), or both "
+             "(see docs/NUMERICS.md)",
+    )
+    parser.add_argument(
+        "--gp-budget", type=int, default=None, metavar="N",
+        help="sparse-mode observation budget per GP head (default 256)",
+    )
+    parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="array backend for the GP stack (default numpy; see "
+             "docs/NUMERICS.md for registering cupy/torch)",
     )
 
 
@@ -303,10 +324,34 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _apply_numerics_flags(args) -> None:
+    """Export ``--numerics``/``--gp-budget``/``--backend`` to the env.
+
+    The selection is written to ``os.environ`` (via
+    :func:`repro.core.backend.numerics_env`) rather than threaded
+    through every constructor: sweep worker processes inherit the
+    environment, so agents built deep inside parallel cells pick the
+    mode up through :func:`repro.core.backend.active_numerics`.
+    """
+    mode = getattr(args, "numerics", None)
+    budget = getattr(args, "gp_budget", None)
+    backend = getattr(args, "backend", None)
+    if mode is None and budget is None and backend is None:
+        return
+    from repro.core.backend import numerics_env
+
+    try:
+        config = numerics_env(mode, backend=backend, sparse_budget=budget)
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}") from None
+    print(f"numerics mode: {config.mode} (backend {config.backend})")
+
+
 def main(argv=None) -> int:
     """Entry point (also exposed as ``python -m repro``)."""
     args = build_parser().parse_args(argv)
     plan = _load_fault_plan(getattr(args, "faults", None))
+    _apply_numerics_flags(args)
     with faults.use(plan) if plan is not None else nullcontext():
         trace_path = getattr(args, "telemetry", None)
         if trace_path is not None:

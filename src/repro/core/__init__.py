@@ -8,7 +8,20 @@ online loop of Algorithm 1.
 """
 
 from repro.core.alternative import PowerBudgetedEdgeBOL, PowerBudgets
+from repro.core.backend import (
+    ArrayBackend,
+    NumericsConfig,
+    NumpyBackend,
+    active_numerics,
+    available_backends,
+    get_backend,
+    install_numerics,
+    register_backend,
+    uninstall_numerics,
+    use_numerics,
+)
 from repro.core.diagnostics import calibration_report, interval_coverage
+from repro.core.sparse import greedy_inducing_indices, make_eviction_policy
 from repro.core.kernels import Kernel, Matern, RBF
 from repro.core.persistence import load_edgebol, save_edgebol
 from repro.core.gp import GaussianProcess
@@ -20,6 +33,18 @@ from repro.core.acquisition import safe_lcb_index, safe_lcb_index_from_posterior
 from repro.core.edgebol import EdgeBOL, EdgeBOLConfig
 
 __all__ = [
+    "ArrayBackend",
+    "NumericsConfig",
+    "NumpyBackend",
+    "active_numerics",
+    "available_backends",
+    "get_backend",
+    "install_numerics",
+    "register_backend",
+    "uninstall_numerics",
+    "use_numerics",
+    "greedy_inducing_indices",
+    "make_eviction_policy",
     "EngineStats",
     "PosteriorBatch",
     "SurrogateEngine",

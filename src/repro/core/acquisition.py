@@ -23,15 +23,22 @@ from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_non_negative
 
 
-def lcb_values(mean: np.ndarray, std: np.ndarray, beta: float = 2.5) -> np.ndarray:
+def lcb_values(mean: np.ndarray, std: np.ndarray, beta: float = 2.5,
+               std_scale: float = 1.0) -> np.ndarray:
     """Full-grid LCB surface ``mu - sqrt(beta) * sigma`` (eq. 9 objective).
 
     Decision traces record this surface's value at the chosen control
     and at the unconstrained minimiser (the "price of safety"); the
     selection itself goes through :func:`safe_lcb_index_from_values`.
+    ``std_scale`` rescales the posterior std before the bound is formed
+    (1.0 is the exact eq. 9; sparse modes may inflate, see
+    ``docs/NUMERICS.md``).
     """
     check_non_negative(beta, "beta")
-    return np.asarray(mean, dtype=float) - beta * np.asarray(std, dtype=float)
+    std = np.asarray(std, dtype=float)
+    if std_scale != 1.0:
+        std = check_non_negative(std_scale, "std_scale") * std
+    return np.asarray(mean, dtype=float) - beta * std
 
 
 def safe_lcb_index_from_values(lcb: np.ndarray, safe_mask: np.ndarray) -> int:
@@ -56,18 +63,22 @@ def safe_lcb_index_from_posterior(
     std: np.ndarray,
     safe_mask: np.ndarray,
     beta: float = 2.5,
+    std_scale: float = 1.0,
 ) -> int:
     """Eq. 9 applied to precomputed full-grid posterior moments.
 
     This is the hot-path variant consuming a
     :class:`~repro.core.posterior.SurrogateEngine` sweep; the moments
     must cover the *whole* grid (same length as ``safe_mask``).
+    ``std_scale`` is forwarded to :func:`lcb_values`.
     """
     mean = np.asarray(mean, dtype=float)
     std = np.asarray(std, dtype=float)
     if mean.size != std.size:
         raise ValueError("safe_mask and posterior moments must have equal length")
-    return safe_lcb_index_from_values(lcb_values(mean, std, beta), safe_mask)
+    return safe_lcb_index_from_values(
+        lcb_values(mean, std, beta, std_scale=std_scale), safe_mask
+    )
 
 
 def safe_lcb_index(

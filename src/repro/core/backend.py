@@ -1,0 +1,539 @@
+"""Pluggable array/linear-algebra backend for the GP numeric core.
+
+Every array operation the GP stack performs — kernel algebra in
+:mod:`repro.core.kernels`, Cholesky factorisation in
+:mod:`repro.core.numerics`, posterior solves in :mod:`repro.core.gp`
+and the grid sweeps of :mod:`repro.core.posterior` — routes through a
+small array-API-style protocol (:class:`ArrayBackend`: ``matmul``,
+``einsum``, ``stack``, ``cholesky``, ``solve_triangular``,
+``cho_solve``).  The default :class:`NumpyBackend` delegates to the
+exact numpy/scipy routines the pre-refactor code called, so dense runs
+stay bit-identical; a cupy or torch backend drops in later by
+registering a factory under a new name without touching any caller.
+
+The module also owns :class:`NumericsConfig` — the process-wide
+description of the active numerics *mode* (array backend, stacked
+multi-head solves, sparse observation budget) — resolved in priority
+order from an explicitly installed config (:func:`install_numerics` /
+:func:`use_numerics`), then from environment variables, then from the
+dense-numpy defaults.  Environment-variable selection is what lets a
+CI leg force the batched path on for the whole test suite, and what
+carries a CLI ``--numerics`` choice into sweep worker processes (the
+environment is inherited; an installed config is not).
+
+Environment variables
+---------------------
+
+``REPRO_NUMERICS_BACKEND``
+    Array backend name (default ``numpy``).
+``REPRO_BATCHED_HEADS``
+    ``1``/``true`` enables stacked multi-head grid solves in
+    :class:`~repro.core.posterior.SurrogateEngine`.
+``REPRO_SPARSE_GP``
+    ``1``/``true`` enables the inducing-subset sparse mode (observation
+    budget per GP head, see :mod:`repro.core.sparse`).
+``REPRO_GP_BUDGET``
+    Sparse-mode observation budget (default 256).
+
+See ``docs/NUMERICS.md`` for the full selection and trade-off guide.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+
+import numpy as np
+from scipy.linalg import cho_solve as _scipy_cho_solve
+from scipy.linalg import cholesky as _scipy_cholesky
+from scipy.linalg import solve_triangular as _scipy_solve_triangular
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "NumericsConfig",
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "active_numerics",
+    "install_numerics",
+    "uninstall_numerics",
+    "use_numerics",
+    "numerics_env",
+    "ENV_BACKEND",
+    "ENV_BATCHED",
+    "ENV_SPARSE",
+    "ENV_BUDGET",
+]
+
+#: Environment variable selecting the array backend by name.
+ENV_BACKEND = "REPRO_NUMERICS_BACKEND"
+#: Environment variable enabling stacked multi-head solves ("1"/"true").
+ENV_BATCHED = "REPRO_BATCHED_HEADS"
+#: Environment variable enabling the sparse observation-budget mode.
+ENV_SPARSE = "REPRO_SPARSE_GP"
+#: Environment variable overriding the sparse observation budget.
+ENV_BUDGET = "REPRO_GP_BUDGET"
+
+#: Values of a boolean environment variable that count as "on".
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+class ArrayBackend(abc.ABC):
+    """Array-API-style protocol for the GP stack's linear algebra.
+
+    A backend bundles an array namespace (:attr:`xp`: ``numpy``-like
+    module used for element-wise math, reductions and construction)
+    with the dense linear-algebra primitives the GP stack needs.  The
+    batched variants accept a leading stack dimension — ``(H, n, n)``
+    factors against ``(H, n, m)`` right-hand sides — which is how the
+    multi-head engine issues one solve across heads.
+    """
+
+    #: Registry name of the backend (e.g. ``"numpy"``).
+    name: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def xp(self):
+        """The backend's array namespace (``numpy``-compatible module)."""
+
+    @abc.abstractmethod
+    def asarray(self, a, dtype=float):
+        """Coerce ``a`` to a backend array of the given dtype."""
+
+    @abc.abstractmethod
+    def matmul(self, a, b):
+        """Matrix product, broadcasting over leading stack dimensions."""
+
+    @abc.abstractmethod
+    def einsum(self, subscripts: str, *operands):
+        """Einstein summation over backend arrays."""
+
+    @abc.abstractmethod
+    def stack(self, arrays, axis: int = 0):
+        """Join same-shape arrays along a new axis."""
+
+    @abc.abstractmethod
+    def cholesky(self, a, lower: bool = True):
+        """Cholesky factor of a (stack of) positive-definite matrices.
+
+        Raises ``numpy.linalg.LinAlgError`` (or the backend's
+        equivalent, which callers must translate) when the matrix is
+        not positive definite — the degradation ladder in
+        :func:`repro.core.numerics.robust_cholesky` depends on it.
+        """
+
+    @abc.abstractmethod
+    def solve_triangular(self, a, b, lower: bool = True):
+        """Solve ``a x = b`` for triangular ``a``; 2-D or stacked 3-D."""
+
+    @abc.abstractmethod
+    def cho_solve(self, chol, b, lower: bool = True):
+        """Solve ``A x = b`` given the Cholesky factor of ``A``."""
+
+
+class NumpyBackend(ArrayBackend):
+    """Default backend: numpy arrays, scipy dense linear algebra.
+
+    Delegates to exactly the routines the pre-backend code called
+    (``scipy.linalg.cholesky`` / ``solve_triangular`` / ``cho_solve``,
+    ``numpy`` for everything else) so dense results are bit-identical
+    to the pre-refactor implementation.  Batched calls loop over the
+    leading stack dimension — numpy has no native batched triangular
+    solve — which still amortises the per-call Python overhead for the
+    engine's grouped multi-head systems.
+    """
+
+    name = "numpy"
+
+    @property
+    def xp(self):
+        """The ``numpy`` module."""
+        return np
+
+    def asarray(self, a, dtype=float):
+        """``numpy.asarray`` with a float default dtype."""
+        return np.asarray(a, dtype=dtype)
+
+    def matmul(self, a, b):
+        """``numpy.matmul`` (stacked GEMM for 3-D operands)."""
+        return np.matmul(a, b)
+
+    def einsum(self, subscripts: str, *operands):
+        """``numpy.einsum``."""
+        return np.einsum(subscripts, *operands)
+
+    def stack(self, arrays, axis: int = 0):
+        """``numpy.stack``."""
+        return np.stack(arrays, axis=axis)
+
+    def cholesky(self, a, lower: bool = True):
+        """``scipy.linalg.cholesky``, looped over a stacked leading axis."""
+        a = np.asarray(a)
+        if a.ndim == 2:
+            return _scipy_cholesky(a, lower=lower)
+        return np.stack([_scipy_cholesky(m, lower=lower) for m in a])
+
+    def solve_triangular(self, a, b, lower: bool = True):
+        """``scipy.linalg.solve_triangular``, looped over a stacked axis."""
+        a = np.asarray(a)
+        if a.ndim == 2:
+            return _scipy_solve_triangular(a, b, lower=lower)
+        b = np.asarray(b)
+        return np.stack([
+            _scipy_solve_triangular(m, rhs, lower=lower)
+            for m, rhs in zip(a, b)
+        ])
+
+    def cho_solve(self, chol, b, lower: bool = True):
+        """``scipy.linalg.cho_solve`` on one factored system."""
+        return _scipy_cho_solve((chol, lower), b)
+
+
+class _MissingDependencyBackend(ArrayBackend):
+    """Placeholder for a backend whose library is not installed.
+
+    Registered under the real name so ``available_backends`` can
+    advertise it, but every use raises a clear, actionable error
+    instead of an ``ImportError`` deep inside a solve.
+    """
+
+    def __init__(self, name: str, module: str) -> None:
+        """Record the backend ``name`` and the missing ``module``."""
+        self.name = name
+        self._module = module
+
+    def _unavailable(self):
+        raise RuntimeError(
+            f"array backend '{self.name}' requires the '{self._module}' "
+            f"package, which is not installed in this environment; install "
+            f"it or select the 'numpy' backend (unset {ENV_BACKEND})"
+        )
+
+    @property
+    def xp(self):
+        """Raises: the backing library is not installed."""
+        self._unavailable()
+
+    def asarray(self, a, dtype=float):
+        """Raises: the backing library is not installed."""
+        self._unavailable()
+
+    def matmul(self, a, b):
+        """Raises: the backing library is not installed."""
+        self._unavailable()
+
+    def einsum(self, subscripts: str, *operands):
+        """Raises: the backing library is not installed."""
+        self._unavailable()
+
+    def stack(self, arrays, axis: int = 0):
+        """Raises: the backing library is not installed."""
+        self._unavailable()
+
+    def cholesky(self, a, lower: bool = True):
+        """Raises: the backing library is not installed."""
+        self._unavailable()
+
+    def solve_triangular(self, a, b, lower: bool = True):
+        """Raises: the backing library is not installed."""
+        self._unavailable()
+
+    def cho_solve(self, chol, b, lower: bool = True):
+        """Raises: the backing library is not installed."""
+        self._unavailable()
+
+
+def _make_cupy_backend() -> ArrayBackend:
+    """CuPy backend when importable, else an explanatory placeholder."""
+    try:
+        import cupy  # noqa: F401
+    except ImportError:
+        return _MissingDependencyBackend("cupy", "cupy")
+    raise RuntimeError(
+        "the cupy backend is registered but not yet implemented; "
+        "register a custom ArrayBackend under the 'cupy' name"
+    )  # pragma: no cover - requires cupy installed
+
+
+def _make_torch_backend() -> ArrayBackend:
+    """Torch backend when importable, else an explanatory placeholder."""
+    try:
+        import torch  # noqa: F401
+    except ImportError:
+        return _MissingDependencyBackend("torch", "torch")
+    raise RuntimeError(
+        "the torch backend is registered but not yet implemented; "
+        "register a custom ArrayBackend under the 'torch' name"
+    )  # pragma: no cover - requires torch installed
+
+
+#: Backend factories by name (instantiated lazily, cached).
+_FACTORIES: dict = {
+    "numpy": NumpyBackend,
+    "cupy": _make_cupy_backend,
+    "torch": _make_torch_backend,
+}
+_INSTANCES: dict = {}
+_LOCK = threading.Lock()
+
+
+def register_backend(name: str, factory) -> None:
+    """Register (or replace) a backend factory under ``name``.
+
+    ``factory`` is a zero-argument callable returning an
+    :class:`ArrayBackend`; instantiation is lazy and cached.
+    """
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    with _LOCK:
+        _FACTORIES[str(name)] = factory
+        _INSTANCES.pop(str(name), None)
+
+
+def available_backends() -> tuple:
+    """Registered backend names, in registration order."""
+    return tuple(_FACTORIES)
+
+
+def get_backend(name: str | None = None) -> ArrayBackend:
+    """The backend instance for ``name`` (default: the active config's).
+
+    Unknown names raise ``KeyError`` listing the registered backends.
+    """
+    if name is None:
+        name = active_numerics().backend
+    with _LOCK:
+        backend = _INSTANCES.get(name)
+        if backend is None:
+            try:
+                factory = _FACTORIES[name]
+            except KeyError:
+                raise KeyError(
+                    f"unknown array backend '{name}' (registered: "
+                    f"{', '.join(_FACTORIES)})"
+                ) from None
+            backend = factory()
+            _INSTANCES[name] = backend
+    return backend
+
+
+# -- numerics-mode configuration ----------------------------------------
+
+
+@dataclass(frozen=True)
+class NumericsConfig:
+    """Process-level description of the GP numerics mode.
+
+    Attributes
+    ----------
+    backend:
+        Array backend name (see :func:`available_backends`).
+    batched_heads:
+        Evaluate multi-head grid sweeps through stacked linear-algebra
+        calls (one grouped cross-kernel build + one batched triangular
+        solve) instead of per-head loops.  Numerically equivalent to
+        the per-head path; opt-in because the dense default is the
+        bit-identity reference.
+    sparse:
+        Bound every GP head to ``sparse_budget`` retained observations,
+        evicting via the inducing-subset policy of
+        :mod:`repro.core.sparse` — per-period cost stays flat as the
+        nominal history grows.
+    sparse_budget:
+        Observation budget per head in sparse mode.
+    sparse_block:
+        Eviction granularity (points dropped per eviction are
+        amortised over this many periods).
+    recent_fraction:
+        Fraction of the budget reserved for the newest observations in
+        sparse mode (stream continuity under drift).
+    variance_inflation:
+        Multiplier applied to posterior standard deviations in the
+        safe-set test and the acquisition.  1.0 (default) is a no-op;
+        subset-of-data posteriors are already conservative (their
+        variances upper-bound the full-data ones), so this exists for
+        future *parametric* sparse approximations whose variances can
+        under-cover.
+    """
+
+    backend: str = "numpy"
+    batched_heads: bool = False
+    sparse: bool = False
+    sparse_budget: int = 256
+    sparse_block: int = 64
+    recent_fraction: float = 0.25
+    variance_inflation: float = 1.0
+
+    def __post_init__(self) -> None:
+        """Validate budgets, fractions and the inflation factor."""
+        if self.sparse_budget < 1:
+            raise ValueError(
+                f"sparse_budget must be >= 1, got {self.sparse_budget}"
+            )
+        if self.sparse_block < 1:
+            raise ValueError(
+                f"sparse_block must be >= 1, got {self.sparse_block}"
+            )
+        if not 0.0 <= self.recent_fraction <= 1.0:
+            raise ValueError(
+                f"recent_fraction must be in [0, 1], got {self.recent_fraction}"
+            )
+        if not self.variance_inflation >= 1.0:
+            raise ValueError(
+                f"variance_inflation must be >= 1.0, got "
+                f"{self.variance_inflation}"
+            )
+
+    @property
+    def mode(self) -> str:
+        """Canonical mode label: dense, batched, sparse or sparse+batched."""
+        if self.sparse and self.batched_heads:
+            return "sparse+batched"
+        if self.sparse:
+            return "sparse"
+        if self.batched_heads:
+            return "batched"
+        return "dense"
+
+    @classmethod
+    def from_mode(cls, mode: str, *, backend: str | None = None,
+                  sparse_budget: int | None = None) -> "NumericsConfig":
+        """Config from a CLI-style mode label (``sparse-batched`` ok)."""
+        normalised = str(mode).replace("-", "+")
+        known = {
+            "dense": (False, False),
+            "batched": (True, False),
+            "sparse": (False, True),
+            "sparse+batched": (True, True),
+            "batched+sparse": (True, True),
+        }
+        if normalised not in known:
+            raise ValueError(
+                f"unknown numerics mode '{mode}' (expected one of dense, "
+                f"batched, sparse, sparse-batched)"
+            )
+        batched, sparse = known[normalised]
+        kwargs = {"batched_heads": batched, "sparse": sparse}
+        if backend is not None:
+            kwargs["backend"] = backend
+        if sparse_budget is not None:
+            kwargs["sparse_budget"] = sparse_budget
+        return cls(**kwargs)
+
+    @classmethod
+    def from_env(cls, environ=None) -> "NumericsConfig":
+        """Config read from the selection environment variables."""
+        environ = os.environ if environ is None else environ
+        kwargs = {}
+        backend = environ.get(ENV_BACKEND)
+        if backend:
+            kwargs["backend"] = backend
+        batched = environ.get(ENV_BATCHED)
+        if batched is not None:
+            kwargs["batched_heads"] = batched.strip().lower() in _TRUTHY
+        sparse = environ.get(ENV_SPARSE)
+        if sparse is not None:
+            kwargs["sparse"] = sparse.strip().lower() in _TRUTHY
+        budget = environ.get(ENV_BUDGET)
+        if budget:
+            try:
+                kwargs["sparse_budget"] = int(budget)
+            except ValueError:
+                raise ValueError(
+                    f"{ENV_BUDGET} must be an integer, got {budget!r}"
+                ) from None
+        return cls(**kwargs)
+
+    def env_vars(self) -> dict:
+        """The environment variables that reproduce this config.
+
+        Setting these in ``os.environ`` is how the CLI carries a
+        ``--numerics`` selection into sweep worker processes.
+        """
+        return {
+            ENV_BACKEND: self.backend,
+            ENV_BATCHED: "1" if self.batched_heads else "0",
+            ENV_SPARSE: "1" if self.sparse else "0",
+            ENV_BUDGET: str(self.sparse_budget),
+        }
+
+
+#: Explicitly installed process-local config (overrides the environment).
+_ACTIVE: NumericsConfig | None = None
+
+
+def active_numerics() -> NumericsConfig:
+    """The resolved numerics config: installed > environment > defaults."""
+    if _ACTIVE is not None:
+        return _ACTIVE
+    return NumericsConfig.from_env()
+
+
+def install_numerics(config: NumericsConfig) -> None:
+    """Install ``config`` as the process-local numerics default.
+
+    Note that an installed config does **not** propagate to sweep
+    worker processes — use :func:`numerics_env` (or the CLI flags,
+    which set the environment) for multi-process runs.
+    """
+    global _ACTIVE
+    if not isinstance(config, NumericsConfig):
+        raise TypeError(
+            f"expected a NumericsConfig, got {type(config).__name__}"
+        )
+    _ACTIVE = config
+
+
+def uninstall_numerics() -> None:
+    """Remove an installed config (environment/defaults apply again)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def use_numerics(config: NumericsConfig):
+    """Context manager: install ``config`` for the block, then restore."""
+    global _ACTIVE
+    previous = _ACTIVE
+    install_numerics(config)
+    try:
+        yield config
+    finally:
+        _ACTIVE = previous
+
+
+def numerics_env(mode: str | None = None, *, backend: str | None = None,
+                 sparse_budget: int | None = None,
+                 environ=None) -> NumericsConfig:
+    """Resolve CLI-style numerics flags and export them to ``environ``.
+
+    ``mode``/``backend``/``sparse_budget`` override the corresponding
+    environment-derived values; unspecified fields keep their current
+    environment (or default) settings.  The resolved config's
+    :meth:`NumericsConfig.env_vars` are written back to ``environ``
+    (default ``os.environ``) so worker processes inherit the selection,
+    and the config is returned.
+    """
+    environ = os.environ if environ is None else environ
+    config = NumericsConfig.from_env(environ)
+    if mode is not None:
+        config = NumericsConfig.from_mode(
+            mode,
+            backend=backend if backend is not None else config.backend,
+            sparse_budget=(
+                sparse_budget if sparse_budget is not None
+                else config.sparse_budget
+            ),
+        )
+    else:
+        if backend is not None:
+            config = replace(config, backend=backend)
+        if sparse_budget is not None:
+            config = replace(config, sparse_budget=sparse_budget)
+    environ.update(config.env_vars())
+    return config

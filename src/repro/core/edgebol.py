@@ -23,12 +23,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.acquisition import lcb_values, safe_lcb_index_from_posterior
+from repro.core.backend import NumericsConfig, active_numerics
 from repro.core.gp import GaussianProcess
 from repro.core.kernels import Kernel, Matern
 from repro.core.likelihood import fit_hyperparameters
 from repro.core.numerics import NumericalInstabilityError
 from repro.core.posterior import PosteriorBatch, SurrogateEngine
 from repro.core.safeset import SafeSetEstimator
+from repro.core.sparse import make_eviction_policy
 from repro.faults import runtime as faults
 from repro.telemetry import runtime as telemetry
 from repro.testbed.config import (
@@ -115,7 +117,17 @@ class EdgeBOLConfig:
         the zero (optimistic) prior that drives LCB exploration.
     max_observations:
         Observation budget per GP (subset-of-data for very long runs);
-        ``None`` retains everything, as the paper does.
+        ``None`` retains everything, as the paper does.  An explicit
+        value here takes precedence over the sparse-mode budget of
+        ``numerics``.
+    numerics:
+        Numerics-mode override (:class:`~repro.core.backend.
+        NumericsConfig`): array backend, batched multi-head solves and
+        the sparse observation budget.  ``None`` (default) follows the
+        process-wide :func:`~repro.core.backend.active_numerics`
+        resolution (installed config, else environment variables, else
+        dense numpy) — which is how the experiment CLIs' ``--numerics``
+        flags reach agents constructed deep inside sweep workers.
     quarantine_spike_factor:
         Robust outlier gate: once ``quarantine_min_history`` clean
         observations exist, a cost exceeding this multiple of the
@@ -139,6 +151,7 @@ class EdgeBOLConfig:
     delay_prior_mean_s: float = 0.8
     map_prior_mean: float = 0.0
     max_observations: int | None = None
+    numerics: NumericsConfig | None = None
     matern_nu: float = 1.5
     quarantine_spike_factor: float = 6.0
     quarantine_min_history: int = 10
@@ -239,6 +252,14 @@ class EdgeBOL:
         self._gp_fault_hook = (
             gp_injector.gp_hook if gp_injector is not None else None
         )
+        # Numerics mode (backend / batched sweeps / sparse budget): an
+        # explicit config wins, else the process-wide resolution
+        # (installed config > environment > dense-numpy defaults).
+        self.numerics = (
+            self.config.numerics if self.config.numerics is not None
+            else active_numerics()
+        )
+        gp_budget_kwargs = self._gp_budget_kwargs()
         self._gps = [
             GaussianProcess(
                 kernel=Matern(
@@ -247,9 +268,9 @@ class EdgeBOL:
                     nu=self.config.matern_nu,
                 ),
                 noise_variance=noise,
-                max_observations=self.config.max_observations,
                 prior_mean=mean,
                 fault_hook=self._gp_fault_hook,
+                **gp_budget_kwargs(scales),
             )
             for scales, scale, noise, mean in zip(
                 per_gp_lengthscales, output_scales, noises, prior_means
@@ -269,8 +290,8 @@ class EdgeBOL:
                         nu=self.config.matern_nu,
                     ),
                     noise_variance=noise,
-                    max_observations=self.config.max_observations,
                     fault_hook=self._gp_fault_hook,
+                    **gp_budget_kwargs(generic),
                 )
                 for scale, noise in (
                     (40.0**2, 6.0),    # server power: ~50-250 W, 2% meter
@@ -281,7 +302,8 @@ class EdgeBOL:
         if self._power_gps is not None:
             heads.update(zip(POWER_HEAD_NAMES, self._power_gps))
         self._engine = SurrogateEngine(
-            heads, grid, context_dim=self.context_dim
+            heads, grid, context_dim=self.context_dim,
+            batched=self.numerics.batched_heads,
         )
         self._safe_estimator = SafeSetEstimator(
             delay_gp=self._gps[DELAY],
@@ -290,6 +312,7 @@ class EdgeBOL:
             noise_beta=self.config.noise_beta,
             delay_noise_rel=self.config.delay_noise_rel,
             map_noise_std=float(np.sqrt(self.config.map_noise)),
+            variance_inflation=self.numerics.variance_inflation,
         )
         self._sync_delay_pessimism()
         self._s0_index = nearest_grid_index(
@@ -312,7 +335,48 @@ class EdgeBOL:
         # reads the batch the selection already computed).
         self._tracer = None
 
+    def _gp_budget_kwargs(self):
+        """Factory for per-head observation-budget constructor kwargs.
+
+        Dense mode passes exactly the historical arguments (an optional
+        ``max_observations`` with the GP's own oldest-block eviction),
+        keeping default runs bit-identical.  Sparse mode resolves the
+        budget — an explicit ``config.max_observations`` wins over the
+        numerics ``sparse_budget`` — and attaches the inducing-subset
+        eviction policy of :mod:`repro.core.sparse`, scaled by the
+        head's own ARD lengthscales (hence the per-head callable).
+        """
+        config = self.config
+        numerics = self.numerics
+        if not numerics.sparse:
+            def kwargs(scales) -> dict:
+                return {"max_observations": config.max_observations}
+            return kwargs
+        budget = (
+            config.max_observations if config.max_observations is not None
+            else numerics.sparse_budget
+        )
+
+        def kwargs(scales) -> dict:
+            return {
+                "max_observations": budget,
+                "eviction_block": numerics.sparse_block,
+                "eviction_policy": make_eviction_policy(
+                    scales, recent_fraction=numerics.recent_fraction
+                ),
+            }
+        return kwargs
+
     # -- introspection ---------------------------------------------------
+
+    @property
+    def numerics_mode(self) -> str:
+        """Active numerics mode label (``dense``/``batched``/``sparse``...).
+
+        Stamped on decision-trace records so ``repro diagnose`` can
+        attribute anomalies to sparse approximation error.
+        """
+        return self.numerics.mode
 
     @property
     def gps(self) -> tuple[GaussianProcess, GaussianProcess, GaussianProcess]:
@@ -459,6 +523,7 @@ class EdgeBOL:
                     index = safe_lcb_index_from_posterior(
                         batch.mean("cost"), batch.std("cost"), mask,
                         beta=self.config.beta,
+                        std_scale=self.numerics.variance_inflation,
                     )
             except NumericalInstabilityError:
                 self._mark_surrogate_down()
@@ -534,7 +599,8 @@ class EdgeBOL:
         d1, d2 = self.cost_weights.delta1, self.cost_weights.delta2
         mean = d1 * s_mean + d2 * b_mean
         std = np.sqrt((d1 * s_std) ** 2 + (d2 * b_std) ** 2)
-        lcb = mean - self.config.beta * std
+        lcb = lcb_values(mean, std, beta=self.config.beta,
+                         std_scale=self.numerics.variance_inflation)
         return int(safe_indices[int(np.argmin(lcb))])
 
     def cost_lcb_values(self, batch: PosteriorBatch) -> np.ndarray:
@@ -549,14 +615,16 @@ class EdgeBOL:
         """
         if self._power_gps is None:
             return lcb_values(
-                batch.mean("cost"), batch.std("cost"), beta=self.config.beta
+                batch.mean("cost"), batch.std("cost"), beta=self.config.beta,
+                std_scale=self.numerics.variance_inflation,
             )
         s_mean, s_std = batch.moments("server_power")
         b_mean, b_std = batch.moments("bs_power")
         d1, d2 = self.cost_weights.delta1, self.cost_weights.delta2
         mean = d1 * s_mean + d2 * b_mean
         std = np.sqrt((d1 * s_std) ** 2 + (d2 * b_std) ** 2)
-        return mean - self.config.beta * std
+        return lcb_values(mean, std, beta=self.config.beta,
+                          std_scale=self.numerics.variance_inflation)
 
     def update(
         self,

@@ -23,8 +23,8 @@ from __future__ import annotations
 import time
 
 import numpy as np
-from scipy.linalg import cho_solve, cholesky, solve_triangular
 
+from repro.core.backend import get_backend
 from repro.core.kernels import Kernel
 from repro.core.numerics import NumericalInstabilityError, robust_cholesky
 from repro.telemetry import runtime as telemetry
@@ -56,6 +56,15 @@ class GaussianProcess:
         factorisation attempt; the fault-injection subsystem
         (:mod:`repro.faults`) uses it to force deterministic
         ``LinAlgError`` failures.  ``None`` (default) adds no overhead.
+    eviction_policy:
+        Optional ``policy(x, y, budget) -> keep_indices`` deciding
+        *which* observations to retain when the budget is exceeded
+        (e.g. the inducing-subset selection of :mod:`repro.core.sparse`).
+        ``None`` (default) keeps the historical oldest-block behaviour:
+        drop the oldest ``eviction_block`` rows, retaining
+        ``n - eviction_block`` points — bit-identical to the
+        pre-policy implementation.  A policy trims the buffer all the
+        way down to ``max_observations`` retained points.
     """
 
     def __init__(
@@ -66,6 +75,7 @@ class GaussianProcess:
         eviction_block: int = 100,
         prior_mean: float = 0.0,
         fault_hook=None,
+        eviction_policy=None,
     ) -> None:
         self._factor_version = 0
         self.kernel = kernel
@@ -79,6 +89,8 @@ class GaussianProcess:
             raise ValueError("eviction_block must be >= 1")
         self.max_observations = max_observations
         self.eviction_block = int(eviction_block)
+        self.eviction_policy = eviction_policy
+        self._evictions = 0
         self._fault_hook = fault_hook
         self._x: np.ndarray | None = None
         self._y: np.ndarray | None = None
@@ -136,6 +148,11 @@ class GaussianProcess:
         return self._last_jitter
 
     @property
+    def evictions(self) -> int:
+        """How many budget evictions have trimmed the observation buffer."""
+        return self._evictions
+
+    @property
     def factor_available(self) -> bool:
         """Whether a usable Cholesky factor exists for the current data.
 
@@ -183,7 +200,9 @@ class GaussianProcess:
             raise ValueError(f"prior_mean must be finite, got {prior_mean}")
         self.prior_mean = float(prior_mean)
         if self._y is not None and self._chol is not None:
-            self._alpha = cho_solve((self._chol, True), self._y - self.prior_mean)
+            self._alpha = get_backend().cho_solve(
+                self._chol, self._y - self.prior_mean, lower=True
+            )
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> None:
         """Replace the training set and refactorise (O(N^3) Cholesky)."""
@@ -269,10 +288,11 @@ class GaussianProcess:
                 self._fault_hook("rank1", 0)
             except np.linalg.LinAlgError:
                 return False
+        backend = get_backend()
         cross = self.kernel(self._x, x_new[None, :]).ravel()
         self_var = float(self.kernel.diag(x_new[None, :])[0]) + self.noise_variance
         try:
-            row = solve_triangular(self._chol, cross, lower=True)
+            row = backend.solve_triangular(self._chol, cross, lower=True)
         except np.linalg.LinAlgError:
             return False
         pivot_sq = self_var - float(row @ row)
@@ -292,7 +312,9 @@ class GaussianProcess:
         self._chol = chol
         self._x = np.vstack([self._x, x_new[None, :]])
         self._y = np.append(self._y, float(y_new))
-        self._alpha = cho_solve((self._chol, True), self._y - self.prior_mean)
+        self._alpha = backend.cho_solve(
+            self._chol, self._y - self.prior_mean, lower=True
+        )
         return True
 
     def _maybe_evict(self) -> None:
@@ -300,9 +322,26 @@ class GaussianProcess:
             return
         if self.n_observations <= self.max_observations + self.eviction_block:
             return
-        keep = self.n_observations - self.eviction_block
-        self._x = self._x[-keep:]
-        self._y = self._y[-keep:]
+        if self.eviction_policy is None:
+            keep = self.n_observations - self.eviction_block
+            self._x = self._x[-keep:]
+            self._y = self._y[-keep:]
+        else:
+            indices = np.asarray(
+                self.eviction_policy(self._x, self._y, self.max_observations),
+                dtype=int,
+            )
+            if indices.ndim != 1 or indices.size < 1 \
+                    or indices.size > self.n_observations:
+                raise ValueError(
+                    f"eviction policy returned an invalid index set of "
+                    f"shape {indices.shape} for n={self.n_observations}"
+                )
+            indices = np.unique(indices)  # sorted: preserves arrival order
+            self._x = self._x[indices]
+            self._y = self._y[indices]
+        self._evictions += 1
+        telemetry.inc("core.gp.evictions")
         self._refactorize()
 
     def _refactorize(self) -> None:
@@ -328,7 +367,9 @@ class GaussianProcess:
         self._jitter_retries += retries
         self._last_jitter = jitter
         self._chol = chol
-        self._alpha = cho_solve((self._chol, True), self._y - self.prior_mean)
+        self._alpha = get_backend().cho_solve(
+            self._chol, self._y - self.prior_mean, lower=True
+        )
         self._factor_version += 1
 
     # -- prediction -----------------------------------------------------
@@ -360,9 +401,10 @@ class GaussianProcess:
                 "posterior unavailable: the Cholesky factor was invalidated "
                 "by a failed refactorisation; call fit() to rebuild it"
             )
+        backend = get_backend()
         cross = self.kernel(self._x, x_star)
         mean = self.prior_mean + cross.T @ self._alpha
-        v = solve_triangular(self._chol, cross, lower=True)
+        v = backend.solve_triangular(self._chol, cross, lower=True)
         variance = np.maximum(prior_var - np.sum(v**2, axis=0), 0.0)
         return mean, variance
 
@@ -379,13 +421,14 @@ class GaussianProcess:
         x_star = np.asarray(x_star, dtype=float)
         if x_star.ndim == 1:
             x_star = x_star[None, :]
+        backend = get_backend()
         mean, _ = self.predict(x_star)
         cov = self.kernel(x_star, x_star)
         if self._x is not None:
             cross = self.kernel(self._x, x_star)
-            v = solve_triangular(self._chol, cross, lower=True)
+            v = backend.solve_triangular(self._chol, cross, lower=True)
             cov = cov - v.T @ v
         cov[np.diag_indices_from(cov)] += 1e-10
-        chol = cholesky(cov, lower=True)
+        chol = backend.cholesky(cov, lower=True)
         draws = generator.standard_normal((x_star.shape[0], n_samples))
         return mean[:, None] + chol @ draws

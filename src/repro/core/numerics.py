@@ -13,8 +13,8 @@ that the learner must survive numerical adversity.
 from __future__ import annotations
 
 import numpy as np
-from scipy.linalg import cholesky
 
+from repro.core.backend import get_backend
 from repro.telemetry import runtime as telemetry
 
 __all__ = [
@@ -78,6 +78,7 @@ def robust_cholesky(
     """
     if max_retries < 0:
         raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    backend = get_backend()
     diag_scale = float(np.mean(np.diag(gram))) if gram.size else 1.0
     if not np.isfinite(diag_scale) or diag_scale <= 0.0:
         diag_scale = 1.0
@@ -91,7 +92,7 @@ def robust_cholesky(
             if jitter > 0.0:
                 target = gram.copy()
                 target[np.diag_indices_from(target)] += jitter
-            chol = cholesky(target, lower=True)
+            chol = backend.cholesky(target, lower=True)
         except np.linalg.LinAlgError as exc:
             last_error = exc
             telemetry.inc("core.gp.jitter_retries")

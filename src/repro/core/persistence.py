@@ -15,6 +15,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.backend import NumericsConfig
 from repro.core.edgebol import EdgeBOL, EdgeBOLConfig
 from repro.testbed.config import CostWeights, ServiceConstraints
 
@@ -27,6 +28,8 @@ _POWER_SLOTS = ("server_power", "bs_power")
 
 
 def _config_to_json(config: EdgeBOLConfig) -> str:
+    # dataclasses.asdict recurses into the nested NumericsConfig,
+    # leaving a plain JSON-serialisable dict (rebuilt on load).
     payload = dataclasses.asdict(config)
     if payload.get("lengthscales") is not None:
         payload["lengthscales"] = [float(v) for v in payload["lengthscales"]]
@@ -37,6 +40,8 @@ def _config_from_json(raw: str) -> EdgeBOLConfig:
     payload = json.loads(raw)
     if payload.get("lengthscales") is not None:
         payload["lengthscales"] = np.asarray(payload["lengthscales"], dtype=float)
+    if payload.get("numerics") is not None:
+        payload["numerics"] = NumericsConfig(**payload["numerics"])
     return EdgeBOLConfig(**payload)
 
 

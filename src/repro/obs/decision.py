@@ -227,6 +227,10 @@ class DecisionTracer:
         record = {
             "t": self._t,
             **({"agent": self.label} if self.label is not None else {}),
+            # Active numerics mode (dense/batched/sparse...): lets
+            # `repro diagnose` attribute anomalies to sparse
+            # approximation error rather than the learner itself.
+            "numerics_mode": getattr(agent, "numerics_mode", None),
             **pending,
             "predicted": {
                 head: {"mean": _finite(mu), "std": _finite(math.sqrt(var))}

@@ -87,11 +87,24 @@ def detect_anomalies(
     min_calibration_n: int = DEFAULT_MIN_CALIBRATION_N,
     margin_run: int = DEFAULT_MARGIN_RUN,
 ) -> list[dict]:
-    """Machine-readable anomaly flags over one trace (see module doc)."""
+    """Machine-readable anomaly flags over one trace (see module doc).
+
+    Every flag carries the run's ``numerics_mode`` (when the trace
+    recorded one) so sparse-approximation artefacts are attributable:
+    a flag appearing only under ``"sparse"`` and not under ``"dense"``
+    for the same seed points at the observation budget, not the
+    learner.
+    """
     flags: list[dict] = []
     if not records:
         return flags
     final = records[-1]
+    numerics_mode = final.get("numerics_mode")
+
+    def _flag(payload: dict) -> dict:
+        if numerics_mode is not None:
+            payload["numerics_mode"] = numerics_mode
+        return payload
 
     for head, snap in sorted((final.get("calibration") or {}).items()):
         coverage, expected = snap.get("coverage"), snap.get("expected")
@@ -101,13 +114,13 @@ def detect_anomalies(
             and snap.get("n", 0) >= min_calibration_n
             and coverage < expected - coverage_slack
         ):
-            flags.append({
+            flags.append(_flag({
                 "kind": "coverage_below_nominal",
                 "head": head,
                 "coverage": float(coverage),
                 "expected": float(expected),
                 "n": int(snap["n"]),
-            })
+            }))
 
     for key, constraint in (("delay_slack_s", "delay"), ("map_slack", "map")):
         negative = [
@@ -116,13 +129,13 @@ def detect_anomalies(
         ]
         for start, end in _runs(negative):
             if end - start >= margin_run:
-                flags.append({
+                flags.append(_flag({
                     "kind": "persistent_negative_margin",
                     "constraint": constraint,
                     "start_t": int(records[start].get("t", start)),
                     "end_t": int(records[end - 1].get("t", end - 1)),
                     "length": end - start,
-                })
+                }))
 
     drifting = [
         bool((record.get("drift") or {}).get("flag")) for record in records
@@ -133,22 +146,22 @@ def detect_anomalies(
             if isinstance(s := (record.get("drift") or {}).get("score"),
                           (int, float))
         ]
-        flags.append({
+        flags.append(_flag({
             "kind": "drift_episode",
             "start_t": int(records[start].get("t", start)),
             "end_t": int(records[end - 1].get("t", end - 1)),
             "length": end - start,
             "peak_score": float(max(scores)) if scores else None,
-        })
+        }))
 
     degraded = [bool(record.get("degraded")) for record in records]
     for start, end in _runs(degraded):
-        flags.append({
+        flags.append(_flag({
             "kind": "degraded_stretch",
             "start_t": int(records[start].get("t", start)),
             "end_t": int(records[end - 1].get("t", end - 1)),
             "length": end - start,
-        })
+        }))
     return flags
 
 
@@ -210,10 +223,11 @@ def render_dashboard(records: list[dict],
     robustness = final.get("robustness") or {}
     grid = (final.get("safe_set") or {}).get("grid")
     sections.append(render_table(
-        ["periods", "grid", "violations", "quarantined", "degraded",
-         "drift episodes", "mean cost"],
+        ["periods", "numerics", "grid", "violations", "quarantined",
+         "degraded", "drift episodes", "mean cost"],
         [[
             len(records),
+            final.get("numerics_mode") or "?",
             grid if grid is not None else "?",
             sum(
                 1 for r in records

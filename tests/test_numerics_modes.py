@@ -1,0 +1,379 @@
+"""Integration tests for the numerics modes (batched, sparse, dense).
+
+The dense default is the bit-identity reference, so these tests pin the
+three claims the numerics refactor makes:
+
+* **batched == dense** — the stacked multi-head engine path produces
+  the same moments as the per-head loop (1e-9) and counts work on the
+  :class:`EngineStats` counters tally-for-tally, through rebuilds,
+  extensions, cache hits, evictions, empty (prior) heads and
+  custom-kernel heads that fall back to the per-head path;
+* **eviction is replay-stable** — a run that crosses
+  ``max_observations + eviction_block`` produces bit-identical
+  trajectories whether the engine cache is warm or cold at eviction
+  time, and a sparse budget large enough never to trigger produces
+  exactly the dense trajectory;
+* **the mode is observable** — agents expose ``numerics_mode``,
+  decision records carry it, ``repro diagnose`` stamps it on anomaly
+  flags, and the CLI flags export the selection to the environment.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import EdgeBOL, EdgeBOLConfig
+from repro.core.backend import (
+    ENV_BACKEND,
+    ENV_BATCHED,
+    ENV_BUDGET,
+    ENV_SPARSE,
+    NumericsConfig,
+)
+from repro.core.gp import GaussianProcess
+from repro.core.kernels import RBF, Matern
+from repro.core.posterior import SurrogateEngine
+from repro.obs import runtime as obs
+from repro.obs.diagnose import detect_anomalies, render_dashboard
+from repro.testbed.config import CostWeights, ServiceConstraints, TestbedConfig
+from repro.testbed.scenarios import static_scenario
+
+CONTEXT_DIM = 3
+CONTROL_DIM = 4
+D = CONTEXT_DIM + CONTROL_DIM
+ENV_VARS = (ENV_BACKEND, ENV_BATCHED, ENV_SPARSE, ENV_BUDGET)
+
+
+@pytest.fixture
+def clean_numerics_env():
+    """Snapshot and restore the numerics environment variables."""
+    saved = {var: os.environ.pop(var, None) for var in ENV_VARS}
+    yield
+    for var, value in saved.items():
+        if value is None:
+            os.environ.pop(var, None)
+        else:
+            os.environ[var] = value
+
+
+class TiltedMatern(Matern):
+    """A user-defined kernel: excluded from exact-type batch grouping."""
+
+
+def make_heads(cost_kwargs=None):
+    """Four heads: two groupable Materns, one RBF, one custom kernel."""
+    return {
+        "cost": GaussianProcess(
+            Matern(lengthscales=np.full(D, 0.7), output_scale=4.0),
+            noise_variance=0.01, **(cost_kwargs or {}),
+        ),
+        "delay": GaussianProcess(
+            Matern(lengthscales=np.full(D, 0.6), output_scale=0.02),
+            noise_variance=0.001, prior_mean=0.8,
+        ),
+        "map": GaussianProcess(
+            RBF(lengthscales=np.full(D, 0.9), output_scale=0.02),
+            noise_variance=0.001,
+        ),
+        "power": GaussianProcess(
+            TiltedMatern(lengthscales=np.full(D, 0.8), output_scale=1.0),
+            noise_variance=0.01,
+        ),
+    }
+
+
+def counters(engine):
+    """Snapshot minus the (non-deterministic) wall time."""
+    snap = engine.stats.snapshot()
+    snap.pop("wall_time_s")
+    return snap
+
+
+class TestBatchedMatchesDense:
+    def test_lifecycle_moments_and_counters(self):
+        """Rebuild/extend/hit/evict/prior paths, moment + counter parity.
+
+        The cost head evicts mid-run, the map head stays empty (prior
+        path) for the first stretch, and the power head's custom kernel
+        exercises the per-head fallback inside the batched sweep.
+        """
+        rng = np.random.default_rng(1)
+        grid = rng.random((40, CONTROL_DIM))
+        evict_kwargs = {"max_observations": 8, "eviction_block": 3}
+        dense_heads = make_heads(cost_kwargs=evict_kwargs)
+        batched_heads = make_heads(cost_kwargs=evict_kwargs)
+        dense = SurrogateEngine(dense_heads, grid, context_dim=CONTEXT_DIM,
+                                batched=False)
+        batched = SurrogateEngine(batched_heads, grid,
+                                  context_dim=CONTEXT_DIM, batched=True)
+        assert not dense.batched and batched.batched
+        contexts = [rng.random(CONTEXT_DIM) for _ in range(2)]
+        for t in range(18):
+            context = contexts[t % 2]
+            z = np.concatenate([context, grid[t % 40]])
+            for name in dense_heads:
+                if name == "map" and t < 12:
+                    continue  # empty head: both paths serve the prior
+                y = float(rng.normal())
+                dense_heads[name].add(z, y)
+                batched_heads[name].add(z, y)
+            for engine in (dense, batched):
+                engine.posterior(context)  # rebuild/extend pass
+            d = dense.posterior(context)   # pure cache-hit pass
+            b = batched.posterior(context)
+            for name in d.heads:
+                np.testing.assert_allclose(b.mean(name), d.mean(name),
+                                           atol=1e-9, rtol=0)
+                np.testing.assert_allclose(b.variance(name),
+                                           d.variance(name),
+                                           atol=1e-9, rtol=0)
+        assert dense_heads["cost"].evictions >= 1
+        assert batched_heads["cost"].evictions >= 1
+        assert counters(batched) == counters(dense)
+
+    def test_kernel_evals_counter_identical(self):
+        """The satellite fix: batched kernel_evals == per-head loop's."""
+        rng = np.random.default_rng(2)
+        grid = rng.random((25, CONTROL_DIM))
+        dense_heads = make_heads()
+        batched_heads = make_heads()
+        dense = SurrogateEngine(dense_heads, grid, context_dim=CONTEXT_DIM,
+                                batched=False)
+        batched = SurrogateEngine(batched_heads, grid,
+                                  context_dim=CONTEXT_DIM, batched=True)
+        context = rng.random(CONTEXT_DIM)
+        for t in range(4):
+            z = np.concatenate([context, grid[t]])
+            for name in dense_heads:
+                dense_heads[name].add(z, float(t))
+                batched_heads[name].add(z, float(t))
+            dense.posterior(context)
+            batched.posterior(context)
+        stats_d, stats_b = counters(dense), counters(batched)
+        assert stats_b["kernel_evals"] == stats_d["kernel_evals"]
+        assert stats_b["rebuilds"] == stats_d["rebuilds"]
+        assert stats_b["extensions"] == stats_d["extensions"]
+        assert stats_b["cache_hits"] == stats_d["cache_hits"]
+
+    def test_subset_head_query_preserves_order(self):
+        rng = np.random.default_rng(3)
+        grid = rng.random((20, CONTROL_DIM))
+        heads = make_heads()
+        engine = SurrogateEngine(heads, grid, context_dim=CONTEXT_DIM,
+                                 batched=True)
+        context = rng.random(CONTEXT_DIM)
+        z = np.concatenate([context, grid[0]])
+        for gp in heads.values():
+            gp.add(z, 1.0)
+        batch = engine.posterior(context, heads=("delay", "cost"))
+        assert batch.heads == ("delay", "cost")
+        with pytest.raises(KeyError):
+            engine.posterior(context, heads=("bogus",))
+
+    def test_single_head_query_works_batched(self):
+        rng = np.random.default_rng(4)
+        grid = rng.random((15, CONTROL_DIM))
+        heads = make_heads()
+        engine = SurrogateEngine(heads, grid, context_dim=CONTEXT_DIM,
+                                 batched=True)
+        context = rng.random(CONTEXT_DIM)
+        batch = engine.posterior(context, heads=("cost",))
+        joint = engine.joint_grid(context)
+        mean, var = heads["cost"].predict(joint)
+        np.testing.assert_allclose(batch.mean("cost"), mean, atol=1e-8)
+        np.testing.assert_allclose(batch.variance("cost"), var, atol=1e-8)
+
+
+def run_trajectory(agent_config=None, reset_at=None, n_periods=28):
+    """One seeded static run; returns (per-period rows, agent, events).
+
+    ``reset_at`` drops the engine cache cold immediately before that
+    period's selection.  ``events`` records the period at which each
+    GP's first eviction landed (-1 when it never did).
+    """
+    testbed = TestbedConfig(n_levels=5)
+    env = static_scenario(mean_snr_db=35.0, rng=0, config=testbed)
+    agent = EdgeBOL(
+        testbed.control_grid(),
+        ServiceConstraints(0.4, 0.5),
+        CostWeights(1.0, 1.0),
+        config=agent_config,
+    )
+    rows = []
+    first_eviction = -1
+    for t in range(n_periods):
+        if reset_at is not None and t == reset_at:
+            agent.engine.reset_cache()
+        context = env.observe_context()
+        policy = agent.select(context)
+        observation = env.step(policy)
+        cost = agent.observe(context, policy, observation)
+        if first_eviction < 0 and agent.gps[0].evictions > 0:
+            first_eviction = t
+        rows.append((
+            float(cost),
+            tuple(float(v) for v in policy.to_array()),
+            int(agent.last_safe_set_size),
+            float(observation.delay_s),
+            float(observation.map_score),
+        ))
+    return rows, agent, first_eviction
+
+
+class TestEvictionReplayStability:
+    @pytest.mark.parametrize("config,n_periods", [
+        # Dense default path: oldest-block drop at
+        # max_observations + eviction_block (GP default block of 100).
+        (EdgeBOLConfig(max_observations=8), 115),
+        # Sparse policy path: inducing-subset eviction at budget + block.
+        (EdgeBOLConfig(numerics=NumericsConfig(
+            sparse=True, sparse_budget=10, sparse_block=5)), 28),
+    ], ids=["dense-default", "sparse-policy"])
+    def test_rows_identical_warm_or_cold_cache_at_eviction(
+            self, config, n_periods):
+        """The satellite bit-identity check for the eviction path.
+
+        The engine cache never feeds back into GP state, so the
+        trajectory must be byte-for-byte the same whether the cache is
+        warm or freshly reset when the budget-crossing eviction lands.
+        """
+        warm, agent, evict_t = run_trajectory(config, n_periods=n_periods)
+        assert evict_t > 0, "run never crossed the eviction threshold"
+        assert agent.gps[0].evictions >= 1
+        cold, _, _ = run_trajectory(config, reset_at=evict_t,
+                                    n_periods=n_periods)
+        assert warm == cold
+
+    def test_big_budget_sparse_matches_dense_exactly(self):
+        """A sparse budget that never triggers is the dense run, bit-
+        for-bit: same RunLog rows, zero evictions."""
+        dense_rows, _, _ = run_trajectory(EdgeBOLConfig())
+        sparse_rows, agent, _ = run_trajectory(EdgeBOLConfig(
+            numerics=NumericsConfig(sparse=True, sparse_budget=512),
+        ))
+        assert agent.numerics_mode == "sparse"
+        assert all(gp.evictions == 0 for gp in agent.gps)
+        assert sparse_rows == dense_rows
+
+    def test_small_budget_sparse_run_stays_bounded_and_safe(self):
+        numerics = NumericsConfig(sparse=True, sparse_budget=8,
+                                  sparse_block=4)
+        rows, agent, _ = run_trajectory(
+            EdgeBOLConfig(numerics=numerics), n_periods=30
+        )
+        assert all(gp.evictions >= 1 for gp in agent.gps)
+        assert all(
+            gp.n_observations <= numerics.sparse_budget + numerics.sparse_block
+            for gp in agent.gps
+        )
+        assert all(np.isfinite(row[0]) for row in rows)
+        # The learner still functions: the safe set grew beyond {S0}.
+        assert rows[-1][2] > 1
+
+    def test_explicit_max_observations_beats_sparse_budget(self):
+        config = EdgeBOLConfig(
+            max_observations=6,
+            numerics=NumericsConfig(sparse=True, sparse_budget=512,
+                                    sparse_block=4),
+        )
+        _, agent, _ = run_trajectory(config, n_periods=20)
+        assert all(gp.n_observations <= 6 + 4 for gp in agent.gps)
+
+    def test_batched_agent_runs_and_reports_mode(self):
+        rows, agent, _ = run_trajectory(EdgeBOLConfig(
+            numerics=NumericsConfig(batched_heads=True),
+        ), n_periods=15)
+        assert agent.numerics_mode == "batched"
+        assert agent.engine.batched
+        assert all(np.isfinite(row[0]) for row in rows)
+
+
+class TestModeObservability:
+    @pytest.fixture(autouse=True)
+    def _no_sink(self):
+        obs.uninstall()
+        yield
+        obs.uninstall()
+
+    def test_decision_records_carry_numerics_mode(self):
+        testbed = TestbedConfig(n_levels=4)
+        env = static_scenario(mean_snr_db=35.0, rng=0, config=testbed)
+        agent = EdgeBOL(
+            testbed.control_grid(), ServiceConstraints(0.4, 0.5),
+            CostWeights(1.0, 1.0),
+            config=EdgeBOLConfig(
+                numerics=NumericsConfig(sparse=True, sparse_budget=64),
+            ),
+        )
+        with obs.use(obs.ListSink()) as sink:
+            tracer = obs.make_tracer(agent)
+            agent.attach_tracer(tracer)
+            for _ in range(4):
+                context = env.observe_context()
+                policy = agent.select(context)
+                agent.observe(context, policy, env.step(policy))
+        assert len(sink.records) == 4
+        assert all(r["numerics_mode"] == "sparse" for r in sink.records)
+
+    def test_anomaly_flags_stamped_with_mode(self):
+        records = [
+            {
+                "t": t,
+                "numerics_mode": "sparse",
+                "degraded": True,
+                "outcome": {"cost": 100.0},
+                "safe_set": {"fraction": 0.1, "grid": 625},
+            }
+            for t in range(3)
+        ]
+        flags = detect_anomalies(records)
+        assert flags
+        assert all(flag["numerics_mode"] == "sparse" for flag in flags)
+        dashboard = render_dashboard(records, anomalies=flags)
+        assert "sparse" in dashboard
+
+    def test_flags_without_mode_stay_schema_compatible(self):
+        records = [{"t": t, "degraded": True} for t in range(3)]
+        flags = detect_anomalies(records)
+        assert flags
+        assert all("numerics_mode" not in flag for flag in flags)
+
+
+class TestCliNumericsFlags:
+    def test_parser_accepts_flags(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "dynamic", "--periods", "5", "--numerics", "sparse-batched",
+            "--gp-budget", "32", "--backend", "numpy",
+        ])
+        assert args.numerics == "sparse-batched"
+        assert args.gp_budget == 32
+        assert args.backend == "numpy"
+
+    def test_parser_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dynamic", "--numerics", "warp"])
+
+    def test_flags_export_env_and_run(self, clean_numerics_env, tmp_path,
+                                      capsys):
+        code = main([
+            "dynamic", "--periods", "5", "--levels", "3",
+            "--out", str(tmp_path), "--numerics", "sparse",
+            "--gp-budget", "24",
+        ])
+        assert code == 0
+        assert os.environ[ENV_SPARSE] == "1"
+        assert os.environ[ENV_BUDGET] == "24"
+        assert "numerics mode: sparse" in capsys.readouterr().out
+        assert (tmp_path / "dynamic.csv").exists()
+
+    def test_no_flags_leave_environment_alone(self, clean_numerics_env,
+                                              tmp_path):
+        code = main([
+            "dynamic", "--periods", "3", "--levels", "3",
+            "--out", str(tmp_path),
+        ])
+        assert code == 0
+        assert ENV_SPARSE not in os.environ
