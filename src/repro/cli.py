@@ -14,6 +14,8 @@ shared sweep engine (:mod:`repro.experiments.parallel`).  Usage::
     python -m repro telemetry-report results/static_trace.jsonl
     python -m repro regret --trace-decisions
     python -m repro diagnose results/regret_decisions.jsonl
+    python -m repro run static --sweep delta2=1,8 --store ~/.repro-store
+    python -m repro results list --store ~/.repro-store
 
 Every experiment prints the series the corresponding paper figure
 plots and writes CSV artifacts (default under ``results/``).  Common
@@ -28,9 +30,13 @@ fault-injection plan for the run, see ``docs/ROBUSTNESS.md``) /
 ``--numerics MODE`` + ``--gp-budget N`` + ``--backend NAME`` (GP
 numerics mode: batched multi-head solves and/or a sparse observation
 budget, exported via environment so sweep workers inherit it — see
-``docs/NUMERICS.md``); ``telemetry-report`` renders a recorded trace
-and ``diagnose`` renders a decision trace as a dashboard with anomaly
-flags.
+``docs/NUMERICS.md``) / ``--store DIR`` + ``--no-store``
+(content-addressed experiment store: cells whose exact configuration
+was already computed are served from the store instead of re-run, see
+``docs/STORE.md``); ``telemetry-report`` renders a recorded trace,
+``diagnose`` renders a decision trace as a dashboard with anomaly
+flags, and ``results`` queries the experiment store
+(list/show/gc/verify).
 """
 
 from __future__ import annotations
@@ -44,6 +50,8 @@ from repro.experiments import parallel
 from repro.experiments import spec as spec_registry
 from repro.faults import FaultPlan
 from repro.faults import runtime as faults
+from repro.store import ENV_STORE, resolve_store_dir
+from repro.store.results_cli import add_results_command
 from repro.telemetry import runtime as telemetry
 from repro.utils.ascii import render_table
 
@@ -96,6 +104,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="array backend for the GP stack (default numpy; see "
              "docs/NUMERICS.md for registering cupy/torch)",
     )
+    parser.add_argument(
+        "--store", type=Path, default=None, metavar="DIR",
+        help="content-addressed experiment store: serve cells already "
+             f"computed for this exact configuration (default ${ENV_STORE}; "
+             "see docs/STORE.md)",
+    )
+    parser.add_argument(
+        "--no-store", action="store_true",
+        help=f"disable the experiment store even when ${ENV_STORE} is set",
+    )
 
 
 def _load_fault_plan(path: "Path | None") -> "FaultPlan | None":
@@ -123,11 +141,13 @@ def resolve_decision_path(trace_decisions, spec, out: Path) -> "Path | None":
 
 def run_spec(spec, params, *, out: Path, seed: int = 0, jobs: int = 1,
              resume: bool = True, sweep_overrides=None,
-             decision_path: "Path | None" = None) -> int:
+             decision_path: "Path | None" = None,
+             store: "Path | None" = None) -> int:
     """Execute one spec through the sweep engine and print its report."""
     result = parallel.run_sweep(
         spec, params, seed=seed, jobs=jobs, out=out, resume=resume,
         sweep_overrides=sweep_overrides, decision_path=decision_path,
+        store=store,
     )
     print(spec.report(result.rows, params, out))
     if decision_path is not None:
@@ -137,6 +157,11 @@ def run_spec(spec, params, *, out: Path, seed: int = 0, jobs: int = 1,
     if result.resumed:
         print(f"resumed {result.resumed}/{len(result.cells)} cells from "
               f"{result.manifest_path}")
+    if result.store_hits:
+        print(f"store hits: {result.store_hits}/{len(result.cells)} cells "
+              f"served from {result.store_path} "
+              f"(query with 'repro results list --store "
+              f"{result.store_path}')")
     if jobs > 1:
         pids = result.pids
         print(f"ran {len(result.cells) - result.resumed} cells on "
@@ -162,6 +187,7 @@ def _cmd_spec(args) -> int:
         decision_path=resolve_decision_path(
             args.trace_decisions, spec, args.out
         ),
+        store=resolve_store_dir(args.store, args.no_store),
     )
 
 
@@ -224,6 +250,7 @@ def _cmd_run(args) -> int:
         decision_path=resolve_decision_path(
             args.trace_decisions, spec, args.out
         ),
+        store=resolve_store_dir(args.store, args.no_store),
     )
 
 
@@ -320,6 +347,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fail-on-anomaly", action="store_true",
                    help="exit non-zero when any anomaly flag is raised")
     p.set_defaults(fn=_cmd_diagnose)
+
+    add_results_command(sub)
 
     return parser
 

@@ -16,6 +16,17 @@ into independent cells and executes them:
   under the output directory; re-running the same sweep resumes by
   skipping cells already in the manifest (a changed seed or parameter
   set invalidates it);
+* **content-addressed caching** — with a ``store`` configured
+  (``--store DIR`` / ``REPRO_STORE``), every cell not already resumed
+  from the manifest is looked up in the
+  :class:`~repro.store.store.ExperimentStore` by its canonical
+  configuration hash (spec + params + seed node + fault plan +
+  numerics + code fingerprint, see :func:`repro.store.key.cell_key`);
+  a hit returns the stored rows bit-identically without dispatching a
+  worker (``CellResult.store_hit``, counted in
+  :attr:`SweepResult.store_hits`), a miss is written through on
+  completion — so cross-sweep reruns of identical cells are near-free
+  (see ``docs/STORE.md``);
 * **telemetry** — when the parent records a trace, worker cells collect
   their own metrics snapshots which are merged (counters summed,
   histograms bucket-wise) into the parent registry so the final report
@@ -43,12 +54,14 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.backend import active_numerics
 from repro.experiments import spec as registry
 from repro.experiments.spec import ExperimentSpec
 from repro.faults import runtime as faults
 from repro.faults.injector import InjectedWorkerCrash
 from repro.faults.plan import FaultPlan
 from repro.obs import runtime as obs
+from repro.store import ExperimentStore, cell_key, code_fingerprint
 from repro.telemetry import runtime as telemetry
 from repro.telemetry.export import JsonlSink
 
@@ -95,6 +108,9 @@ class CellResult:
     #: Per-period decision records the cell emitted while a decision
     #: sink was active (``--trace-decisions``); ``None`` when untraced.
     decisions: list | None = None
+    #: Served from the content-addressed experiment store — the rows
+    #: are a previous run's, replayed bit-identically (``pid == -1``).
+    store_hit: bool = False
 
 
 @dataclass
@@ -105,6 +121,8 @@ class SweepResult:
     params: dict
     cells: list[CellResult] = field(default_factory=list)
     manifest_path: Path | None = None
+    #: Root of the experiment store consulted, if any.
+    store_path: Path | None = None
 
     @property
     def rows(self) -> list:
@@ -114,12 +132,19 @@ class SweepResult:
     @property
     def pids(self) -> tuple[int, ...]:
         """Distinct worker PIDs that executed (non-cached) cells."""
-        return tuple(sorted({c.pid for c in self.cells if not c.cached}))
+        return tuple(sorted({
+            c.pid for c in self.cells if not c.cached and not c.store_hit
+        }))
 
     @property
     def resumed(self) -> int:
         """How many cells were skipped thanks to the manifest."""
         return sum(1 for c in self.cells if c.cached)
+
+    @property
+    def store_hits(self) -> int:
+        """How many cells were served from the experiment store."""
+        return sum(1 for c in self.cells if c.store_hit)
 
     @property
     def retries(self) -> int:
@@ -364,13 +389,105 @@ def _resume_cells(cells: "list[SweepCell]",
     return done
 
 
-class _ManifestWriter:
-    """Append-only JSONL checkpoint of completed cells."""
+# -- content-addressed store consultation -------------------------------
 
-    def __init__(self, path: Path | None, header: dict, fresh: bool) -> None:
+
+def _store_scan(store: ExperimentStore, spec: ExperimentSpec,
+                cells: "list[SweepCell]", done: "dict[str, CellResult]",
+                plan: "FaultPlan | None", collect_decisions: bool):
+    """Consult the experiment store for every cell before dispatch.
+
+    Returns ``(keys, hits, write_ids)``: each cell's content key, the
+    store-served :class:`CellResult` per cell the store can satisfy
+    (manifest-resumed cells are never double-served), and the ids of
+    cells whose completion should be written through — misses, plus
+    manifest-resumed cells the store has never seen (so resuming an
+    older sweep back-fills the store).
+    """
+    numerics = active_numerics()
+    fingerprint = code_fingerprint()
+    plan_dict = plan.to_dict() if plan is not None else None
+    keys: dict[str, str] = {}
+    hits: dict[str, CellResult] = {}
+    write_ids: set[str] = set()
+    for cell in cells:
+        key = cell_key(
+            spec.name, cell.params,
+            entropy=cell.entropy, spawn_key=cell.spawn_key,
+            fault_plan=plan_dict, numerics=numerics, code=fingerprint,
+        )
+        keys[cell.cell_id] = key
+        if cell.cell_id in done:
+            if not store.contains(key):
+                write_ids.add(cell.cell_id)
+            continue
+        result = _store_hit(store, key, cell, collect_decisions)
+        if result is None:
+            write_ids.add(cell.cell_id)
+            telemetry.inc("sweep.store.misses")
+        else:
+            hits[cell.cell_id] = result
+            telemetry.inc("sweep.store.hits")
+    return keys, hits, write_ids
+
+
+def _store_hit(store: ExperimentStore, key: str, cell: SweepCell,
+               need_decisions: bool) -> "CellResult | None":
+    """The stored result for ``cell``, or ``None`` when unusable.
+
+    A blob without decision records cannot serve a run that collects
+    them (``--trace-decisions``) — the cell recomputes and the write-
+    through refreshes the blob with its trace.  Replayed decision
+    records are stamped ``store_hit`` so downstream consumers
+    (``repro diagnose``) can attribute them.
+    """
+    blob = store.get(key)
+    if blob is None:
+        return None
+    result = blob.get("result")
+    if not isinstance(result, dict) \
+            or not isinstance(result.get("rows"), list):
+        return None
+    decisions = result.get("decisions")
+    if need_decisions and decisions is None:
+        return None
+    if decisions is not None:
+        decisions = [
+            {**record, "store_hit": True}
+            for record in decisions if isinstance(record, dict)
+        ]
+    return CellResult(
+        index=cell.index,
+        cell_id=cell.cell_id,
+        params=cell.params,
+        rows=result["rows"],
+        pid=-1,
+        metrics=result.get("metrics"),
+        attempts=1,
+        decisions=decisions,
+        store_hit=True,
+    )
+
+
+class _ManifestWriter:
+    """Append-only JSONL checkpoint of completed cells.
+
+    Doubles as the store write-through point: every completion path
+    (serial, pool, manifest re-append) funnels through :meth:`append`,
+    so cells whose content key missed the experiment store are stored
+    there exactly once, even when manifest checkpointing is disabled.
+    """
+
+    def __init__(self, path: Path | None, header: dict, fresh: bool,
+                 store: "ExperimentStore | None" = None,
+                 store_keys: "dict[str, str] | None" = None,
+                 store_meta: "dict | None" = None) -> None:
         self.path = path
         self._handle = None
         self._spawn_keys: dict[str, tuple[int, ...]] = {}
+        self._store = store
+        self._store_keys = store_keys or {}
+        self._store_meta = store_meta or {}
         if path is None:
             return
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -388,8 +505,46 @@ class _ManifestWriter:
         """Remember each cell's seed-tree node for its checkpoint line."""
         self._spawn_keys = {c.cell_id: c.spawn_key for c in cells}
 
+    def _store_put(self, result: CellResult) -> None:
+        """Write one completed cell through to the experiment store.
+
+        Only cells whose key missed during the pre-dispatch scan are
+        written (``store_keys`` holds exactly those); quarantined cells
+        never are — a failure is not a result.  Store I/O errors are
+        downgraded to a telemetry counter: a broken cache must not fail
+        the sweep that would populate it.
+        """
+        if self._store is None or result.error is not None \
+                or result.store_hit:
+            return
+        key = self._store_keys.get(result.cell_id)
+        if key is None:
+            return
+        record = {
+            "rows": result.rows,
+            "metrics": result.metrics,
+            "attempts": result.attempts,
+        }
+        if result.decisions is not None:
+            record["decisions"] = result.decisions
+        meta = {
+            **{k: v for k, v in self._store_meta.items() if k != "entropy"},
+            "cell_id": result.cell_id,
+            "params": _jsonable(result.params),
+            "seed": {
+                "entropy": self._store_meta.get("entropy"),
+                "spawn_key": list(self._spawn_keys.get(result.cell_id, ())),
+            },
+        }
+        try:
+            self._store.put(key, record, meta)
+            telemetry.inc("sweep.store.writes")
+        except OSError:
+            telemetry.inc("sweep.store.write_errors")
+
     def append(self, result: CellResult) -> None:
         """Checkpoint one completed (or quarantined) cell."""
+        self._store_put(result)
         if self._handle is None:
             return
         record = {
@@ -626,6 +781,7 @@ def run_sweep(
     cell_timeout_s: float | None = None,
     fault_plan: "FaultPlan | None" = None,
     decision_path: "Path | str | None" = None,
+    store: "ExperimentStore | Path | str | None" = None,
 ) -> SweepResult:
     """Execute every cell of ``spec`` for ``params`` (see module docs).
 
@@ -660,6 +816,15 @@ def run_sweep(
         are written here in cell-index order.  ``None`` falls back to
         the caller's installed :mod:`repro.obs` sink, if any; with
         neither, cells run untraced.
+    store:
+        Content-addressed experiment store (an
+        :class:`~repro.store.store.ExperimentStore` or a directory
+        path, ``repro run --store DIR``).  Cells whose canonical
+        configuration hash is already stored are served from it
+        without dispatching a worker and counted in
+        :attr:`SweepResult.store_hits`; fresh completions are written
+        through.  ``None`` disables the store (the CLI resolves
+        ``REPRO_STORE`` before calling).  See ``docs/STORE.md``.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -673,17 +838,45 @@ def run_sweep(
     done: dict[str, CellResult] = {}
     if manifest_path is not None and resume:
         done = _resume_cells(cells, _load_manifest(manifest_path, header))
-    pending = [c for c in cells if c.cell_id not in done]
+    collect_telemetry = telemetry.enabled() and jobs > 1
+    collect_decisions = decision_path is not None or obs.enabled()
+
+    store_obj = (
+        store if isinstance(store, ExperimentStore) or store is None
+        else ExperimentStore(store)
+    )
+    store_keys: dict[str, str] = {}
+    store_hits: dict[str, CellResult] = {}
+    store_meta: dict = {}
+    if store_obj is not None:
+        store_keys, store_hits, write_ids = _store_scan(
+            store_obj, spec, cells, done, plan, collect_decisions
+        )
+        store_keys = {
+            cid: key for cid, key in store_keys.items() if cid in write_ids
+        }
+        store_meta = {
+            "spec": spec.name,
+            "numerics_mode": active_numerics().mode,
+            "code": code_fingerprint(),
+            "entropy": seed,
+        }
+    pending = [
+        c for c in cells
+        if c.cell_id not in done and c.cell_id not in store_hits
+    ]
 
     # Rewrite the manifest from the reused records: a corrupt tail (or
     # a stale quarantine entry) must not sit beneath fresh appends.
-    writer = _ManifestWriter(manifest_path, header, fresh=True)
+    writer = _ManifestWriter(manifest_path, header, fresh=True,
+                             store=store_obj, store_keys=store_keys,
+                             store_meta=store_meta)
     writer.track(cells)
-    results: dict[str, CellResult] = dict(done)
-    collect_telemetry = telemetry.enabled() and jobs > 1
-    collect_decisions = decision_path is not None or obs.enabled()
+    results: dict[str, CellResult] = {**done, **store_hits}
     try:
-        for cached in sorted(done.values(), key=lambda r: r.index):
+        for cached in sorted(
+            [*done.values(), *store_hits.values()], key=lambda r: r.index
+        ):
             writer.append(cached)
         if jobs == 1 or len(pending) <= 1:
             _run_serial(spec, pending, results, writer, plan,
@@ -713,4 +906,5 @@ def run_sweep(
         params=params,
         cells=ordered,
         manifest_path=manifest_path,
+        store_path=store_obj.root if store_obj is not None else None,
     )

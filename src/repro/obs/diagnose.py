@@ -241,6 +241,16 @@ def render_dashboard(records: list[dict],
         ]],
     ))
 
+    # Records replayed from the content-addressed experiment store are
+    # stamped `store_hit` by the sweep engine — surface the split so a
+    # reader knows which periods were recomputed vs served from cache.
+    n_store = sum(1 for r in records if r.get("store_hit"))
+    if n_store:
+        sections.append(
+            f"{n_store}/{len(records)} records replayed from the "
+            f"experiment store (store_hit; see docs/STORE.md)"
+        )
+
     sections.append(render_chart(
         {"safe fraction": _series(
             records, lambda r: (r.get("safe_set") or {}).get("fraction")

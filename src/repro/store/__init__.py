@@ -1,0 +1,40 @@
+"""Content-addressed experiment store: never recompute a sweep cell.
+
+Public surface:
+
+* :func:`~repro.store.key.cell_key` /
+  :func:`~repro.store.key.code_fingerprint` /
+  :func:`~repro.store.key.canonical_json` — canonical configuration
+  hashing (spec + params + seed node + fault plan + numerics + code);
+* :class:`~repro.store.store.ExperimentStore` — immutable result
+  blobs plus a JSONL index with atomic append, ``verify`` and ``gc``
+  compaction;
+* :func:`~repro.store.store.resolve_store_dir` — ``--store DIR`` /
+  ``--no-store`` / ``REPRO_STORE`` resolution.
+
+The sweep engine (:mod:`repro.experiments.parallel`) consults the
+store before dispatching a cell and writes completed cells through;
+``repro results`` queries historical results.  See ``docs/STORE.md``.
+"""
+
+from repro.store.key import (
+    ENV_FINGERPRINT,
+    canonical_json,
+    cell_key,
+    code_fingerprint,
+)
+from repro.store.store import (
+    ENV_STORE,
+    ExperimentStore,
+    resolve_store_dir,
+)
+
+__all__ = [
+    "ENV_FINGERPRINT",
+    "ENV_STORE",
+    "ExperimentStore",
+    "canonical_json",
+    "cell_key",
+    "code_fingerprint",
+    "resolve_store_dir",
+]
