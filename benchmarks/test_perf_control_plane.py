@@ -1,0 +1,112 @@
+"""Perf benchmark: sustained control-plane throughput vs fleet size.
+
+Runs :class:`~repro.oran.runtime.FleetRuntime` fleets of 1, 8 and 32
+cells through the event-loop control plane and measures sustained
+decisions per wall-clock second.  Two agent flavours per size:
+
+* **stub** — a constant controller, isolating the plane itself (bus,
+  mailboxes, A1/E2/O1 hops, alert router, load harness) plus the
+  testbed step from the learning cost;
+* **edgebol** — the real learner at a small grid, the end-to-end
+  figure (informational; BO dominates, so it scales like the agent,
+  not the plane).
+
+The scaling gate is on the stub rows: aggregate decisions/sec at 32
+cells must stay within 2x of the single-cell figure — i.e. the
+*per-decision* control-plane cost may at most double between a lone
+cell and a 32-cell fleet sharing one bus, one A1 service and one
+event loop.  (Literal per-cell throughput in one process necessarily
+falls ~n_cells-fold; the sustained aggregate rate is the capacity
+figure that matters and is what ``BENCH_control_plane.json``
+records, with per-cell rates alongside for reference.)
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.experiments.fleet import run_fleet_cell_sim
+from repro.testbed.config import ControlPolicy
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_control_plane.json"
+
+#: Fleet sizes benchmarked (the acceptance floor is {1, 8, 32}).
+FLEET_SIZES = (1, 8, 32)
+PERIODS = 30
+SEED = 11
+#: Aggregate stub decisions/sec at 32 cells must stay within this
+#: factor of the 1-cell figure (per-decision plane cost at most 2x).
+DEGRADATION_LIMIT = 2.0
+
+
+class _StubAgent:
+    """Constant mid-grid controller: zero learning cost, full plane."""
+
+    def select(self, context):
+        return ControlPolicy(
+            resolution=0.5, airtime=0.5, gpu_speed=0.5, mcs_fraction=1.0
+        )
+
+    def observe(self, context, policy, observation):
+        return float(observation.server_power_w + observation.bs_power_w)
+
+
+def _bench(n_cells: int, make_agent=None) -> dict:
+    """One timed fleet run -> a result row."""
+    started = time.perf_counter()
+    result = run_fleet_cell_sim(
+        n_cells=n_cells,
+        n_periods=PERIODS,
+        seed=SEED,
+        levels=4,
+        load_profile="diurnal",
+        make_agent=make_agent,
+    )
+    wall_s = time.perf_counter() - started
+    decisions_per_s = result.decisions / wall_s
+    return {
+        "cells": n_cells,
+        "periods": PERIODS,
+        "decisions": result.decisions,
+        "wall_s": wall_s,
+        "decisions_per_s": decisions_per_s,
+        "per_cell_decisions_per_s": decisions_per_s / n_cells,
+        "loop_steps": result.loop_steps,
+    }
+
+
+def test_perf_control_plane_scaling():
+    stub_rows = [_bench(n, make_agent=_StubAgent) for n in FLEET_SIZES]
+    agent_rows = [_bench(n) for n in FLEET_SIZES]
+
+    payload = {
+        "benchmark": (
+            "sustained control-plane decisions/sec vs fleet size "
+            "(shared event-loop SMO)"
+        ),
+        "unit": "decisions per wall-clock second (aggregate over cells)",
+        "settings": {
+            "fleet_sizes": list(FLEET_SIZES), "periods": PERIODS,
+            "seed": SEED, "load": "diurnal", "degradation_limit":
+            DEGRADATION_LIMIT,
+        },
+        "stub_agent": stub_rows,
+        "edgebol_agent": agent_rows,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print()
+    print(f"{'agent':>8} {'cells':>6} {'dec/s':>10} {'per-cell':>10}")
+    for label, rows in (("stub", stub_rows), ("edgebol", agent_rows)):
+        for row in rows:
+            print(f"{label:>8} {row['cells']:>6} "
+                  f"{row['decisions_per_s']:>10.1f} "
+                  f"{row['per_cell_decisions_per_s']:>10.1f}")
+
+    one = stub_rows[0]["decisions_per_s"]
+    big = stub_rows[-1]["decisions_per_s"]
+    assert big >= one / DEGRADATION_LIMIT, (
+        f"aggregate control-plane throughput fell from {one:.1f} to "
+        f"{big:.1f} decisions/s between 1 and {FLEET_SIZES[-1]} cells — "
+        f"per-decision plane cost grew more than {DEGRADATION_LIMIT}x"
+    )

@@ -27,6 +27,7 @@ from repro.experiments import tariff  # noqa: E402,F401
 from repro.experiments import multiservice  # noqa: E402,F401
 from repro.experiments import regret  # noqa: E402,F401
 from repro.experiments import ablations  # noqa: E402,F401
+from repro.experiments import fleet  # noqa: E402,F401
 
 __all__ = [
     "RunLog",

@@ -57,6 +57,10 @@ class ConstraintSchedule:
         return active
 
 
+#: Transport planes `run_agent` can route decisions through.
+PLANES = ("direct", "sync", "async")
+
+
 def run_agent(
     env: EdgeAIEnvironment,
     agent,
@@ -64,12 +68,23 @@ def run_agent(
     schedule: ConstraintSchedule | None = None,
     track_safe_set: bool = False,
     oracle_cost: float | None = None,
+    plane: str = "direct",
 ) -> RunLog:
     """Drive ``agent`` in ``env`` for ``n_periods`` and log everything.
 
     The agent must expose ``select`` / ``observe`` and, when a schedule
     is given, ``set_constraints``.  ``track_safe_set`` additionally logs
     |S_t| for agents exposing ``last_safe_set_size`` (EdgeBOL).
+
+    ``plane`` selects the transport between agent and testbed:
+    ``"direct"`` (default) applies decisions inline, ``"sync"`` routes
+    every decision and KPI through the synchronous O-RAN plane
+    (:class:`~repro.oran.smo.OranSystem`), ``"async"`` through the
+    event-loop plane (:class:`~repro.oran.runtime.AsyncOranSystem`).
+    Sync and async runs at the same seed are bit-identical (the
+    determinism contract of ``docs/CONTROL_PLANE.md``); both differ
+    from ``direct`` only by MCS quantisation through the A1 radio
+    policy.  Constraint schedules require the direct plane.
 
     With telemetry enabled (:func:`repro.telemetry.record`), the run is
     traced as one ``experiment.run`` root span with one
@@ -86,6 +101,18 @@ def run_agent(
     """
     if n_periods < 0:
         raise ValueError(f"n_periods must be non-negative, got {n_periods}")
+    if plane not in PLANES:
+        raise ValueError(f"plane must be one of {PLANES}, got {plane!r}")
+    if plane != "direct" and schedule is not None:
+        raise ValueError("constraint schedules require plane='direct'")
+    system = None
+    if plane != "direct":
+        # Deferred import: repro.oran pulls the experiment registry.
+        from repro.oran.runtime import AsyncOranSystem
+        from repro.oran.smo import OranSystem
+
+        system = (OranSystem(env, agent) if plane == "sync"
+                  else AsyncOranSystem(env, agent))
     log = RunLog()
     active = schedule.initial if schedule is not None else getattr(
         agent, "constraints", ServiceConstraints()
@@ -106,10 +133,16 @@ def run_agent(
                             agent.set_constraints(new_constraints)
                             active = new_constraints
                     snr = float(np.mean(env.current_snrs_db))
-                    context = env.observe_context()
-                    policy = agent.select(context)
-                    observation = env.step(policy)
-                    cost = agent.observe(context, policy, observation)
+                    if system is None:
+                        context = env.observe_context()
+                        policy = agent.select(context)
+                        observation = env.step(policy)
+                        cost = agent.observe(context, policy, observation)
+                    else:
+                        record = system.run_period()
+                        policy = record.policy
+                        observation = record.observation
+                        cost = record.cost
                     safe_size = (
                         getattr(agent, "last_safe_set_size", None)
                         if track_safe_set else None

@@ -5,6 +5,17 @@ Implements the policy-type / policy-instance model of the A1-P service
 lightweight schema; the non-RT RIC side creates, replaces, queries and
 deletes policy *instances*.  Instance changes are announced to
 registered enforcement callbacks (the policy xApp).
+
+Two transports exist for A1-P requests:
+
+* the direct call path — ``A1PolicyService.handle(request)`` — used by
+  the single-cell SMO wiring;
+* the bus path — :class:`A1Termination` (provider side) and
+  :class:`A1Client` (consumer side) moving
+  :class:`~repro.oran.messages.A1PolicyRequest` /
+  :class:`~repro.oran.messages.A1PolicyResponse` over the
+  ``a1.request`` / ``a1.response`` topics — used by the multi-cell
+  event-loop runtime, where many cells share one policy service.
 """
 
 from __future__ import annotations
@@ -13,6 +24,7 @@ from dataclasses import dataclass, field
 from collections.abc import Callable
 from typing import Any
 
+from repro.oran.bus import post
 from repro.oran.messages import A1PolicyRequest, A1PolicyResponse
 
 #: Policy type id used for the EdgeBOL radio policies (airtime + MCS).
@@ -74,9 +86,11 @@ class A1PolicyService:
         self._enforcers.append(callback)
 
     def policy_types(self) -> list[int]:
+        """Registered policy type ids, sorted."""
         return sorted(self._types)
 
     def instances(self, policy_type_id: int) -> list[str]:
+        """Instance ids deployed under ``policy_type_id``, sorted."""
         return sorted(
             pid for (tid, pid) in self._instances if tid == policy_type_id
         )
@@ -129,6 +143,73 @@ class A1PolicyService:
             request_id=request.message_id,
             status=201 if created else 200,
         )
+
+
+class A1Termination:
+    """Provider side of A1-P over the bus.
+
+    Subscribes to ``{prefix}a1.request``, lets the wrapped
+    :class:`A1PolicyService` process each request (enforcement
+    callbacks fire inside the consumer task) and publishes the
+    response on ``{prefix}a1.response``.  The handler returns the
+    response publish, so on the async bus the consumer awaits it —
+    responses are on the wire before the next request is consumed.
+    """
+
+    def __init__(self, bus, service: A1PolicyService, prefix: str = "") -> None:
+        """Serve ``service`` over ``bus`` under the topic ``prefix``."""
+        self.bus = bus
+        self.service = service
+        self.request_topic = f"{prefix}a1.request"
+        self.response_topic = f"{prefix}a1.response"
+        self.handled = 0
+        bus.subscribe(self.request_topic, self._on_request)
+
+    def _on_request(self, message: object):
+        if not isinstance(message, A1PolicyRequest):
+            raise TypeError(
+                f"unexpected message on {self.request_topic}: {message!r}"
+            )
+        response = self.service.handle(message)
+        self.handled += 1
+        return self.bus.publish(self.response_topic, response)
+
+
+class A1Client:
+    """Consumer (non-RT RIC) side of A1-P over the bus.
+
+    Publishes requests and indexes responses by request id.  A
+    non-2xx response raises inside the response consumer — the bus'
+    fail-fast contract: a rejected policy surfaces at the next drain
+    instead of being silently ignored.
+    """
+
+    def __init__(self, bus, prefix: str = "") -> None:
+        """Attach to ``bus`` under the ``prefix`` topic namespace."""
+        self.bus = bus
+        self.request_topic = f"{prefix}a1.request"
+        self._responses: dict[int, A1PolicyResponse] = {}
+        bus.subscribe(f"{prefix}a1.response", self._on_response)
+
+    def send(self, request: A1PolicyRequest):
+        """Publish one request (delivery completes at the next drain)."""
+        return post(self.bus, self.request_topic, request)
+
+    def response_for(self, request_id: int) -> A1PolicyResponse | None:
+        """The response received for ``request_id``, if any yet."""
+        return self._responses.get(request_id)
+
+    def _on_response(self, message: object) -> None:
+        if not isinstance(message, A1PolicyResponse):
+            raise TypeError(f"unexpected message on a1.response: {message!r}")
+        self._responses[message.request_id] = message
+        while len(self._responses) > 10_000:
+            self._responses.pop(next(iter(self._responses)))
+        if not message.ok:
+            raise RuntimeError(
+                f"A1 policy request {message.request_id} rejected: "
+                f"status {message.status} {message.body}"
+            )
 
 
 def radio_policy_type(max_mcs: int = 28) -> PolicyType:

@@ -32,7 +32,7 @@ class PolicyServiceRApp:
 
     def __init__(
         self,
-        a1_service: A1PolicyService,
+        a1_service,
         policy_id: str = "edgebol-slice-0",
         on_service_policy: Callable[[float, float], None] | None = None,
     ) -> None:
@@ -42,7 +42,14 @@ class PolicyServiceRApp:
         self.deployed_policies = 0
 
     def deploy(self, policy: ControlPolicy) -> None:
-        """Push one joint control decision into the system."""
+        """Push one joint control decision into the system.
+
+        ``a1_service`` may be the in-process
+        :class:`~repro.oran.a1.A1PolicyService` (direct call, rejection
+        raises here) or a bus-side :class:`~repro.oran.a1.A1Client`
+        (the request is published; a rejection raises from the client's
+        response handler at the next drain).
+        """
         radio = policy.radio_policy()
         request = A1PolicyRequest(
             operation="PUT",
@@ -50,19 +57,32 @@ class PolicyServiceRApp:
             policy_id=self.policy_id,
             body={"airtime": radio.airtime, "max_mcs": radio.max_mcs},
         )
-        response = self.a1_service.handle(request)
-        if not response.ok:
-            raise RuntimeError(f"A1 policy rejected: {response.body}")
+        handle = getattr(self.a1_service, "handle", None)
+        if handle is not None:
+            response = handle(request)
+            if not response.ok:
+                raise RuntimeError(f"A1 policy rejected: {response.body}")
+        else:
+            self.a1_service.send(request)
         if self.on_service_policy is not None:
             self.on_service_policy(policy.resolution, policy.gpu_speed)
         self.deployed_policies += 1
 
 
 class PolicyServiceXApp:
-    """Enforces A1 policy instances on the E2 node (near-RT RIC side)."""
+    """Enforces A1 policy instances on the E2 node (near-RT RIC side).
 
-    def __init__(self, a1_service: A1PolicyService, e2: E2Termination) -> None:
+    ``policy_id`` scopes the xApp to one policy instance: in the
+    multi-cell runtime every cell hosts its own enforcement xApp
+    against the *shared* A1 service, and the filter keeps cell A's
+    policies off cell B's E2 node.  ``None`` (the single-cell default)
+    enforces every instance of the radio policy type.
+    """
+
+    def __init__(self, a1_service: A1PolicyService, e2: E2Termination,
+                 policy_id: str | None = None) -> None:
         self.e2 = e2
+        self.policy_id = policy_id
         self.enforced = 0
         a1_service.register_enforcer(self._on_policy)
 
@@ -70,6 +90,8 @@ class PolicyServiceXApp:
         self, policy_type_id: int, policy_id: str, body: dict | None
     ) -> None:
         if policy_type_id != RADIO_POLICY_TYPE_ID or body is None:
+            return
+        if self.policy_id is not None and policy_id != self.policy_id:
             return
         self.e2.send_control(
             airtime=float(body["airtime"]), max_mcs=int(body["max_mcs"])
@@ -94,6 +116,7 @@ class KPIDatabaseXApp:
 
     @property
     def records(self) -> list[E2Indication]:
+        """All KPI indications stored so far (insertion order)."""
         return list(self._records)
 
     def _on_indication(self, indication: E2Indication) -> None:
@@ -118,6 +141,7 @@ class DataCollectorRApp:
 
     @property
     def report_count(self) -> int:
+        """Number of O1 reports received."""
         return self._report_count
 
     def _on_report(self, report: O1Report) -> None:

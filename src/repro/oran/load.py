@@ -1,0 +1,179 @@
+"""Fleet load harness: per-cell offered-load multipliers over time.
+
+The multi-cell runtime emulates realistic cell-load dynamics by
+driving every cell's :meth:`EdgeAIEnvironment.set_load_multiplier`
+once per orchestration period from one :class:`FleetLoadModel`:
+
+``flat``
+    Constant unit load — the control case.
+``diurnal``
+    One day-shaped :class:`~repro.ran.traffic.DiurnalTraffic` profile
+    per cell, phase-staggered across the fleet so peaks roll through
+    the cells like a commuting wave.
+``flash``
+    Baseline load plus seeded *flash crowds*: a random cell spikes by
+    a sampled magnitude that decays linearly over a few periods, with
+    half the surge spilling onto the neighbouring cells.
+``correlated``
+    A shared AR(1) log-load factor (weather, events, regional demand)
+    multiplied by per-cell idiosyncratic log-normal noise — cells rise
+    and fall together but never identically.
+
+All randomness derives from one ``SeedSequence`` node, so fleet runs
+inherit the repo-wide ``--jobs 1 ≡ --jobs N`` determinism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ran.traffic import DiurnalTraffic
+from repro.utils.rng import seed_tree
+
+__all__ = ["FleetLoadModel", "LOAD_PROFILES"]
+
+#: Supported load profile names.
+LOAD_PROFILES = ("flat", "diurnal", "flash", "correlated")
+
+
+class FleetLoadModel:
+    """Per-period load multipliers for every cell of a fleet.
+
+    Parameters
+    ----------
+    n_cells:
+        Fleet size.
+    profile:
+        One of :data:`LOAD_PROFILES`.
+    seed:
+        Int / ``SeedSequence`` / generator; all profile randomness
+        derives from it.
+    base:
+        Baseline multiplier every profile centres on.
+    periods_per_day:
+        Day length for the diurnal shape.
+    peak:
+        Diurnal peak multiplier (must be ``>= base``).
+    flash_rate:
+        Per-period probability that a new flash crowd starts.
+    flash_magnitude:
+        Mean extra load at a flash's onset.
+    flash_duration:
+        Periods over which a flash decays back to baseline.
+    rho, sigma:
+        AR(1) persistence and innovation scale of the correlated
+        profile's shared log-factor.
+    cell_sigma:
+        Per-cell idiosyncratic log-noise scale (correlated profile).
+    """
+
+    def __init__(self, n_cells: int, profile: str = "flat", seed=None,
+                 base: float = 1.0, periods_per_day: int = 48,
+                 peak: float = 3.0, flash_rate: float = 0.05,
+                 flash_magnitude: float = 2.0, flash_duration: int = 5,
+                 rho: float = 0.9, sigma: float = 0.15,
+                 cell_sigma: float = 0.05) -> None:
+        if n_cells < 1:
+            raise ValueError(f"n_cells must be >= 1, got {n_cells}")
+        if profile not in LOAD_PROFILES:
+            raise ValueError(
+                f"unknown load profile {profile!r} "
+                f"(expected one of {LOAD_PROFILES})"
+            )
+        if base <= 0:
+            raise ValueError(f"base multiplier must be positive, got {base}")
+        if peak < base:
+            raise ValueError(f"peak ({peak}) must be >= base ({base})")
+        if not 0.0 <= flash_rate <= 1.0:
+            raise ValueError(f"flash_rate must be in [0, 1], got {flash_rate}")
+        if flash_duration < 1:
+            raise ValueError(
+                f"flash_duration must be >= 1, got {flash_duration}"
+            )
+        self.n_cells = int(n_cells)
+        self.profile = profile
+        self.base = float(base)
+        self.flash_rate = float(flash_rate)
+        self.flash_magnitude = float(flash_magnitude)
+        self.flash_duration = int(flash_duration)
+        self.rho = float(rho)
+        self.sigma = float(sigma)
+        self.cell_sigma = float(cell_sigma)
+        self._t = 0
+
+        rngs = seed_tree(seed, self.n_cells + 1)
+        self._global_rng = rngs[0]
+        cell_rngs = rngs[1:]
+        self._diurnal: list[DiurnalTraffic] = []
+        if profile == "diurnal":
+            self._diurnal = [
+                DiurnalTraffic(
+                    base_multiplier=self.base,
+                    peak_multiplier=float(peak),
+                    periods_per_day=int(periods_per_day),
+                    noise_rel=0.05,
+                    rng=cell_rngs[i],
+                    phase=(i * periods_per_day) // max(1, self.n_cells),
+                )
+                for i in range(self.n_cells)
+            ]
+        #: Active flash crowds: [cell, remaining_periods, magnitude].
+        self._flashes: list[list] = []
+        #: Shared AR(1) log-load state (correlated profile).
+        self._g = 0.0
+        self._cell_rngs = cell_rngs
+
+    def step(self) -> np.ndarray:
+        """Multipliers for the next period, one per cell (all > 0)."""
+        if self.profile == "flat":
+            values = np.full(self.n_cells, self.base)
+        elif self.profile == "diurnal":
+            values = np.array([traffic.step() for traffic in self._diurnal])
+        elif self.profile == "flash":
+            values = self._step_flash()
+        else:
+            values = self._step_correlated()
+        self._t += 1
+        return np.maximum(values, 1e-6)
+
+    def _step_flash(self) -> np.ndarray:
+        """Baseline plus decaying flash-crowd surges."""
+        rng = self._global_rng
+        if rng.random() < self.flash_rate:
+            cell = int(rng.integers(self.n_cells))
+            magnitude = float(
+                self.flash_magnitude * (0.5 + rng.random())
+            )
+            self._flashes.append([cell, self.flash_duration, magnitude])
+        values = np.full(self.n_cells, self.base)
+        surviving = []
+        for flash in self._flashes:
+            cell, remaining, magnitude = flash
+            surge = magnitude * remaining / self.flash_duration
+            values[cell] += surge
+            # Correlated crowd: neighbours absorb half the surge.
+            for neighbour in (cell - 1, cell + 1):
+                if 0 <= neighbour < self.n_cells:
+                    values[neighbour] += 0.5 * surge
+            flash[1] -= 1
+            if flash[1] > 0:
+                surviving.append(flash)
+        self._flashes = surviving
+        return values
+
+    def _step_correlated(self) -> np.ndarray:
+        """Shared AR(1) log-factor times per-cell log-normal noise."""
+        self._g = (
+            self.rho * self._g
+            + self.sigma * float(self._global_rng.standard_normal())
+        )
+        eps = np.array([
+            float(rng.normal(-0.5 * self.cell_sigma ** 2, self.cell_sigma))
+            for rng in self._cell_rngs
+        ])
+        return self.base * np.exp(self._g + eps)
+
+    @property
+    def active_flashes(self) -> int:
+        """Flash crowds currently decaying (flash profile only)."""
+        return len(self._flashes)

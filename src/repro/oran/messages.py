@@ -59,6 +59,7 @@ class A1PolicyResponse:
 
     @property
     def ok(self) -> bool:
+        """Whether the status code is in the 2xx success range."""
         return 200 <= self.status < 300
 
 
@@ -95,6 +96,26 @@ class E2Indication:
     kpis: dict[str, float]
     period: int
     message_id: int = field(default_factory=next_message_id)
+
+
+@dataclass(frozen=True)
+class E2IndicationBatch:
+    """Several RIC Indications from one node, shipped as one message.
+
+    The E2 node buffers indications when its ``batch_size`` exceeds one
+    and flushes them in report order — batching amortises per-message
+    transport cost on the async bus without reordering KPIs.  ``period``
+    is the node-local period of the *last* batched indication.
+    """
+
+    node_id: str
+    indications: tuple[E2Indication, ...]
+    period: int
+    message_id: int = field(default_factory=next_message_id)
+
+    def __post_init__(self) -> None:
+        if not self.indications:
+            raise ValueError("indication batch must not be empty")
 
 
 @dataclass(frozen=True)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
-from repro.oran.bus import MessageBus
+from repro.oran.bus import post
 from repro.oran.messages import O1Report
 
 
@@ -13,22 +13,29 @@ class O1Termination:
 
     The near-RT RIC (or any managed element) forwards KPI reports
     upward; the non-RT RIC registers handlers that consume them.
+    Works over either bus flavour; ``prefix`` namespaces the topic for
+    multi-cell layouts (``cell003.o1.report``).
     """
 
-    def __init__(self, bus: MessageBus) -> None:
+    def __init__(self, bus, prefix: str = "") -> None:
+        """Attach to ``bus`` under the ``prefix`` topic namespace."""
         self.bus = bus
+        self.prefix = prefix
         self._handlers: list[Callable[[O1Report], None]] = []
         self._period = 0
-        bus.subscribe("o1.report", self._on_report)
+        bus.subscribe(f"{prefix}o1.report", self._on_report)
 
-    def forward(self, source: str, kpis: dict[str, float]) -> None:
+    def forward(self, source: str, kpis: dict[str, float]):
         """Publish one performance report upward."""
         self._period += 1
-        self.bus.publish(
-            "o1.report", O1Report(source=source, kpis=dict(kpis), period=self._period)
+        return post(
+            self.bus,
+            f"{self.prefix}o1.report",
+            O1Report(source=source, kpis=dict(kpis), period=self._period),
         )
 
     def register_handler(self, handler: Callable[[O1Report], None]) -> None:
+        """Add a consumer callback invoked per report."""
         self._handlers.append(handler)
 
     def _on_report(self, message: object) -> None:

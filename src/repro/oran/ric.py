@@ -9,20 +9,29 @@ the behaviour lives in :mod:`repro.oran.apps`.
 from __future__ import annotations
 
 from repro.oran.a1 import A1PolicyService, radio_policy_type
-from repro.oran.bus import MessageBus
 from repro.oran.e2 import E2Termination
 from repro.oran.o1 import O1Termination
 
 
 class NearRTRIC:
-    """Near-real-time RIC: A1 provider, E2 consumer, xApp host."""
+    """Near-real-time RIC: A1 provider, E2 consumer, xApp host.
 
-    def __init__(self, bus: MessageBus) -> None:
+    Works over either bus flavour; ``prefix`` namespaces the RIC's E2
+    and O1 topics so several near-RT RICs (one per cell) can share one
+    bus.  An existing ``a1_service`` may be injected — the multi-cell
+    runtime shares one policy service across every cell's RIC.
+    """
+
+    def __init__(self, bus, prefix: str = "",
+                 a1_service: A1PolicyService | None = None) -> None:
         self.bus = bus
-        self.a1_service = A1PolicyService()
-        self.a1_service.register_type(radio_policy_type())
-        self.e2 = E2Termination(bus)
-        self.o1 = O1Termination(bus)
+        self.prefix = prefix
+        if a1_service is None:
+            a1_service = A1PolicyService()
+            a1_service.register_type(radio_policy_type())
+        self.a1_service = a1_service
+        self.e2 = E2Termination(bus, prefix=prefix)
+        self.o1 = O1Termination(bus, prefix=prefix)
         self.xapps: list[object] = []
 
     def host_xapp(self, xapp: object) -> None:

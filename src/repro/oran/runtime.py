@@ -1,0 +1,386 @@
+"""Event-loop control-plane runtimes: one cell or a whole fleet.
+
+Two layers on top of :class:`~repro.oran.bus.AsyncMessageBus`:
+
+* :class:`AsyncOranSystem` — the single-cell Fig. 7 loop running on
+  the deterministic event loop.  It reuses the synchronous
+  :class:`~repro.oran.smo.OranSystem` wiring verbatim and inserts a
+  quiescence barrier (``bus.drain()``) at the two synchronisation
+  points of a period, which is what makes an async run *bit-identical*
+  to the synchronous run at the same seed (asserted in
+  ``tests/test_fleet.py``).
+* :class:`FleetRuntime` — tens of cells in one process sharing one
+  SMO: one bus, one event loop, one A1 policy service (per-cell policy
+  instances enforced by per-cell xApps), per-cell E2/O1 planes under
+  topic prefixes (``cell003.e2.indication``), one EdgeBOL-style agent
+  per cell, a per-period load harness (:mod:`repro.oran.load`) and a
+  throttled alert router (:mod:`repro.oran.alerts`).
+
+Determinism: cells are stepped in index order, every stage ends on a
+``drain()`` barrier, and all randomness lives in the per-cell envs and
+agents (seeded from one SeedSequence tree by the caller) — so fleet
+results are reproducible and independent of ``--jobs``.  Wall-clock
+timing is measured but kept out of result *rows*; it feeds the
+control-plane benchmark (``benchmarks/test_perf_control_plane.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.oran.a1 import (
+    A1Client,
+    A1PolicyService,
+    A1Termination,
+    radio_policy_type,
+)
+from repro.oran.alerts import AlertRouter, default_rules
+from repro.oran.apps import (
+    DataCollectorRApp,
+    KPIDatabaseXApp,
+    PolicyServiceRApp,
+    PolicyServiceXApp,
+)
+from repro.oran.bus import AsyncMessageBus
+from repro.oran.e2 import E2Node, E2Termination
+from repro.oran.loop import VirtualTimeLoop
+from repro.oran.o1 import O1Termination
+from repro.oran.smo import OranSystem, SMOFramework
+from repro.obs import runtime as obs
+from repro.ran.phy import MAX_MCS
+from repro.telemetry import runtime as telemetry
+from repro.testbed.config import ControlPolicy, ServiceConstraints
+from repro.testbed.env import TestbedObservation
+
+__all__ = ["AsyncOranSystem", "FleetCell", "FleetResult", "FleetRuntime"]
+
+
+class AsyncOranSystem(OranSystem):
+    """The single-cell O-RAN loop on the deterministic event loop.
+
+    Identical wiring and per-period call sequence as
+    :class:`~repro.oran.smo.OranSystem`; the only difference is the
+    transport (mailboxes + consumer tasks instead of inline calls) and
+    the drain barriers at the period's two synchronisation points.
+    With the default ``batch_size=1`` the published message sequence is
+    identical too, so fault injection draws align and even faulted runs
+    stay bit-identical to the synchronous bus.
+    """
+
+    def __init__(self, env, agent, loop: VirtualTimeLoop | None = None,
+                 loop_seed=None, batch_size: int = 1,
+                 capacity: int = 64, policy: str = "block") -> None:
+        """Build the async plane and deliver the initial subscriptions."""
+        loop = loop if loop is not None else VirtualTimeLoop(seed=loop_seed)
+        bus = AsyncMessageBus(
+            loop=loop, default_capacity=capacity, default_policy=policy
+        )
+        smo = SMOFramework(bus=bus, batch_size=batch_size)
+        super().__init__(env, agent, smo=smo)
+        self.loop = loop
+        self.bus = bus
+        # The constructor's KPI subscription is still in flight.
+        self.bus.drain()
+
+    def _sync_point(self) -> None:
+        """Quiescence barrier: run the loop until the plane is idle."""
+        self.bus.drain()
+
+
+@dataclass
+class FleetResult:
+    """Everything one :meth:`FleetRuntime.run` produced.
+
+    ``decisions_per_s`` is wall-clock derived — benchmark material,
+    deliberately excluded from experiment rows to preserve sweep
+    determinism.
+    """
+
+    n_cells: int
+    n_periods: int
+    logs: dict[str, RunLog]
+    decisions: int
+    wall_s: float
+    alerts: list[dict]
+    alert_counts: dict
+    alert_counts_by_rule: dict
+    mailbox_stats: dict
+    loop_steps: int
+    decision_summaries: dict = field(default_factory=dict)
+
+    @property
+    def decisions_per_s(self) -> float:
+        """Sustained control decisions per wall-clock second."""
+        return self.decisions / self.wall_s if self.wall_s > 0 else float("inf")
+
+    @property
+    def per_cell_decisions_per_s(self) -> float:
+        """Aggregate throughput divided by fleet size."""
+        return self.decisions_per_s / self.n_cells
+
+
+class FleetCell:
+    """One cell's endpoints on the shared control plane.
+
+    Owns the cell's env + agent, its E2 node / termination, O1
+    termination, KPI xApp, data-collector rApp, policy-enforcement
+    xApp (filtered to this cell's policy instance against the *shared*
+    A1 service) and policy rApp (deploying through the shared
+    :class:`~repro.oran.a1.A1Client`).
+    """
+
+    def __init__(self, index: int, env, agent, bus: AsyncMessageBus,
+                 a1_service: A1PolicyService, a1_client: A1Client,
+                 batch_size: int = 1) -> None:
+        """Wire the cell's O-RAN endpoints under its topic prefix."""
+        # Deferred: repro.experiments eagerly imports the experiment
+        # registry, which itself imports this module.
+        from repro.experiments.recorder import RunLog
+
+        self.index = index
+        self.cell_id = f"cell{index:03d}"
+        self.prefix = f"{self.cell_id}."
+        self.env = env
+        self.agent = agent
+        self.constraints = getattr(agent, "constraints", ServiceConstraints())
+        self.log = RunLog()
+        self._service_policy = (1.0, 1.0)
+        self._stage: tuple = ()
+
+        self.e2_term = E2Termination(bus, prefix=self.prefix)
+        self.o1_term = O1Termination(bus, prefix=self.prefix)
+        self.e2_node = E2Node(
+            node_id=self.cell_id, bus=bus, prefix=self.prefix,
+            batch_size=batch_size,
+        )
+        self.policy_xapp = PolicyServiceXApp(
+            a1_service, self.e2_term, policy_id=f"edgebol-{self.cell_id}"
+        )
+        self.kpi_xapp = KPIDatabaseXApp(
+            self.e2_term, self.o1_term, name=f"kpi-{self.cell_id}"
+        )
+        self.collector = DataCollectorRApp(self.o1_term)
+        self.policy_rapp = PolicyServiceRApp(
+            a1_client,
+            policy_id=f"edgebol-{self.cell_id}",
+            on_service_policy=self._set_service_policy,
+        )
+        self.e2_term.subscribe_kpis(
+            subscriber=self.kpi_xapp.name, kpi_names=("bs_power_w",)
+        )
+
+    def _set_service_policy(self, resolution: float, gpu_speed: float) -> None:
+        self._service_policy = (resolution, gpu_speed)
+
+    @property
+    def enforced_policy(self) -> ControlPolicy:
+        """Joint control as enforced across this cell's plane."""
+        radio = self.e2_node.radio_policy
+        resolution, gpu_speed = self._service_policy
+        return ControlPolicy(
+            resolution=resolution,
+            airtime=radio.airtime,
+            gpu_speed=gpu_speed,
+            mcs_fraction=radio.max_mcs / MAX_MCS,
+        )
+
+
+class FleetRuntime:
+    """Tens of cells, one process, one shared SMO on one event loop.
+
+    Parameters
+    ----------
+    cells:
+        ``(env, agent)`` pairs, one per cell, already seeded by the
+        caller (one SeedSequence spawn per cell keeps fleets sweep-
+        deterministic).
+    load_model:
+        Optional :class:`~repro.oran.load.FleetLoadModel` driving each
+        cell's offered-load multiplier per period.
+    indication_policy, indication_capacity:
+        Backpressure configuration of the per-cell ``e2.indication``
+        topics (the highest-volume path).
+    batch_size:
+        E2 indication batch size per cell.
+    alert_rules:
+        Alert rule set (:func:`repro.oran.alerts.default_rules` by
+        default).
+    loop_seed:
+        Seeds the event loop's tie-breaking; ``None`` (default) is the
+        canonical FIFO order.
+    """
+
+    def __init__(self, cells, load_model=None,
+                 indication_policy: str = "block",
+                 indication_capacity: int = 64, batch_size: int = 1,
+                 alert_rules=None, loop_seed=None) -> None:
+        """Wire the fleet: shared bus, shared A1, per-cell planes."""
+        pairs = list(cells)
+        if not pairs:
+            raise ValueError("a fleet needs at least one (env, agent) cell")
+        self.loop = VirtualTimeLoop(seed=loop_seed)
+        self.bus = AsyncMessageBus(loop=self.loop)
+        self.load_model = load_model
+        if load_model is not None and load_model.n_cells != len(pairs):
+            raise ValueError(
+                f"load model covers {load_model.n_cells} cells but the "
+                f"fleet has {len(pairs)}"
+            )
+
+        # Shared SMO side: one A1 policy service for the whole fleet,
+        # served over the bus, plus the fleet-wide alert stream (kept
+        # drop-oldest so a flapping cell cannot wedge the plane).
+        self.a1_service = A1PolicyService()
+        self.a1_service.register_type(radio_policy_type())
+        self.a1_term = A1Termination(self.bus, self.a1_service)
+        self.a1_client = A1Client(self.bus)
+        self.bus.configure_topic(
+            "smo.alerts", policy="drop-oldest", capacity=256
+        )
+        self.alert_router = AlertRouter(
+            alert_rules if alert_rules is not None else default_rules(),
+            bus=self.bus,
+            topic="smo.alerts",
+        )
+        self.bus_alerts: list[dict] = []
+        self.bus.subscribe("smo.alerts", self.bus_alerts.append)
+
+        self.cells: list[FleetCell] = []
+        for index, (env, agent) in enumerate(pairs):
+            prefix = f"cell{index:03d}."
+            self.bus.configure_topic(
+                f"{prefix}e2.indication",
+                policy=indication_policy,
+                capacity=indication_capacity,
+            )
+            self.cells.append(FleetCell(
+                index, env, agent, self.bus,
+                self.a1_service, self.a1_client, batch_size=batch_size,
+            ))
+        self.decisions = 0
+        # Deliver subscriptions before the first period.
+        self.bus.drain()
+
+    @property
+    def n_cells(self) -> int:
+        """Fleet size."""
+        return len(self.cells)
+
+    def run_period(self, t: int) -> None:
+        """One fleet-wide orchestration period (three drained stages)."""
+        # Stage 1 — decide and deploy: every cell selects, its rApp
+        # publishes the A1 request; control propagates A1 -> xApp ->
+        # E2 control through the mailboxes at the drain barrier.
+        for cell in self.cells:
+            snr = float(np.mean(cell.env.current_snrs_db))
+            context = cell.env.observe_context()
+            decision = cell.agent.select(context)
+            cell._stage = (snr, context, decision)
+            cell.policy_rapp.deploy(decision)
+        self.bus.drain()
+
+        # Stage 2 — actuate and measure: each cell's testbed runs one
+        # period under its enforced policy; KPI indications flow
+        # E2 -> O1 at the barrier.
+        for cell in self.cells:
+            enforced = cell.enforced_policy
+            observation = cell.env.step(enforced)
+            cell.e2_node.report_kpis({"bs_power_w": observation.bs_power_w})
+            cell._stage = cell._stage + (enforced, observation)
+        self.bus.drain()
+
+        # Stage 3 — learn, log and alert.
+        for cell in self.cells:
+            snr, context, _decision, enforced, observation = cell._stage
+            collected = cell.collector.latest_kpis
+            bs_power = collected.get("bs_power_w", observation.bs_power_w)
+            merged = TestbedObservation(
+                delay_s=observation.delay_s,
+                map_score=observation.map_score,
+                server_power_w=observation.server_power_w,
+                bs_power_w=bs_power,
+                gpu_delay_s=observation.gpu_delay_s,
+                gpu_utilization=observation.gpu_utilization,
+                total_rate_hz=observation.total_rate_hz,
+                mean_mcs=observation.mean_mcs,
+                offered_load_bps=observation.offered_load_bps,
+                per_user_delay_s=observation.per_user_delay_s,
+                per_user_rate_hz=observation.per_user_rate_hz,
+            )
+            cost = cell.agent.observe(context, enforced, merged)
+            cell.log.append(
+                cost=cost,
+                policy=enforced,
+                observation=merged,
+                safe_set_size=getattr(cell.agent, "last_safe_set_size", None),
+                snr_db=snr,
+                d_max_s=cell.constraints.d_max_s,
+                rho_min=cell.constraints.rho_min,
+            )
+            self.decisions += 1
+            telemetry.inc("fleet.decisions")
+            self.alert_router.process({
+                "cell": cell.cell_id,
+                "t": t,
+                "delay_s": merged.delay_s,
+                "map_score": merged.map_score,
+                "d_max_s": cell.constraints.d_max_s,
+                "rho_min": cell.constraints.rho_min,
+                "cost": cost,
+                "degraded": bool(getattr(cell.agent, "degraded", False)),
+            })
+            cell._stage = ()
+
+        # Stage 4 — load harness: next period's offered load.
+        if self.load_model is not None:
+            multipliers = self.load_model.step()
+            for cell, multiplier in zip(self.cells, multipliers):
+                cell.env.set_load_multiplier(float(multiplier))
+        self.bus.drain()
+
+    def run(self, n_periods: int) -> FleetResult:
+        """Run the fleet for ``n_periods``; returns the fleet result.
+
+        With a decision sink installed (:func:`repro.obs.use`), every
+        cell's agent is traced for the run with the cell id as the
+        record's ``agent`` label, so one sink collects the whole
+        fleet's decision stream.
+        """
+        if n_periods < 0:
+            raise ValueError(f"n_periods must be non-negative, got {n_periods}")
+        tracers: list[tuple[FleetCell, object]] = []
+        for cell in self.cells:
+            tracer = obs.make_tracer(cell.agent, label=cell.cell_id)
+            if tracer is not None:
+                cell.agent.attach_tracer(tracer)
+                tracers.append((cell, tracer))
+        started = time.perf_counter()
+        try:
+            for t in range(n_periods):
+                self.run_period(t)
+        finally:
+            for cell, _tracer in tracers:
+                cell.agent.attach_tracer(None)
+        wall_s = time.perf_counter() - started
+        for cell in self.cells:
+            # Ship any partially filled indication batches.
+            cell.e2_node.flush()
+        self.bus.drain()
+        return FleetResult(
+            n_cells=self.n_cells,
+            n_periods=n_periods,
+            logs={cell.cell_id: cell.log for cell in self.cells},
+            decisions=self.decisions,
+            wall_s=wall_s,
+            alerts=[alert.to_record() for alert in self.alert_router.history],
+            alert_counts=self.alert_router.counts(),
+            alert_counts_by_rule=self.alert_router.counts_by_rule(),
+            mailbox_stats=self.bus.mailbox_stats(),
+            loop_steps=self.loop.steps,
+            decision_summaries={
+                cell.cell_id: tracer.summary() for cell, tracer in tracers
+            },
+        )

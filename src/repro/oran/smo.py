@@ -27,13 +27,34 @@ from repro.testbed.env import EdgeAIEnvironment, TestbedObservation
 
 
 class SMOFramework:
-    """Service Management and Orchestration: owns and wires components."""
+    """Service Management and Orchestration: owns and wires components.
 
-    def __init__(self) -> None:
-        self.bus = MessageBus()
-        self.near_rt_ric = NearRTRIC(self.bus)
+    Parameters
+    ----------
+    bus:
+        Transport for the whole plane.  Defaults to the synchronous
+        :class:`MessageBus`; pass an
+        :class:`~repro.oran.bus.AsyncMessageBus` to run the identical
+        wiring on the event loop (the caller then drains the loop at
+        the synchronisation points — see
+        :class:`~repro.oran.runtime.AsyncOranSystem`).
+    node_id, prefix:
+        E2 node identity and topic namespace (multi-cell layouts give
+        every cell its own prefix on one shared bus).
+    batch_size:
+        E2 indication batch size (see :class:`~repro.oran.e2.E2Node`).
+    """
+
+    def __init__(self, bus=None, node_id: str = "o-enb-0",
+                 prefix: str = "", batch_size: int = 1) -> None:
+        self.bus = bus if bus is not None else MessageBus()
+        self.prefix = prefix
+        self.near_rt_ric = NearRTRIC(self.bus, prefix=prefix)
         self.non_rt_ric = NonRTRIC(self.near_rt_ric)
-        self.e2_node = E2Node(node_id="o-enb-0", bus=self.bus)
+        self.e2_node = E2Node(
+            node_id=node_id, bus=self.bus, prefix=prefix,
+            batch_size=batch_size,
+        )
 
         # xApps on the near-RT RIC.
         self.policy_xapp = PolicyServiceXApp(
@@ -99,14 +120,23 @@ class OranSystem:
     agent:
         Anything exposing ``select(context)``, ``observe(context,
         policy, observation)`` — EdgeBOL or any benchmark controller.
+    smo:
+        Pre-wired :class:`SMOFramework` to drive (a fresh synchronous
+        one by default).  :class:`~repro.oran.runtime.AsyncOranSystem`
+        passes an event-loop-backed SMO and overrides
+        :meth:`_sync_point` to drain it.
     """
 
-    def __init__(self, env: EdgeAIEnvironment, agent) -> None:
+    def __init__(self, env: EdgeAIEnvironment, agent,
+                 smo: SMOFramework | None = None) -> None:
         self.env = env
         self.agent = agent
-        self.smo = SMOFramework()
+        self.smo = smo if smo is not None else SMOFramework()
         self._period = 0
         self.records: list[OrchestrationRecord] = []
+
+    def _sync_point(self) -> None:
+        """Barrier between plane stages — a no-op on the inline bus."""
 
     def run_period(self) -> OrchestrationRecord:
         """Execute one orchestration period through the O-RAN plane."""
@@ -116,6 +146,7 @@ class OranSystem:
         # Control path: rApp -> A1 -> xApp -> E2 control -> O-eNB MAC,
         # plus the custom interface for service knobs.
         self.smo.policy_rapp.deploy(decision)
+        self._sync_point()
         enforced = self.smo.enforced_policy
 
         # Data plane: the testbed runs one period under the *enforced*
@@ -125,6 +156,7 @@ class OranSystem:
         # KPI path: the E2 node reports BS power; the KPI xApp stores it
         # and forwards it over O1 to the data-collector rApp.
         self.smo.e2_node.report_kpis({"bs_power_w": observation.bs_power_w})
+        self._sync_point()
 
         # The service controller reports service KPIs to the agent
         # directly (the "custom interface" of Fig. 7); BS power arrives

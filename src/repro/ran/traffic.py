@@ -109,6 +109,7 @@ class DiurnalTraffic:
         periods_per_day: int = 200,
         noise_rel: float = 0.1,
         rng=None,
+        phase: int = 0,
     ) -> None:
         check_positive(base_multiplier, "base_multiplier")
         if peak_multiplier < base_multiplier:
@@ -121,7 +122,9 @@ class DiurnalTraffic:
         self.periods_per_day = int(periods_per_day)
         self.noise_rel = float(noise_rel)
         self._rng = ensure_rng(rng)
-        self._t = 0
+        # Starting offset into the day shape: multi-cell load harnesses
+        # stagger cells so their peaks do not coincide.
+        self._t = int(phase) % self.periods_per_day
 
     def step(self) -> float:
         phase = math.sin(math.pi * (self._t % self.periods_per_day)

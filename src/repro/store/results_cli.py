@@ -185,6 +185,15 @@ def _cmd_verify(args) -> int:
         print(f"  problem blob: {key[:16]}...", file=sys.stderr)
     for path in report["orphans"]:
         print(f"  orphan blob: {path}", file=sys.stderr)
+    # One-line machine-greppable summary, printed on success AND
+    # failure so CI logs always carry the counts next to the exit code.
+    print(
+        f"verify: {report['entries']} entr(ies), ok {report['ok']}, "
+        f"missing {len(report['missing'])}, corrupt {len(report['corrupt'])}, "
+        f"mismatched {len(report['mismatched'])}, "
+        f"orphans {len(report['orphans'])}, "
+        f"bad index lines {report['corrupt_index_lines']}"
+    )
     if problems or report["orphans"] or report["corrupt_index_lines"]:
         print("store verification FAILED (run 'repro results gc' to drop "
               "dangling state)", file=sys.stderr)

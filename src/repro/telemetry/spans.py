@@ -42,6 +42,37 @@ def current_span() -> "Span | None":
     return stack[-1] if stack else None
 
 
+def get_context() -> list:
+    """The thread's live span stack (innermost last).
+
+    Cooperative schedulers (:class:`repro.oran.loop.VirtualTimeLoop`)
+    capture this when a task is created so spans opened inside one task
+    nest under the task's *creating* span, not under whatever span
+    happens to be open when the scheduler later resumes it.
+    """
+    return _stack()
+
+
+def set_context(stack: list) -> list:
+    """Install ``stack`` as the thread's span stack; return the old one.
+
+    The scheduler swaps contexts around every task step::
+
+        saved = set_context(task_stack)
+        try:
+            step(task)
+        finally:
+            task_stack = set_context(saved)
+
+    The returned previous stack must be restored by the caller —
+    leaving a task's stack installed would corrupt parent/child edges
+    for spans opened outside the scheduler.
+    """
+    old = _stack()
+    _STACK.spans = stack
+    return old
+
+
 class Span:
     """One timed, named, attributed operation in a trace.
 

@@ -156,6 +156,20 @@ class EdgeAIEnvironment:
         """The underlying deterministic service model."""
         return self._service
 
+    def set_load_multiplier(self, multiplier: float) -> None:
+        """Scale the slice's offered load for subsequent periods.
+
+        The fleet load harness (:mod:`repro.oran.load`) drives this
+        per period to emulate diurnal traces, flash crowds and
+        correlated cell load; the multiplier applies inside the BS
+        power model exactly like ``TestbedConfig.load_multiplier``.
+        """
+        if multiplier <= 0:
+            raise ValueError(
+                f"load multiplier must be positive, got {multiplier}"
+            )
+        self._service.load_multiplier = float(multiplier)
+
     def observe_context(self) -> Context:
         """Context the agent sees at the start of the period."""
         return Context.from_snrs(self._current_snrs)

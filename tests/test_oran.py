@@ -283,3 +283,72 @@ class TestOranSystem:
         assert len(smo.near_rt_ric.xapps) == 2
         assert len(smo.non_rt_ric.rapps) == 2
         assert smo.e2_node.subscriptions  # KPI subscription registered
+
+
+class TestReleaseDueReentrancy:
+    """Regression: ``_release_due`` under reentrant same-topic publish.
+
+    A handler that publishes on the topic it receives from re-enters
+    ``_release_due`` while a delayed message is being delivered.  The
+    old implementation committed the new held state only *after*
+    delivering, so the reentrant call re-aged the already-due entry and
+    delivered it a second time, out of order relative to history.
+    """
+
+    @staticmethod
+    def _plan():
+        from repro.faults import FaultPlan, FaultSpec
+        return FaultPlan(specs=(
+            FaultSpec(kind="bus", mode="delay", target="t", at=(0, 1),
+                      magnitude=1.0),
+        ))
+
+    def test_sync_bus_no_duplicate_release(self):
+        from repro.faults import use
+
+        with use(self._plan()):
+            bus = MessageBus()
+            seen = []
+            fired = []
+
+            def handler(message):
+                seen.append(message)
+                if message == "A" and not fired:
+                    fired.append(True)
+                    bus.publish("t", "R")  # reentrant same-topic publish
+
+            bus.subscribe("t", handler)
+            bus.publish("t", "A")   # held for 1 publish
+            bus.publish("t", "B")   # releases A (handler republishes), held
+            bus.publish("t", "C")   # releases B
+            assert seen.count("A") == 1, "delayed message delivered twice"
+            assert seen == ["A", "R", "B", "C"]
+            assert bus.history("t") == seen
+
+    def test_async_bus_no_duplicate_release(self):
+        from repro.faults import use
+        from repro.oran import AsyncMessageBus, post
+
+        with use(self._plan()):
+            bus = AsyncMessageBus()
+            seen = []
+            fired = []
+
+            def handler(message):
+                seen.append(message)
+                if message == "A" and not fired:
+                    fired.append(True)
+                    post(bus, "t", "R")
+
+            bus.subscribe("t", handler)
+            for message in ("A", "B", "C"):
+                post(bus, "t", message)
+                bus.drain()
+            assert seen.count("A") == 1, "delayed message delivered twice"
+            # The handler runs deferred (after publish "B" completed and
+            # held its message), so its reentrant publish is the aging
+            # publish that releases "B" — ahead of "R", unlike the
+            # inline sync ordering.  The invariants under test hold on
+            # both transports: exactly-once release, history == delivery.
+            assert seen == ["A", "B", "R", "C"]
+            assert bus.history("t") == seen

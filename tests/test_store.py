@@ -453,3 +453,34 @@ def test_cli_results_without_store_errors(monkeypatch):
     monkeypatch.delenv(ENV_STORE, raising=False)
     with pytest.raises(SystemExit, match="no store configured"):
         main(["results", "list"])
+
+
+def test_cli_verify_exit_codes_gate_ci(tmp_path, capsys):
+    """``repro results verify`` must fail loudly on broken blobs.
+
+    CI gates on the exit code and greps the one-line ``verify:``
+    summary, so both are regression-tested for the missing-blob and
+    corrupt-blob cases.
+    """
+    store = ExperimentStore(tmp_path / "store")
+    store.put(KEY_A, {"rows": [1]}, {})
+    argv = ["results", "verify", "--store", str(store.root)]
+
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "verify: 1 entr(ies), ok 1" in out
+
+    # corrupt the blob in place -> checksum mismatch, exit 1
+    path = store.blob_path(KEY_A)
+    path.write_text(path.read_text().replace('"rows": [1]', '"rows": [9]'))
+    assert main(argv) == 1
+    captured = capsys.readouterr()
+    assert "mismatched 1" in captured.out
+    assert "FAILED" in captured.err
+
+    # delete it -> missing, exit 1
+    path.unlink()
+    assert main(argv) == 1
+    captured = capsys.readouterr()
+    assert "missing 1" in captured.out
+    assert "FAILED" in captured.err
