@@ -1,0 +1,587 @@
+"""Deterministic snapshot/restore for EdgeBOL agents and their worlds.
+
+The fleet supervisor (:mod:`repro.oran.supervisor`) checkpoints each
+cell periodically and, after a crash, restores the cell from the last
+intact checkpoint and *replays* the periods since.  That only yields
+zero-loss recovery if the restored state is **bit-identical** to the
+live state at checkpoint time — close is not good enough, because the
+GP Cholesky factor built by rank-1 extensions differs in the last bits
+from a fresh full factorisation over the same data, and those bits
+compound through the safe set and the acquisition.
+
+The contract of this module, asserted by ``tests/test_state.py``:
+
+* every float array is serialised **verbatim** (base64 of the raw
+  little-endian bytes, not a decimal rendering);
+* RNG stream positions are captured via
+  ``Generator.bit_generator.state`` and restored exactly;
+* GP internals (``_chol``/``_alpha``/``_factor_version``) are restored
+  as-is — *never* recomputed — and the agent's
+  :class:`~repro.core.posterior.SurrogateEngine` *cache* is part of
+  the snapshot (:func:`engine_state`): its incrementally extended
+  cross-kernel solves differ in the last float bits from a cold
+  rebuild over the same factor, and those bits decide near-tie
+  argmins when a context repeats;
+* the safe set itself needs no dedicated state: eq. 8 is a pure
+  function of the delay/mAP surrogates and the constraints, both of
+  which are snapshotted.
+
+Snapshot *payloads* are plain JSON-able dicts; :func:`encode_snapshot`
+frames one with a SHA-256 checksum so :func:`decode_snapshot` detects
+corruption (:class:`SnapshotCorruptionError`) instead of restoring
+garbage — the supervisor then falls back to an older checkpoint.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+from collections import deque
+
+import numpy as np
+
+from repro.ran.channel import GaussMarkovChannel, SnrTrace
+from repro.testbed.config import CostWeights, ServiceConstraints
+
+__all__ = [
+    "SnapshotError",
+    "SnapshotCorruptionError",
+    "SNAPSHOT_FORMAT",
+    "rng_state",
+    "set_rng_state",
+    "gp_state",
+    "restore_gp_state",
+    "injector_state",
+    "restore_injector_state",
+    "engine_state",
+    "restore_engine_state",
+    "agent_state",
+    "restore_agent_state",
+    "env_state",
+    "restore_env_state",
+    "tracer_state",
+    "restore_tracer_state",
+    "runlog_state",
+    "restore_runlog_state",
+    "encode_snapshot",
+    "decode_snapshot",
+]
+
+#: Format tag stamped on framed snapshots (bump on layout changes).
+SNAPSHOT_FORMAT = "edgebol-snapshot-v1"
+
+#: Framing magic of :func:`encode_snapshot`.
+_MAGIC = b"SNAP1:"
+
+#: RunLog per-period series, in schema order (``safe_set_size`` is int).
+_RUNLOG_FIELDS = (
+    "cost", "delay_s", "map_score", "server_power_w", "bs_power_w",
+    "safe_set_size", "snr_db", "resolution", "airtime", "gpu_speed",
+    "mcs_fraction", "d_max_s", "rho_min",
+)
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot could not be taken or restored."""
+
+
+class SnapshotCorruptionError(SnapshotError):
+    """A framed snapshot failed its checksum or structural validation."""
+
+
+# -- primitives -----------------------------------------------------------
+
+
+def _encode_array(arr: np.ndarray) -> dict:
+    """Bit-exact JSON-able form of one array (raw bytes, base64)."""
+    arr = np.ascontiguousarray(arr)
+    return {
+        "dtype": str(arr.dtype),
+        "shape": list(arr.shape),
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_array(payload: dict) -> np.ndarray:
+    """Rebuild an array from :func:`_encode_array` output, verbatim."""
+    raw = base64.b64decode(payload["data"].encode("ascii"))
+    arr = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
+    return arr.reshape(tuple(payload["shape"])).copy()
+
+
+def _maybe_encode(arr) -> "dict | None":
+    return None if arr is None else _encode_array(arr)
+
+
+def _maybe_decode(payload) -> "np.ndarray | None":
+    return None if payload is None else _decode_array(payload)
+
+
+def rng_state(generator: np.random.Generator) -> dict:
+    """JSON-able position of one ``numpy`` Generator stream."""
+    return generator.bit_generator.state
+
+
+def set_rng_state(generator: np.random.Generator, state: dict) -> None:
+    """Restore a Generator to a :func:`rng_state` position."""
+    generator.bit_generator.state = state
+
+
+# -- Gaussian processes ---------------------------------------------------
+
+
+def gp_state(gp) -> dict:
+    """Full mutable state of one :class:`~repro.core.gp.GaussianProcess`.
+
+    Captures the observation buffers, the *exact* Cholesky factor and
+    ``alpha`` vector (a restored factor must match the live rank-1
+    lineage bit for bit), the factor version, the degradation-ladder
+    counters and the kernel hyperparameters.
+    """
+    kernel = gp.kernel
+    kernel_payload = {
+        "lengthscales": _encode_array(kernel.lengthscales),
+        "output_scale": float(kernel.output_scale),
+    }
+    if hasattr(kernel, "nu"):
+        kernel_payload["nu"] = float(kernel.nu)
+    return {
+        "kernel": kernel_payload,
+        "noise_variance": float(gp.noise_variance),
+        "prior_mean": float(gp.prior_mean),
+        "x": _maybe_encode(gp._x),
+        "y": _maybe_encode(gp._y),
+        "chol": _maybe_encode(gp._chol),
+        "alpha": _maybe_encode(gp._alpha),
+        "factor_version": int(gp._factor_version),
+        "jitter_retries": int(gp._jitter_retries),
+        "rank1_fallbacks": int(gp._rank1_fallbacks),
+        "last_jitter": float(gp._last_jitter),
+        "evictions": int(gp._evictions),
+    }
+
+
+def restore_gp_state(gp, state: dict) -> None:
+    """Restore a GP to a :func:`gp_state` snapshot, bit-identically.
+
+    Bypasses the ``kernel``/``noise_variance`` property setters and
+    :meth:`~repro.core.gp.GaussianProcess.set_prior_mean` — each would
+    bump ``_factor_version`` or recompute ``_alpha``, breaking the
+    verbatim-restore guarantee.  Hyperparameters are written onto the
+    *existing* kernel object so engine/estimator references stay valid.
+    """
+    kernel_payload = state["kernel"]
+    gp._kernel.lengthscales = _decode_array(kernel_payload["lengthscales"])
+    gp._kernel.output_scale = float(kernel_payload["output_scale"])
+    if "nu" in kernel_payload:
+        gp._kernel.nu = float(kernel_payload["nu"])
+    gp._noise_variance = float(state["noise_variance"])
+    gp.prior_mean = float(state["prior_mean"])
+    gp._x = _maybe_decode(state["x"])
+    gp._y = _maybe_decode(state["y"])
+    gp._chol = _maybe_decode(state["chol"])
+    gp._alpha = _maybe_decode(state["alpha"])
+    gp._factor_version = int(state["factor_version"])
+    gp._jitter_retries = int(state["jitter_retries"])
+    gp._rank1_fallbacks = int(state["rank1_fallbacks"])
+    gp._last_jitter = float(state["last_jitter"])
+    gp._evictions = int(state["evictions"])
+
+
+# -- fault injectors ------------------------------------------------------
+
+
+def injector_state(injector) -> dict:
+    """Mutable state of one :class:`~repro.faults.injector.FaultInjector`.
+
+    The injector's RNG position and opportunity counters are part of a
+    cell's causal state: a replayed period must see the same firing
+    decisions the uninterrupted run saw.
+    """
+    return {
+        "rng": rng_state(injector._rng),
+        "opportunities": [int(n) for n in injector._opportunities],
+        "fired": [int(n) for n in injector._fired],
+        "counts": {key: int(n) for key, n in injector.counts.items()},
+        "gp_raise_budget": int(injector._gp_raise_budget),
+    }
+
+
+def restore_injector_state(injector, state: dict) -> None:
+    """Restore an injector to an :func:`injector_state` snapshot."""
+    set_rng_state(injector._rng, state["rng"])
+    injector._opportunities = [int(n) for n in state["opportunities"]]
+    injector._fired = [int(n) for n in state["fired"]]
+    injector.counts = {key: int(n) for key, n in state["counts"].items()}
+    injector._gp_raise_budget = int(state["gp_raise_budget"])
+
+
+# -- the posterior engine cache -------------------------------------------
+
+
+def engine_state(engine) -> dict:
+    """Warm cross-kernel cache of a SurrogateEngine, bit-exactly.
+
+    The cache is *causal* state, not just a speed-up: a cached entry's
+    solves were built by incremental blocked extensions
+    (:meth:`SurrogateEngine._extend_state`), which differ in the last
+    float bits from the single full triangular solve a cold rebuild
+    performs over the same factor.  Dropping the cache on restore and
+    rebuilding would therefore perturb posteriors by ~1e-13 — enough to
+    flip a near-tie ``argmin`` when a context repeats (the static
+    scenario repeats its context every period).  Entries are serialised
+    in LRU order; the joint grids are *not* stored (they are a pure
+    deterministic function of context + control grid).
+    """
+    entries = []
+    for key, (joint, states) in engine._cache.items():
+        heads = {}
+        for name, head_state in states.items():
+            n = head_state.n
+            heads[name] = {
+                "n": int(n),
+                "factor_version": int(head_state.factor_version),
+                "prior_var": _encode_array(head_state.prior_var),
+                "cross": _encode_array(head_state.cross[:n]),
+                "v": _encode_array(head_state.v[:n]),
+            }
+        entries.append({
+            "context": _encode_array(
+                np.frombuffer(key, dtype=float)
+            ),
+            "heads": heads,
+        })
+    return {"entries": entries}
+
+
+def restore_engine_state(engine, state: dict) -> None:
+    """Restore a SurrogateEngine cache to an :func:`engine_state` snapshot.
+
+    Must run *after* the per-head GP restores: the recreated entries'
+    ``factor_version`` stamps must describe the restored factors.
+    """
+    engine._cache.clear()
+    for entry in state["entries"]:
+        context = _decode_array(entry["context"])
+        joint, states = engine._entry(context)
+        for name, payload in entry["heads"].items():
+            if name not in engine._heads:
+                raise SnapshotError(
+                    f"snapshot engine cache names head {name!r} unknown "
+                    f"to the engine ({sorted(engine._heads)})"
+                )
+            head_state = engine._state_for(name, joint, states)
+            n = int(payload["n"])
+            head_state.prior_var = _decode_array(payload["prior_var"])
+            head_state._reserve(n)
+            head_state.cross[:n] = _decode_array(payload["cross"])
+            head_state.v[:n] = _decode_array(payload["v"])
+            head_state.n = n
+            head_state.factor_version = int(payload["factor_version"])
+
+
+# -- the EdgeBOL agent ----------------------------------------------------
+
+
+def _gp_injector_of(agent):
+    """The agent's GP fault injector, or None (no plan installed)."""
+    hook = getattr(agent, "_gp_fault_hook", None)
+    return None if hook is None else hook.__self__
+
+
+def agent_state(agent) -> dict:
+    """Full mutable state of one :class:`~repro.core.edgebol.EdgeBOL`.
+
+    Heads (including the decoupled-power extension's, when enabled),
+    constraints and cost weights, robustness counters, the spike-gate
+    history and — when a fault plan is installed — the GP injector's
+    stream position.
+    """
+    state = {
+        "heads": {
+            name: gp_state(gp)
+            for name, gp in agent.head_surrogates().items()
+        },
+        "constraints": {
+            "d_max_s": float(agent.constraints.d_max_s),
+            "rho_min": float(agent.constraints.rho_min),
+        },
+        "cost_weights": {
+            "delta1": float(agent.cost_weights.delta1),
+            "delta2": float(agent.cost_weights.delta2),
+        },
+        "quarantined": int(agent._quarantined),
+        "degraded_periods": int(agent._degraded_periods),
+        "surrogate_failures": int(agent._surrogate_failures),
+        "recoveries": int(agent._recoveries),
+        "surrogate_down": bool(agent._surrogate_down),
+        "recent_costs": [float(c) for c in agent._recent_costs],
+        "last_safe_size": (
+            None if agent._last_safe_size is None
+            else int(agent._last_safe_size)
+        ),
+        "engine": engine_state(agent._engine),
+        "gp_injector": None,
+    }
+    injector = _gp_injector_of(agent)
+    if injector is not None:
+        state["gp_injector"] = injector_state(injector)
+    return state
+
+
+def restore_agent_state(agent, state: dict) -> None:
+    """Restore an agent to an :func:`agent_state` snapshot.
+
+    Order matters: constraints first (so ``_sync_delay_pessimism``
+    derives ``_delay_clip``), then the verbatim per-head GP states
+    (overwriting the prior-mean recomputation the sync just did), then
+    the counters, and a :meth:`SurrogateEngine.reset_cache` **last** —
+    the engine's incremental caches are keyed on factor versions that
+    the restore may have rolled backwards.
+    """
+    agent.constraints = ServiceConstraints(**state["constraints"])
+    agent.cost_weights = CostWeights(**state["cost_weights"])
+    agent._sync_delay_pessimism()
+    heads = agent.head_surrogates()
+    snapped = state["heads"]
+    if set(snapped) != set(heads):
+        raise SnapshotError(
+            f"snapshot heads {sorted(snapped)} do not match the agent's "
+            f"{sorted(heads)} — was the agent built with the same config?"
+        )
+    for name, gp in heads.items():
+        restore_gp_state(gp, snapped[name])
+    agent._quarantined = int(state["quarantined"])
+    agent._degraded_periods = int(state["degraded_periods"])
+    agent._surrogate_failures = int(state["surrogate_failures"])
+    agent._recoveries = int(state["recoveries"])
+    agent._surrogate_down = bool(state["surrogate_down"])
+    agent._recent_costs = deque(
+        (float(c) for c in state["recent_costs"]),
+        maxlen=agent._recent_costs.maxlen,
+    )
+    agent._last_safe_size = (
+        None if state["last_safe_size"] is None
+        else int(state["last_safe_size"])
+    )
+    injector = _gp_injector_of(agent)
+    if injector is not None and state["gp_injector"] is not None:
+        restore_injector_state(injector, state["gp_injector"])
+    # The warm cache is restored verbatim (never rebuilt): incremental
+    # and from-scratch solves differ in the last float bits, and those
+    # bits decide near-tie argmins.  reset_cache() first so stale
+    # post-snapshot entries cannot survive the rollback.
+    agent._engine.reset_cache()
+    restore_engine_state(agent._engine, state["engine"])
+
+
+# -- the testbed environment ----------------------------------------------
+
+
+def _channel_state(channel) -> dict:
+    if isinstance(channel, GaussMarkovChannel):
+        return {
+            "type": "gauss_markov",
+            "current": float(channel._current),
+            "mean_snr_db": float(channel.mean_snr_db),
+            "rng": rng_state(channel._rng),
+        }
+    if isinstance(channel, SnrTrace):
+        return {"type": "trace", "index": int(channel._index)}
+    raise SnapshotError(
+        f"cannot snapshot channel of type {type(channel).__name__}"
+    )
+
+
+def _restore_channel_state(channel, state: dict) -> None:
+    if state["type"] == "gauss_markov":
+        channel._current = float(state["current"])
+        channel.mean_snr_db = float(state["mean_snr_db"])
+        set_rng_state(channel._rng, state["rng"])
+    elif state["type"] == "trace":
+        channel._index = int(state["index"])
+    else:
+        raise SnapshotError(f"unknown channel state type {state['type']!r}")
+
+
+def env_state(env) -> dict:
+    """Full stochastic state of an :class:`EdgeAIEnvironment`.
+
+    Per-channel process state, the four measurement RNG streams, the
+    SNRs already drawn for the upcoming period, the load multiplier and
+    (when a plan is installed) the sensor fault injector.
+    """
+    state = {
+        "channels": [_channel_state(ch) for ch in env.channels],
+        "noise_rng": rng_state(env._noise._rng),
+        "meter_rng": rng_state(env._meter._rng),
+        "detector_rng": rng_state(env._detector._rng),
+        "dataset_rng": rng_state(env._dataset._rng),
+        "current_snrs": [float(s) for s in env._current_snrs],
+        "load_multiplier": float(env.service_model.load_multiplier),
+        "sensor_faults": None,
+    }
+    if env._sensor_faults is not None:
+        state["sensor_faults"] = injector_state(env._sensor_faults)
+    return state
+
+
+def restore_env_state(env, state: dict) -> None:
+    """Restore an environment to an :func:`env_state` snapshot."""
+    channels = state["channels"]
+    if len(channels) != len(env.channels):
+        raise SnapshotError(
+            f"snapshot covers {len(channels)} channels but the environment "
+            f"has {len(env.channels)}"
+        )
+    for channel, payload in zip(env.channels, channels):
+        _restore_channel_state(channel, payload)
+    set_rng_state(env._noise._rng, state["noise_rng"])
+    set_rng_state(env._meter._rng, state["meter_rng"])
+    set_rng_state(env._detector._rng, state["detector_rng"])
+    set_rng_state(env._dataset._rng, state["dataset_rng"])
+    env._current_snrs = [float(s) for s in state["current_snrs"]]
+    env.set_load_multiplier(float(state["load_multiplier"]))
+    if env._sensor_faults is not None and state["sensor_faults"] is not None:
+        restore_injector_state(env._sensor_faults, state["sensor_faults"])
+
+
+# -- the decision tracer --------------------------------------------------
+
+
+def tracer_state(tracer) -> dict:
+    """Streaming state of a :class:`~repro.obs.decision.DecisionTracer`.
+
+    Only legal at a period boundary: an open ``on_select`` record
+    (``_pending``) captures numpy posteriors mid-flight and cannot be
+    serialised faithfully, so the supervisor checkpoints between
+    periods only.
+    """
+    if tracer._pending is not None:
+        raise SnapshotError(
+            "tracer has an open period (_pending is set); snapshots are "
+            "only taken at period boundaries"
+        )
+    drift = tracer.drift
+    return {
+        "calibration": {
+            head: {
+                "z": float(cal.z),
+                "n": int(cal.n),
+                "within": int(cal.within),
+                "error_sum": float(cal.error_sum),
+                "error_sq_sum": float(cal.error_sq_sum),
+            }
+            for head, cal in tracer.calibration.items()
+        },
+        "drift": {
+            "contexts": [
+                [float(v) for v in ctx] for ctx in drift._contexts
+            ],
+            "episodes": int(drift._episodes),
+            "in_episode": bool(drift._in_episode),
+        },
+        "t": int(tracer._t),
+        "cumulative_regret": float(tracer._cumulative_regret),
+        "emitted": int(tracer._emitted),
+        "violations": int(tracer._violations),
+        "quarantined_rounds": int(tracer._quarantined_rounds),
+        "degraded_rounds": int(tracer._degraded_rounds),
+    }
+
+
+def restore_tracer_state(tracer, state: dict) -> None:
+    """Restore a tracer to a :func:`tracer_state` snapshot."""
+    snapped = state["calibration"]
+    if set(snapped) != set(tracer.calibration):
+        raise SnapshotError(
+            f"snapshot calibration heads {sorted(snapped)} do not match "
+            f"the tracer's {sorted(tracer.calibration)}"
+        )
+    for head, cal in tracer.calibration.items():
+        payload = snapped[head]
+        cal.z = float(payload["z"])
+        cal.n = int(payload["n"])
+        cal.within = int(payload["within"])
+        cal.error_sum = float(payload["error_sum"])
+        cal.error_sq_sum = float(payload["error_sq_sum"])
+    drift = tracer.drift
+    drift._contexts = deque(
+        (np.asarray(ctx, dtype=float) for ctx in state["drift"]["contexts"]),
+        maxlen=drift.window,
+    )
+    drift._episodes = int(state["drift"]["episodes"])
+    drift._in_episode = bool(state["drift"]["in_episode"])
+    tracer._t = int(state["t"])
+    tracer._pending = None
+    tracer._cumulative_regret = float(state["cumulative_regret"])
+    tracer._emitted = int(state["emitted"])
+    tracer._violations = int(state["violations"])
+    tracer._quarantined_rounds = int(state["quarantined_rounds"])
+    tracer._degraded_rounds = int(state["degraded_rounds"])
+
+
+# -- run logs -------------------------------------------------------------
+
+
+def runlog_state(log) -> dict:
+    """Per-period series of a RunLog, each serialised bit-exactly."""
+    state = {}
+    for name in _RUNLOG_FIELDS:
+        dtype = np.int64 if name == "safe_set_size" else np.float64
+        state[name] = _encode_array(
+            np.asarray(getattr(log, name), dtype=dtype)
+        )
+    return state
+
+
+def restore_runlog_state(log, state: dict) -> None:
+    """Restore a RunLog's series (end-of-run extras are left alone)."""
+    for name in _RUNLOG_FIELDS:
+        setattr(log, name, _decode_array(state[name]).tolist())
+
+
+# -- framing --------------------------------------------------------------
+
+
+def encode_snapshot(payload: dict) -> bytes:
+    """Frame a snapshot payload: magic + SHA-256 + canonical JSON."""
+    body = json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    digest = hashlib.sha256(body).hexdigest()
+    return _MAGIC + digest.encode("ascii") + b"\n" + body
+
+
+def decode_snapshot(blob: bytes) -> dict:
+    """Verify and parse a framed snapshot.
+
+    Raises :class:`SnapshotCorruptionError` on any framing, checksum or
+    JSON failure — the caller (the supervisor) treats that as "this
+    checkpoint is unusable, try an older one".
+    """
+    if not isinstance(blob, (bytes, bytearray)):
+        raise SnapshotCorruptionError(
+            f"snapshot must be bytes, got {type(blob).__name__}"
+        )
+    blob = bytes(blob)
+    if not blob.startswith(_MAGIC):
+        raise SnapshotCorruptionError("snapshot magic missing")
+    header, sep, body = blob[len(_MAGIC):].partition(b"\n")
+    if not sep:
+        raise SnapshotCorruptionError("snapshot header is unterminated")
+    digest = hashlib.sha256(body).hexdigest().encode("ascii")
+    if header != digest:
+        raise SnapshotCorruptionError(
+            "snapshot checksum mismatch — the blob was corrupted"
+        )
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotCorruptionError(
+            f"snapshot body is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise SnapshotCorruptionError("snapshot payload must be an object")
+    return payload

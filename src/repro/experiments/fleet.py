@@ -12,6 +12,13 @@ Reported rows are *deterministic* (tail costs, violation and alert
 counts, mailbox accounting); wall-clock throughput deliberately stays
 out of them — that is the control-plane benchmark's job
 (``benchmarks/test_perf_control_plane.py``).
+
+``--set supervise=1`` (with ``--set snapshot_every=N``) enables the
+fleet supervisor (:mod:`repro.oran.supervisor`): under a ``--faults``
+plan with ``cell``/``loop``/``snapshot``/``mailbox`` specs, crashed or
+stalled cells are warm-restored from snapshots and their rows replayed
+bit-identically; each row then reports ``recovered``/``restarts``/
+``partial`` accounting.
 """
 
 from __future__ import annotations
@@ -42,6 +49,8 @@ def run_fleet_cell_sim(
     mailbox_policy: str = "block",
     batch_size: int = 1,
     make_agent=None,
+    supervise: bool = False,
+    snapshot_every: int | None = None,
 ) -> FleetResult:
     """Run one fleet of ``n_cells`` EdgeBOL agents for ``n_periods``.
 
@@ -49,7 +58,11 @@ def run_fleet_cell_sim(
     environment plus one for the load model, so fleets are reproducible
     and per-cell streams independent.  ``make_agent`` overrides agent
     construction (the benchmark substitutes a trivial controller to
-    isolate control-plane overhead).
+    isolate control-plane overhead).  ``supervise`` enables the fleet
+    supervisor (snapshot checkpoints every ``snapshot_every`` periods,
+    crash/stall recovery, mailbox circuit breaker — see
+    :mod:`repro.oran.supervisor`); faults arrive via the process fault
+    plan (``--faults``).
     """
     testbed = TestbedConfig(n_levels=levels)
     grid = testbed.control_grid()
@@ -70,6 +83,8 @@ def run_fleet_cell_sim(
         load_model=load,
         indication_policy=mailbox_policy,
         batch_size=batch_size,
+        supervise=supervise,
+        snapshot_every=snapshot_every,
     )
     return runtime.run(n_periods)
 
@@ -83,6 +98,8 @@ def _fleet_rows(result: FleetResult, params: Mapping) -> list[dict]:
     rows = []
     for cell_id, log in result.logs.items():
         delay_viol, map_viol = log.violation_rates()
+        partial = result.partial_cells.get(cell_id)
+        recovery = result.recovery.get(cell_id, {})
         rows.append({
             "cells": result.n_cells,
             "cell": cell_id,
@@ -94,6 +111,12 @@ def _fleet_rows(result: FleetResult, params: Mapping) -> list[dict]:
             "delay_violation_rate": delay_viol,
             "map_violation_rate": map_viol,
             "decisions": result.n_periods,
+            "rows": len(log),
+            "partial": partial is not None,
+            "missed": 0 if partial is None else int(partial["missed"]),
+            "recovered": bool(recovery.get("recovered", False)),
+            "restarts": int(recovery.get("restarts", 0)),
+            "breaker_trips": int(recovery.get("breaker_trips", 0)),
             "alerts_raised": result.alert_counts["raised"],
             "alerts_suppressed": result.alert_counts["suppressed"],
             "bus_dropped": dropped,
@@ -114,6 +137,8 @@ def run_fleet_spec_cell(params: Mapping, seed) -> list[dict]:
         load_profile=str(params["load"]),
         mailbox_policy=str(params["policy"]),
         batch_size=int(params["batch"]),
+        supervise=bool(int(params.get("supervise", 0))),
+        snapshot_every=int(params.get("snapshot_every", 10)),
     )
     return _fleet_rows(result, params)
 
@@ -157,6 +182,11 @@ SPEC = spec_registry.register(ExperimentSpec(
                   help="E2 indication mailbox backpressure policy"),
         ParamSpec("batch", type=int, default=1,
                   help="E2 indication batch size"),
+        ParamSpec("supervise", type=int, default=0,
+                  help="1 = enable the fleet supervisor "
+                       "(snapshots, crash/stall recovery, breaker)"),
+        ParamSpec("snapshot_every", type=int, default=10,
+                  help="supervisor checkpoint cadence in periods"),
     ),
     run_cell=run_fleet_spec_cell,
     report=report_fleet,

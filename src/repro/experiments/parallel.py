@@ -448,6 +448,10 @@ def _store_hit(store: ExperimentStore, key: str, cell: SweepCell,
     if not isinstance(result, dict) \
             or not isinstance(result.get("rows"), list):
         return None
+    if result.get("recovered"):
+        # Crash-recovered blobs never serve replays: the recompute is
+        # the authority, and its write-through refreshes the blob.
+        return None
     decisions = result.get("decisions")
     if need_decisions and decisions is None:
         return None
@@ -510,9 +514,13 @@ class _ManifestWriter:
 
         Only cells whose key missed during the pre-dispatch scan are
         written (``store_keys`` holds exactly those); quarantined cells
-        never are — a failure is not a result.  Store I/O errors are
-        downgraded to a telemetry counter: a broken cache must not fail
-        the sweep that would populate it.
+        never are — a failure is not a result.  Cells containing
+        crash-recovered fleet rows (``recovered`` flag) are stamped
+        ``recovered: true`` and never overwrite an existing blob, so a
+        warm-restored run cannot shadow a clean result under the same
+        key; serving such a blob is also refused (:func:`_store_hit`).
+        Store I/O errors are downgraded to a telemetry counter: a
+        broken cache must not fail the sweep that would populate it.
         """
         if self._store is None or result.error is not None \
                 or result.store_hit:
@@ -520,11 +528,20 @@ class _ManifestWriter:
         key = self._store_keys.get(result.cell_id)
         if key is None:
             return
+        recovered = any(
+            isinstance(row, dict) and row.get("recovered")
+            for row in result.rows
+        )
         record = {
             "rows": result.rows,
             "metrics": result.metrics,
             "attempts": result.attempts,
         }
+        if recovered:
+            if self._store.contains(key):
+                telemetry.inc("sweep.store.recovered_skips")
+                return
+            record["recovered"] = True
         if result.decisions is not None:
             record["decisions"] = result.decisions
         meta = {

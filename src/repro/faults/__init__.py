@@ -5,7 +5,8 @@ The subsystem has three parts:
 * :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultSpec`,
   the typed, JSON-serialisable description of *what* to inject
   (KPI sensor corruption, GP numerical failure, O-RAN bus loss/delay,
-  sweep-worker crash/hang) and *when* it fires;
+  sweep-worker crash/hang, fleet cell crash/stall, snapshot corruption,
+  mailbox overflow) and *when* it fires;
 * :mod:`repro.faults.injector` — :class:`FaultInjector`, the seeded
   per-layer decision engine with telemetry counters;
 * :mod:`repro.faults.runtime` — process-local plan installation, the

@@ -184,3 +184,23 @@ class FaultInjector:
             if self._decide(index, spec, opportunity=cell_index):
                 return spec
         return None
+
+    # -- fleet supervision faults ----------------------------------------
+
+    def supervisor_decision(self, target: str,
+                            opportunity: int | None = None) -> FaultSpec | None:
+        """Fault for one supervised fleet opportunity (``None`` = healthy).
+
+        Serves the ``cell``/``loop``/``mailbox`` kinds, where ``target``
+        is the cell id and ``opportunity`` the period index (so ``at``
+        entries name periods directly), and the ``snapshot`` kind, where
+        ``opportunity`` is left ``None`` and each checkpoint write
+        advances the spec's internal counter.  A spec with an empty
+        target matches every cell.
+        """
+        for index, spec in enumerate(self._specs):
+            if spec.target and spec.target != target:
+                continue
+            if self._decide(index, spec, opportunity=opportunity):
+                return spec
+        return None

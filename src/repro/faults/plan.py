@@ -11,14 +11,25 @@ test suite and worker processes identically.
 
 Fault taxonomy (see ``docs/ROBUSTNESS.md`` for the full contract):
 
-====== ============================== ========================================
-kind   modes                          opportunity
-====== ============================== ========================================
-sensor ``nan``/``dropout``/``spike``  one noisy KPI reading (per target)
-gp     ``transient``/``persistent``   one Cholesky factorisation event
-bus    ``loss``/``delay``             one published O-RAN bus message
-worker ``crash``/``hang``             one sweep cell (opportunity = cell index)
-====== ============================== ========================================
+======== ============================== ========================================
+kind     modes                          opportunity
+======== ============================== ========================================
+sensor   ``nan``/``dropout``/``spike``  one noisy KPI reading (per target)
+gp       ``transient``/``persistent``   one Cholesky factorisation event
+bus      ``loss``/``delay``             one published O-RAN bus message
+worker   ``crash``/``hang``             one sweep cell (opportunity = cell index)
+cell     ``crash``                      one fleet cell-period (opportunity = t)
+loop     ``stall``                      one fleet cell-period (opportunity = t)
+snapshot ``corrupt``                    one supervisor checkpoint write
+mailbox  ``overflow``                   one fleet cell-period (opportunity = t)
+======== ============================== ========================================
+
+The four fleet kinds (``cell``/``loop``/``snapshot``/``mailbox``) are
+consumed by the fleet supervisor (:mod:`repro.oran.supervisor`); their
+``target`` field names a cell (``cell003``, empty = every cell).  New
+kinds are appended to :data:`KINDS` — the per-kind SeedSequence spawn
+key is the kind's *index*, so appending preserves every existing plan's
+firing streams bit-for-bit.
 """
 
 from __future__ import annotations
@@ -31,8 +42,10 @@ from repro.utils.validation import check_non_negative, check_probability
 
 __all__ = ["FaultSpec", "FaultPlan", "KINDS", "MODES"]
 
-#: Recognised fault kinds, by the layer they strike.
-KINDS = ("sensor", "gp", "bus", "worker")
+#: Recognised fault kinds, by the layer they strike.  Append-only: the
+#: kind's index seeds its injector stream (:mod:`repro.faults.runtime`).
+KINDS = ("sensor", "gp", "bus", "worker", "cell", "loop", "snapshot",
+         "mailbox")
 
 #: Kind-specific modes.
 MODES = {
@@ -40,6 +53,10 @@ MODES = {
     "gp": ("transient", "persistent"),
     "bus": ("loss", "delay"),
     "worker": ("crash", "hang"),
+    "cell": ("crash",),
+    "loop": ("stall",),
+    "snapshot": ("corrupt",),
+    "mailbox": ("overflow",),
 }
 
 #: Sensor targets the testbed environment can corrupt ('' = any power).
@@ -68,7 +85,8 @@ class FaultSpec:
     magnitude:
         Mode parameter: spike multiplier (``sensor``/``spike``),
         publishes to hold a delayed message (``bus``/``delay``),
-        seconds to sleep (``worker``/``hang``).
+        seconds to sleep (``worker``/``hang``), flood messages to post
+        (``mailbox``/``overflow``).
     max_events:
         Cap on total firings of this spec (``None`` = unbounded).
     """

@@ -20,6 +20,7 @@ from repro.obs.diagnose import (
     diagnose_path,
     load_decisions,
     render_dashboard,
+    split_events,
 )
 from repro.obs.drift import DriftMonitor
 from repro.obs.runtime import (
@@ -29,6 +30,7 @@ from repro.obs.runtime import (
     install,
     make_tracer,
     scope,
+    suppress,
     uninstall,
     use,
 )
@@ -46,6 +48,8 @@ __all__ = [
     "make_tracer",
     "render_dashboard",
     "scope",
+    "split_events",
+    "suppress",
     "uninstall",
     "use",
 ]

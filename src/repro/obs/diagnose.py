@@ -13,7 +13,19 @@ timeline and the regret curve — plus machine-readable anomaly flags:
   certified slack on a constraint for several consecutive periods;
 * ``drift_episode`` — the context-drift monitor flagged a run of
   out-of-distribution contexts;
-* ``degraded_stretch`` — consecutive periods served by the S0 fallback.
+* ``degraded_stretch`` — consecutive periods served by the S0 fallback;
+* ``recovery_storm`` — one cell was warm-restarted by the fleet
+  supervisor more than ``storm_threshold`` times within
+  ``storm_window`` periods (a crash-looping cell that the quarantine
+  escalation has not yet caught).
+
+Supervised fleet runs interleave *supervision events* (records with an
+``event`` field: ``cell_crash``, ``cell_stall``, ``recovery``,
+``quarantine``, ``breaker_open``/``breaker_close``,
+``snapshot_corrupt`` — :mod:`repro.oran.supervisor`) with the
+per-period decision records; the analysis partitions them, overlays
+``R`` (restart/recovery) and ``C`` (circuit breaker) markers on the
+timeline and summarises the event counts in the dashboard.
 
 Flags are plain dicts (``kind`` plus location fields) so CI can gate
 on them; the dashboard embeds the same list in human form.
@@ -34,6 +46,21 @@ DEFAULT_COVERAGE_SLACK = 0.10
 DEFAULT_MIN_CALIBRATION_N = 20
 #: Consecutive negative-margin periods before flagging.
 DEFAULT_MARGIN_RUN = 5
+#: Sliding window (periods) for the recovery-storm detector.
+DEFAULT_STORM_WINDOW = 20
+#: Restarts within the window above which a storm is flagged.
+DEFAULT_STORM_THRESHOLD = 3
+
+
+def split_events(records: list[dict]) -> tuple[list[dict], list[dict]]:
+    """Partition a trace into ``(periods, events)``.
+
+    Supervision events (:mod:`repro.oran.supervisor`) carry an
+    ``event`` field; everything else is a per-period decision record.
+    """
+    periods = [r for r in records if "event" not in r]
+    events = [r for r in records if "event" in r]
+    return periods, events
 
 
 def load_decisions(path: "str | Path") -> list[dict]:
@@ -81,11 +108,44 @@ def _margin(record: dict, key: str) -> "float | None":
     return float(value) if isinstance(value, (int, float)) else None
 
 
+def _recovery_storms(events: list[dict], storm_window: int,
+                     storm_threshold: int) -> list[dict]:
+    """``recovery_storm`` flags: per cell, densest restart window."""
+    by_agent: dict[str, list[int]] = {}
+    for event in events:
+        if event.get("event") == "recovery":
+            agent = str(event.get("agent", "?"))
+            by_agent.setdefault(agent, []).append(int(event.get("t", 0)))
+    flags = []
+    for agent, ts in sorted(by_agent.items()):
+        ts.sort()
+        best = None
+        for i in range(len(ts)):
+            j = i
+            while j + 1 < len(ts) and ts[j + 1] - ts[i] < storm_window:
+                j += 1
+            count = j - i + 1
+            if count > storm_threshold and (best is None or count > best[0]):
+                best = (count, ts[i], ts[j])
+        if best is not None:
+            flags.append({
+                "kind": "recovery_storm",
+                "agent": agent,
+                "restarts": best[0],
+                "window": int(storm_window),
+                "start_t": best[1],
+                "end_t": best[2],
+            })
+    return flags
+
+
 def detect_anomalies(
     records: list[dict],
     coverage_slack: float = DEFAULT_COVERAGE_SLACK,
     min_calibration_n: int = DEFAULT_MIN_CALIBRATION_N,
     margin_run: int = DEFAULT_MARGIN_RUN,
+    storm_window: int = DEFAULT_STORM_WINDOW,
+    storm_threshold: int = DEFAULT_STORM_THRESHOLD,
 ) -> list[dict]:
     """Machine-readable anomaly flags over one trace (see module doc).
 
@@ -96,6 +156,10 @@ def detect_anomalies(
     learner.
     """
     flags: list[dict] = []
+    if not records:
+        return flags
+    records, events = split_events(records)
+    flags.extend(_recovery_storms(events, storm_window, storm_threshold))
     if not records:
         return flags
     final = records[-1]
@@ -165,17 +229,33 @@ def detect_anomalies(
     return flags
 
 
-def _timeline(records: list[dict], width: int = 72) -> str:
+def _timeline(records: list[dict], width: int = 72,
+              events: "list[dict] | None" = None) -> str:
     """One character per period: the worst event that round.
 
-    ``D`` degraded, ``Q`` quarantined, ``V`` constraint violation,
-    ``!`` drift flag, ``.`` clean — wrapped at ``width`` columns with
-    period offsets on the left.
+    ``R`` supervisor restart/recovery, ``C`` circuit breaker
+    opened/closed, ``D`` degraded, ``Q`` quarantined, ``V`` constraint
+    violation, ``!`` drift flag, ``.`` clean — wrapped at ``width``
+    columns with period offsets on the left.  Supervision markers are
+    matched to period records by ``(agent, t)``.
     """
+    recovered = set()
+    breaker = set()
+    for event in events or ():
+        key = (event.get("agent"), event.get("t"))
+        if event.get("event") in ("recovery", "cell_crash", "cell_stall"):
+            recovered.add(key)
+        elif event.get("event") in ("breaker_open", "breaker_close"):
+            breaker.add(key)
     chars = []
     for record in records:
         outcome = record.get("outcome") or {}
-        if record.get("degraded"):
+        key = (record.get("agent"), record.get("t"))
+        if key in recovered:
+            chars.append("R")
+        elif key in breaker:
+            chars.append("C")
+        elif record.get("degraded"):
             chars.append("D")
         elif record.get("quarantined"):
             chars.append("Q")
@@ -192,8 +272,8 @@ def _timeline(records: list[dict], width: int = 72) -> str:
             f"t={str(start).rjust(label_w)}  "
             + "".join(chars[start:start + width])
         )
-    lines.append("legend: D degraded  Q quarantined  V violation  "
-                 "! drift  . clean")
+    lines.append("legend: R restart  C breaker  D degraded  "
+                 "Q quarantined  V violation  ! drift  . clean")
     return "\n".join(lines)
 
 
@@ -214,6 +294,11 @@ def render_dashboard(records: list[dict],
         return "decision trace is empty — nothing to diagnose"
     if anomalies is None:
         anomalies = detect_anomalies(records)
+    records, events = split_events(records)
+    if not records:
+        lines = ["trace holds supervision events only (no decision records):"]
+        lines += [f"  - {json.dumps(e, sort_keys=True)}" for e in events]
+        return "\n".join(lines)
     final = records[-1]
     outcome_costs = _series(
         records, lambda r: (r.get("outcome") or {}).get("cost")
@@ -251,6 +336,19 @@ def render_dashboard(records: list[dict],
             f"experiment store (store_hit; see docs/STORE.md)"
         )
 
+    if events:
+        counts: dict[str, int] = {}
+        for event in events:
+            name = str(event.get("event"))
+            counts[name] = counts.get(name, 0) + 1
+        summary = "  ".join(
+            f"{name}={n}" for name, n in sorted(counts.items())
+        )
+        sections.append(
+            f"Supervision events ({len(events)}): {summary} "
+            f"(see docs/ROBUSTNESS.md, \"Fleet resilience\")"
+        )
+
     sections.append(render_chart(
         {"safe fraction": _series(
             records, lambda r: (r.get("safe_set") or {}).get("fraction")
@@ -286,7 +384,8 @@ def render_dashboard(records: list[dict],
             sections.append(render_histogram(values, title=title))
 
     sections.append(
-        "Event timeline (one char per period)\n" + _timeline(records)
+        "Event timeline (one char per period)\n"
+        + _timeline(records, events=events)
     )
 
     regret = _series(

@@ -32,7 +32,7 @@ from repro.telemetry import runtime as telemetry
 from repro.telemetry.export import JsonlSink
 
 __all__ = [
-    "enabled", "install", "uninstall", "use", "scope", "emit",
+    "enabled", "install", "uninstall", "use", "scope", "suppress", "emit",
     "make_tracer", "ListSink",
 ]
 
@@ -55,12 +55,13 @@ class ListSink:
 class _State:
     """Mutable process-local decision-trace state (one per process)."""
 
-    __slots__ = ("sink", "label")
+    __slots__ = ("sink", "label", "suppressed")
 
     def __init__(self) -> None:
-        """Start with no sink installed and no scope label."""
+        """Start with no sink installed, no scope label, not suppressed."""
         self.sink = None
         self.label: str | None = None
+        self.suppressed = False
 
 
 _STATE = _State()
@@ -123,16 +124,34 @@ def scope(label: str):
         _STATE.label = previous
 
 
+@contextmanager
+def suppress():
+    """Drop records emitted inside the block (sink stays installed).
+
+    The fleet supervisor wraps crash-recovery *replay* of periods that
+    were already emitted before the crash: the tracer still runs (its
+    streaming state must advance identically to the uninterrupted run)
+    but re-emitting would duplicate those periods in the trace.
+    """
+    previous = _STATE.suppressed
+    _STATE.suppressed = True
+    try:
+        yield
+    finally:
+        _STATE.suppressed = previous
+
+
 def emit(record: dict) -> None:
     """Emit one decision record — no-op while no sink is installed.
 
     The record gains ``type: "decision"`` (and the active :func:`scope`
     label as ``cell``), goes to the installed sink, and is mirrored to
     any recording telemetry sinks so one JSONL can interleave decisions
-    with spans and metrics.
+    with spans and metrics.  Inside a :func:`suppress` block the record
+    is dropped.
     """
     sink = _STATE.sink
-    if sink is None:
+    if sink is None or _STATE.suppressed:
         return
     full = {"type": "decision"}
     if _STATE.label is not None:

@@ -26,6 +26,9 @@ backpressure on a deterministic virtual-time scheduler
 loop bit-identically to the synchronous system; :class:`FleetRuntime`
 runs tens of cells in one process with a shared SMO, a load harness
 (:class:`FleetLoadModel`) and throttled alerting (:class:`AlertRouter`).
+Each fleet carries a :class:`FleetSupervisor` (``docs/ROBUSTNESS.md``,
+"Fleet resilience") for snapshot checkpointing, crash/stall recovery
+with restart policies and a mailbox circuit breaker.
 """
 
 from repro.oran.bus import (
@@ -69,6 +72,7 @@ from repro.oran.runtime import (
     FleetResult,
     FleetRuntime,
 )
+from repro.oran.supervisor import FleetSupervisor, SupervisorPolicy
 
 __all__ = [
     "MessageBus",
@@ -112,4 +116,6 @@ __all__ = [
     "FleetCell",
     "FleetResult",
     "FleetRuntime",
+    "FleetSupervisor",
+    "SupervisorPolicy",
 ]

@@ -22,6 +22,14 @@ agents (seeded from one SeedSequence tree by the caller) — so fleet
 results are reproducible and independent of ``--jobs``.  Wall-clock
 timing is measured but kept out of result *rows*; it feeds the
 control-plane benchmark (``benchmarks/test_perf_control_plane.py``).
+
+Resilience: every fleet owns a
+:class:`~repro.oran.supervisor.FleetSupervisor` (inert unless
+``supervise=True``) providing snapshot checkpointing, crash/stall
+detection with restart policies and a mailbox circuit breaker; a
+supervised warm restore replays missed periods through
+:meth:`FleetRuntime._cell_period` bit-identically to the uninterrupted
+run.  See ``docs/ROBUSTNESS.md`` ("Fleet resilience").
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ from repro.oran.e2 import E2Node, E2Termination
 from repro.oran.loop import VirtualTimeLoop
 from repro.oran.o1 import O1Termination
 from repro.oran.smo import OranSystem, SMOFramework
+from repro.oran.supervisor import FleetSupervisor, SupervisorPolicy
 from repro.obs import runtime as obs
 from repro.ran.phy import MAX_MCS
 from repro.telemetry import runtime as telemetry
@@ -96,7 +105,12 @@ class FleetResult:
 
     ``decisions_per_s`` is wall-clock derived — benchmark material,
     deliberately excluded from experiment rows to preserve sweep
-    determinism.
+    determinism.  ``partial_cells`` maps cells whose logs are short
+    (unsupervised deaths, quarantines) to ``{rows, missed, reason}``;
+    ``recovery`` is the supervisor's per-cell summary (restarts,
+    snapshots, breaker trips); ``replayed`` counts suppressed
+    crash-recovery replays of already-emitted periods (kept out of
+    ``decisions`` so throughput numbers stay comparable).
     """
 
     n_cells: int
@@ -110,6 +124,10 @@ class FleetResult:
     mailbox_stats: dict
     loop_steps: int
     decision_summaries: dict = field(default_factory=dict)
+    partial_cells: dict = field(default_factory=dict)
+    recovery: dict = field(default_factory=dict)
+    replayed: int = 0
+    supervised: bool = False
 
     @property
     def decisions_per_s(self) -> float:
@@ -149,6 +167,9 @@ class FleetCell:
         self.log = RunLog()
         self._service_policy = (1.0, 1.0)
         self._stage: tuple = ()
+        #: Per-period load multipliers (index = period), maintained by
+        #: the runtime so crash-recovery replay can re-apply them.
+        self._load_trace: list[float] = []
 
         self.e2_term = E2Termination(bus, prefix=self.prefix)
         self.o1_term = O1Termination(bus, prefix=self.prefix)
@@ -211,12 +232,24 @@ class FleetRuntime:
     loop_seed:
         Seeds the event loop's tie-breaking; ``None`` (default) is the
         canonical FIFO order.
+    supervise:
+        Enable the fleet supervisor: periodic snapshots, crash/stall
+        recovery with restart policies and the mailbox circuit
+        breaker.  Requires ``batch_size == 1`` (replay determinism
+        depends on the unbatched indication sequence).
+    snapshot_every:
+        Checkpoint cadence in periods (shorthand for the policy field;
+        mutually exclusive with ``supervisor_policy``).
+    supervisor_policy:
+        Full :class:`~repro.oran.supervisor.SupervisorPolicy` override.
     """
 
     def __init__(self, cells, load_model=None,
                  indication_policy: str = "block",
                  indication_capacity: int = 64, batch_size: int = 1,
-                 alert_rules=None, loop_seed=None) -> None:
+                 alert_rules=None, loop_seed=None, supervise: bool = False,
+                 snapshot_every: int | None = None,
+                 supervisor_policy: SupervisorPolicy | None = None) -> None:
         """Wire the fleet: shared bus, shared A1, per-cell planes."""
         pairs = list(cells)
         if not pairs:
@@ -261,6 +294,25 @@ class FleetRuntime:
                 self.a1_service, self.a1_client, batch_size=batch_size,
             ))
         self.decisions = 0
+        self.replayed = 0
+
+        if supervisor_policy is not None and snapshot_every is not None:
+            raise ValueError(
+                "pass snapshot_every inside supervisor_policy, not both"
+            )
+        if supervise and batch_size != 1:
+            raise ValueError(
+                "supervised fleets require batch_size=1: warm-restore "
+                "replay depends on the unbatched indication sequence"
+            )
+        if supervisor_policy is None:
+            supervisor_policy = (
+                SupervisorPolicy(snapshot_every=int(snapshot_every))
+                if snapshot_every is not None else SupervisorPolicy()
+            )
+        self.supervisor = FleetSupervisor(
+            self, policy=supervisor_policy, enabled=bool(supervise)
+        )
         # Deliver subscriptions before the first period.
         self.bus.drain()
 
@@ -269,12 +321,136 @@ class FleetRuntime:
         """Fleet size."""
         return len(self.cells)
 
+    @staticmethod
+    def _merge_observation(observation, bs_power: float) -> TestbedObservation:
+        """The stage-3 merge: testbed truth + control-plane BS power."""
+        return TestbedObservation(
+            delay_s=observation.delay_s,
+            map_score=observation.map_score,
+            server_power_w=observation.server_power_w,
+            bs_power_w=bs_power,
+            gpu_delay_s=observation.gpu_delay_s,
+            gpu_utilization=observation.gpu_utilization,
+            total_rate_hz=observation.total_rate_hz,
+            mean_mcs=observation.mean_mcs,
+            offered_load_bps=observation.offered_load_bps,
+            per_user_delay_s=observation.per_user_delay_s,
+            per_user_rate_hz=observation.per_user_rate_hz,
+        )
+
+    def _alert_sample(self, cell: FleetCell, t: int, merged,
+                      cost: float) -> dict:
+        """One per-cell-period KPI sample for the alert router."""
+        return {
+            "cell": cell.cell_id,
+            "t": t,
+            "delay_s": merged.delay_s,
+            "map_score": merged.map_score,
+            "d_max_s": cell.constraints.d_max_s,
+            "rho_min": cell.constraints.rho_min,
+            "cost": cost,
+            "degraded": bool(getattr(cell.agent, "degraded", False)),
+        }
+
+    def _set_cell_load(self, cell: FleetCell, t: int) -> None:
+        """Re-apply the load multiplier period ``t`` ran under (replay)."""
+        trace = cell._load_trace
+        if trace:
+            cell.env.set_load_multiplier(trace[min(t, len(trace) - 1)])
+
+    def _cell_period(self, cell: FleetCell, t: int, fresh: bool = True) -> None:
+        """One full period for a *single* cell (the replay path).
+
+        Runs the same select → deploy → actuate → merge → learn
+        sequence as :meth:`run_period`, with drain barriers at the same
+        two synchronisation points — per-cell message flows are
+        independent (per-cell topic prefixes, per-cell A1 policy
+        instances, env-local RNGs), so replaying one cell alone is
+        bit-identical to its slice of the batched fleet period.
+        ``fresh=False`` marks a period the uninterrupted run already
+        emitted: the agent/tracer/log all advance identically, but the
+        alert router is skipped (its state survived the crash on the
+        shared runtime) and the work is counted as ``replayed`` rather
+        than ``decisions``.
+        """
+        snr = float(np.mean(cell.env.current_snrs_db))
+        context = cell.env.observe_context()
+        decision = cell.agent.select(context)
+        cell.policy_rapp.deploy(decision)
+        self.bus.drain()
+        enforced = cell.enforced_policy
+        observation = cell.env.step(enforced)
+        self.supervisor.maybe_flood(cell, t)
+        cell.e2_node.report_kpis({"bs_power_w": observation.bs_power_w})
+        self.bus.drain()
+        collected = cell.collector.latest_kpis
+        bs_power = collected.get("bs_power_w", observation.bs_power_w)
+        merged = self._merge_observation(observation, bs_power)
+        cost = cell.agent.observe(context, enforced, merged)
+        cell.log.append(
+            cost=cost,
+            policy=enforced,
+            observation=merged,
+            safe_set_size=getattr(cell.agent, "last_safe_set_size", None),
+            snr_db=snr,
+            d_max_s=cell.constraints.d_max_s,
+            rho_min=cell.constraints.rho_min,
+        )
+        if fresh:
+            self.decisions += 1
+            telemetry.inc("fleet.decisions")
+            self.alert_router.process(self._alert_sample(cell, t, merged, cost))
+        else:
+            self.replayed += 1
+        cell._stage = ()
+
+    def _shed_period(self, cell: FleetCell, t: int) -> None:
+        """One circuit-breaker-shed period: S0 degraded service, no bus.
+
+        While the cell's mailbox breaker is open the cell keeps serving
+        — on the paper's safe fallback S0 via the agent's degraded
+        path — but stays off the control plane entirely: no A1 round
+        trip, no KPI indications, direct env actuation.  Rows keep
+        flowing (no loss), explicitly marked degraded for the alert
+        router.
+        """
+        snr = float(np.mean(cell.env.current_snrs_db))
+        context = cell.env.observe_context()
+        policy = cell.agent._degraded_select(None, context)
+        observation = cell.env.step(policy)
+        cost = cell.agent.observe(context, policy, observation)
+        cell.log.append(
+            cost=cost,
+            policy=policy,
+            observation=observation,
+            safe_set_size=getattr(cell.agent, "last_safe_set_size", None),
+            snr_db=snr,
+            d_max_s=cell.constraints.d_max_s,
+            rho_min=cell.constraints.rho_min,
+        )
+        self.decisions += 1
+        telemetry.inc("fleet.decisions")
+        sample = self._alert_sample(cell, t, observation, cost)
+        sample["degraded"] = True
+        self.alert_router.process(sample)
+
     def run_period(self, t: int) -> None:
-        """One fleet-wide orchestration period (three drained stages)."""
+        """One fleet-wide orchestration period (three drained stages).
+
+        The supervisor opens the period (executing due restarts and
+        drawing fault decisions) and hands back the cells that run the
+        normal batched stages plus the breaker-shed cells served via
+        :meth:`_shed_period`; it closes the period with breaker
+        evaluation and due checkpoints.  Without supervision or a fault
+        plan every cell is active and the stage sequence is exactly the
+        legacy one.
+        """
+        active, shed = self.supervisor.begin_period(t)
+
         # Stage 1 — decide and deploy: every cell selects, its rApp
         # publishes the A1 request; control propagates A1 -> xApp ->
         # E2 control through the mailboxes at the drain barrier.
-        for cell in self.cells:
+        for cell in active:
             snr = float(np.mean(cell.env.current_snrs_db))
             context = cell.env.observe_context()
             decision = cell.agent.select(context)
@@ -285,31 +461,20 @@ class FleetRuntime:
         # Stage 2 — actuate and measure: each cell's testbed runs one
         # period under its enforced policy; KPI indications flow
         # E2 -> O1 at the barrier.
-        for cell in self.cells:
+        for cell in active:
             enforced = cell.enforced_policy
             observation = cell.env.step(enforced)
+            self.supervisor.maybe_flood(cell, t)
             cell.e2_node.report_kpis({"bs_power_w": observation.bs_power_w})
             cell._stage = cell._stage + (enforced, observation)
         self.bus.drain()
 
         # Stage 3 — learn, log and alert.
-        for cell in self.cells:
+        for cell in active:
             snr, context, _decision, enforced, observation = cell._stage
             collected = cell.collector.latest_kpis
             bs_power = collected.get("bs_power_w", observation.bs_power_w)
-            merged = TestbedObservation(
-                delay_s=observation.delay_s,
-                map_score=observation.map_score,
-                server_power_w=observation.server_power_w,
-                bs_power_w=bs_power,
-                gpu_delay_s=observation.gpu_delay_s,
-                gpu_utilization=observation.gpu_utilization,
-                total_rate_hz=observation.total_rate_hz,
-                mean_mcs=observation.mean_mcs,
-                offered_load_bps=observation.offered_load_bps,
-                per_user_delay_s=observation.per_user_delay_s,
-                per_user_rate_hz=observation.per_user_rate_hz,
-            )
+            merged = self._merge_observation(observation, bs_power)
             cost = cell.agent.observe(context, enforced, merged)
             cell.log.append(
                 cost=cost,
@@ -322,24 +487,27 @@ class FleetRuntime:
             )
             self.decisions += 1
             telemetry.inc("fleet.decisions")
-            self.alert_router.process({
-                "cell": cell.cell_id,
-                "t": t,
-                "delay_s": merged.delay_s,
-                "map_score": merged.map_score,
-                "d_max_s": cell.constraints.d_max_s,
-                "rho_min": cell.constraints.rho_min,
-                "cost": cost,
-                "degraded": bool(getattr(cell.agent, "degraded", False)),
-            })
+            self.alert_router.process(self._alert_sample(cell, t, merged, cost))
             cell._stage = ()
+            self.supervisor.heartbeat(cell, t)
 
-        # Stage 4 — load harness: next period's offered load.
+        # Shed cells: S0 degraded service off the bus.
+        for cell in shed:
+            self._shed_period(cell, t)
+            self.supervisor.heartbeat(cell, t)
+
+        # Stage 4 — load harness: next period's offered load.  The load
+        # model steps for the whole fleet (its RNG stream must not
+        # depend on which cells are up) and the per-cell trace records
+        # the multiplier so recovery replay can re-apply it.
         if self.load_model is not None:
             multipliers = self.load_model.step()
             for cell, multiplier in zip(self.cells, multipliers):
-                cell.env.set_load_multiplier(float(multiplier))
+                multiplier = float(multiplier)
+                cell._load_trace.append(multiplier)
+                cell.env.set_load_multiplier(multiplier)
         self.bus.drain()
+        self.supervisor.end_period(t)
 
     def run(self, n_periods: int) -> FleetResult:
         """Run the fleet for ``n_periods``; returns the fleet result.
@@ -357,10 +525,16 @@ class FleetRuntime:
             if tracer is not None:
                 cell.agent.attach_tracer(tracer)
                 tracers.append((cell, tracer))
+            if not cell._load_trace:
+                cell._load_trace.append(
+                    float(cell.env.service_model.load_multiplier)
+                )
+        self.supervisor.start()
         started = time.perf_counter()
         try:
             for t in range(n_periods):
                 self.run_period(t)
+            self.supervisor.finish(n_periods)
         finally:
             for cell, _tracer in tracers:
                 cell.agent.attach_tracer(None)
@@ -369,6 +543,22 @@ class FleetRuntime:
             # Ship any partially filled indication batches.
             cell.e2_node.flush()
         self.bus.drain()
+        partial = self.supervisor.partial_cells(n_periods)
+        for cell in self.cells:
+            rows = len(cell.log)
+            entry = partial.get(cell.cell_id)
+            complete = entry is None and rows == n_periods
+            accounted = (
+                entry is not None
+                and rows == entry["rows"]
+                and rows + entry["missed"] == n_periods
+            )
+            if not (complete or accounted):
+                raise RuntimeError(
+                    f"fleet accounting broken for {cell.cell_id}: "
+                    f"{rows} rows over {n_periods} periods, "
+                    f"partial entry {entry!r}"
+                )
         return FleetResult(
             n_cells=self.n_cells,
             n_periods=n_periods,
@@ -383,4 +573,8 @@ class FleetRuntime:
             decision_summaries={
                 cell.cell_id: tracer.summary() for cell, tracer in tracers
             },
+            partial_cells=partial,
+            recovery=self.supervisor.report(),
+            replayed=self.replayed,
+            supervised=self.supervisor.enabled,
         )

@@ -532,7 +532,7 @@ class TestDiagnose:
         assert "Event timeline" in text
         assert "Cumulative regret" in text
         assert "coverage_below_nominal" in text
-        assert "legend: D degraded" in text
+        assert "legend: R restart  C breaker  D degraded" in text
 
     def test_dashboard_on_empty_trace(self):
         assert "empty" in diagnose.render_dashboard([])
