@@ -34,9 +34,11 @@ budget, exported via environment so sweep workers inherit it — see
 (content-addressed experiment store: cells whose exact configuration
 was already computed are served from the store instead of re-run, see
 ``docs/STORE.md``); ``telemetry-report`` renders a recorded trace,
-``diagnose`` renders a decision trace as a dashboard with anomaly
-flags, and ``results`` queries the experiment store
-(list/show/gc/verify).
+``diagnose`` renders a decision trace (one file or a directory of
+per-cell traces) as a dashboard with anomaly flags, ``fleet-status``
+renders a fleet metrics dump (``repro run fleet --set metrics=DIR``)
+as an SLO burn-rate and energy-savings dashboard, and ``results``
+queries the experiment store (list/show/gc/verify).
 """
 
 from __future__ import annotations
@@ -255,26 +257,58 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_diagnose(args) -> int:
-    """``repro diagnose``: dashboard + anomaly flags for a decision trace."""
+    """``repro diagnose``: dashboard + anomaly flags for a decision trace.
+
+    Accepts either one trace file or a directory of per-cell traces
+    (every ``*.jsonl`` inside is flagged and the flags aggregated with
+    a ``source`` field naming the originating file).
+    """
     import json
 
     from repro.obs import diagnose
 
     try:
-        records = diagnose.load_decisions(args.path)
+        if Path(args.path).is_dir():
+            dashboard, anomalies = diagnose.diagnose_directory(args.path)
+            n_records = None
+        else:
+            records = diagnose.load_decisions(args.path)
+            anomalies = diagnose.detect_anomalies(records)
+            dashboard = diagnose.render_dashboard(records, anomalies=anomalies)
+            n_records = len(records)
     except (OSError, ValueError) as exc:
         raise SystemExit(f"repro diagnose: {exc}") from None
-    anomalies = diagnose.detect_anomalies(records)
     if args.json:
-        print(json.dumps(
-            {"records": len(records), "anomalies": anomalies}, indent=2
-        ))
+        payload = {"anomalies": anomalies}
+        if n_records is not None:
+            payload["records"] = n_records
+        print(json.dumps(payload, indent=2))
     else:
-        print(diagnose.render_dashboard(records, anomalies=anomalies))
+        print(dashboard)
     if args.fail_on_anomaly and anomalies:
         print(f"repro diagnose: {len(anomalies)} anomaly flag(s) raised",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_fleet_status(args) -> int:
+    """``repro fleet-status``: SLO/energy dashboard over a metrics dump."""
+    import json
+
+    from repro.fleetobs import MetricStore, render_status, status_payload
+
+    store = MetricStore()
+    try:
+        store.ingest_jsonl(args.path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro fleet-status: {exc}") from None
+    kwargs = dict(delay_budget=args.delay_budget, map_budget=args.map_budget,
+                  window=args.window, top=args.top)
+    if args.json:
+        print(json.dumps(status_payload(store, **kwargs), indent=2))
+    else:
+        print(render_status(store, **kwargs))
     return 0
 
 
@@ -347,6 +381,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fail-on-anomaly", action="store_true",
                    help="exit non-zero when any anomaly flag is raised")
     p.set_defaults(fn=_cmd_diagnose)
+
+    p = sub.add_parser(
+        "fleet-status",
+        help="render a fleet metrics dump (--set metrics=DIR) as an SLO "
+             "burn-rate and energy-savings dashboard",
+    )
+    p.add_argument("path", type=Path,
+                   help="metrics JSONL written by 'repro run fleet "
+                        "--set metrics=DIR'")
+    p.add_argument("--json", action="store_true",
+                   help="print the machine-readable payload instead of "
+                        "the dashboard")
+    p.add_argument("--delay-budget", type=float, default=0.10, metavar="F",
+                   help="allowed delay-violation rate (SLO error budget)")
+    p.add_argument("--map-budget", type=float, default=0.10, metavar="F",
+                   help="allowed mAP-violation rate (SLO error budget)")
+    p.add_argument("--window", type=int, default=20, metavar="N",
+                   help="rolling window (periods) for recent burn rates")
+    p.add_argument("--top", type=int, default=5, metavar="K",
+                   help="cells to list in the top-cost ranking")
+    p.set_defaults(fn=_cmd_fleet_status)
 
     add_results_command(sub)
 

@@ -1,0 +1,212 @@
+"""Causal tracing of fleet rounds across the async O-RAN control plane.
+
+The async bus breaks span parentage by design: a publish enqueues into
+per-subscriber mailboxes and the handler runs later inside a consumer
+task, far from the publisher's stack.  Two pieces stitch it back
+together:
+
+* The bus propagates the publisher's span context inside the message
+  envelope (:class:`repro.oran.bus.AsyncMessageBus` wraps messages in a
+  traced envelope whenever telemetry is recording and a span is open)
+  and the consumer installs that context around the handler under a
+  ``bus.deliver`` span — so every hop of a control message (A1 -> xApp
+  -> E2 -> node, E2 indication -> KPI xApp -> O1 -> collector) parents
+  under the span that published it.
+* :class:`RoundTracer` gives every ``(cell, period)`` of a fleet run
+  its own root span (``fleet.round``) and keeps a per-cell span
+  context across the interleaved fleet stages, so one BO round is one
+  trace tree even though the runtime batches cells per stage.
+
+:func:`critical_path_report` reconstructs the round trees from emitted
+span records and aggregates where round time goes per hop — the tool
+for explaining the 1→32-cell per-cell throughput collapse measured in
+``BENCH_control_plane.json``.
+"""
+
+from __future__ import annotations
+
+import re
+from contextlib import contextmanager
+
+from repro.telemetry import runtime as telemetry
+from repro.telemetry import spans
+
+__all__ = ["RoundTracer", "critical_path_report"]
+
+#: Per-cell topic prefixes (``cell003.e2.indication``) normalised away
+#: so hops aggregate across the fleet.
+_CELL_PREFIX = re.compile(r"cell\d+\.")
+
+
+class RoundTracer:
+    """Per-cell ``fleet.round`` root spans across interleaved stages.
+
+    The fleet runtime batches cells per stage (decide for every cell,
+    drain, actuate for every cell, drain, ...), so a cell's round is
+    not one contiguous stack scope.  The tracer keeps one private span
+    context per cell: :meth:`begin` opens the root span inside it,
+    :meth:`stage` swaps it in around each stage slice, and :meth:`end`
+    closes the root.  Publishes made inside a stage slice capture the
+    cell's context (via the loop's task-context capture), which is what
+    threads the bus hops into the right round tree.
+    """
+
+    def __init__(self) -> None:
+        """Create a tracer with no open rounds."""
+        self._contexts: dict[str, list] = {}
+        self._roots: dict[str, object] = {}
+
+    def begin(self, cell_id: str, t: int) -> None:
+        """Open the ``fleet.round`` root span for ``cell_id`` at ``t``."""
+        context: list = []
+        self._contexts[cell_id] = context
+        saved = spans.set_context(context)
+        try:
+            root = telemetry.span("fleet.round", cell=cell_id, t=t)
+            root.__enter__()
+            self._roots[cell_id] = root
+        finally:
+            spans.set_context(saved)
+
+    @contextmanager
+    def stage(self, cell_id: str):
+        """Run one stage slice under ``cell_id``'s round context."""
+        saved = spans.set_context(self._contexts.setdefault(cell_id, []))
+        try:
+            yield
+        finally:
+            spans.set_context(saved)
+
+    def end(self, cell_id: str) -> None:
+        """Close ``cell_id``'s round span (no-op when not open)."""
+        root = self._roots.pop(cell_id, None)
+        if root is None:
+            return
+        saved = spans.set_context(self._contexts.get(cell_id, []))
+        try:
+            root.__exit__(None, None, None)
+        finally:
+            spans.set_context(saved)
+            self._contexts.pop(cell_id, None)
+
+    def close(self) -> None:
+        """Close any rounds still open (crash-tolerant cleanup)."""
+        for cell_id in list(self._roots):
+            self.end(cell_id)
+
+
+def _hop_name(record: dict) -> str:
+    """A span record's aggregation key (topic-qualified, cell-stripped)."""
+    name = str(record.get("name"))
+    topic = (record.get("attrs") or {}).get("topic")
+    if topic:
+        return f"{name}:{_CELL_PREFIX.sub('', str(topic))}"
+    return name
+
+
+def critical_path_report(span_records) -> dict:
+    """Aggregate round trees into hop totals and the modal critical path.
+
+    ``span_records`` are ``type: "span"`` dicts (any other types are
+    ignored).  Trees are grouped by ``trace`` id and only trees rooted
+    at a ``fleet.round`` span count as rounds.  Returns::
+
+        {
+          "rounds": <number of round trees>,
+          "round_mean_s": <mean root duration>,
+          "hops": [{"hop", "count", "total_s", "mean_s", "share"} ...],
+          "critical_path": [{"hop", "mean_s"} ...],
+          "critical_path_share": <fraction of rounds on the modal path>,
+        }
+
+    The per-round critical path follows the slowest child at every
+    level; the report keeps the modal path across rounds with its mean
+    per-hop durations.
+    """
+    records = [
+        r for r in span_records
+        if r.get("type") == "span" and r.get("duration_s") is not None
+    ]
+    by_id = {r["id"]: r for r in records}
+    children: dict[int, list] = {}
+    roots = []
+    for r in records:
+        parent = r.get("parent")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(r)
+        if r.get("name") == "fleet.round" and (
+            parent is None or parent not in by_id
+        ):
+            roots.append(r)
+
+    hops: dict[str, list] = {}
+    total_round_s = 0.0
+    path_counts: dict[tuple, int] = {}
+    path_durations: dict[tuple, dict] = {}
+    for root in roots:
+        total_round_s += float(root["duration_s"])
+        # Hop totals: every span in this round tree.
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            hops.setdefault(_hop_name(node), []).append(
+                float(node["duration_s"])
+            )
+            stack.extend(children.get(node["id"], ()))
+        # Critical path: slowest child at each level (root excluded).
+        path = []
+        node = root
+        durations = {}
+        while True:
+            kids = children.get(node["id"], ())
+            if not kids:
+                break
+            node = max(kids, key=lambda r: (float(r["duration_s"]),
+                                            -int(r["id"])))
+            hop = _hop_name(node)
+            path.append(hop)
+            durations.setdefault(hop, []).append(float(node["duration_s"]))
+        key = tuple(path)
+        path_counts[key] = path_counts.get(key, 0) + 1
+        merged = path_durations.setdefault(key, {})
+        for hop, values in durations.items():
+            merged.setdefault(hop, []).extend(values)
+
+    hop_rows = [
+        {
+            "hop": hop,
+            "count": len(values),
+            "total_s": float(sum(values)),
+            "mean_s": float(sum(values) / len(values)),
+            "share": (
+                float(sum(values) / total_round_s) if total_round_s else 0.0
+            ),
+        }
+        for hop, values in hops.items()
+        if hop != "fleet.round"
+    ]
+    hop_rows.sort(key=lambda row: (-row["total_s"], row["hop"]))
+
+    modal_path: list = []
+    modal_share = 0.0
+    if path_counts:
+        key = max(sorted(path_counts), key=lambda k: path_counts[k])
+        durations = path_durations[key]
+        modal_path = [
+            {
+                "hop": hop,
+                "mean_s": float(
+                    sum(durations[hop]) / len(durations[hop])
+                ),
+            }
+            for hop in key
+        ]
+        modal_share = path_counts[key] / len(roots)
+
+    return {
+        "rounds": len(roots),
+        "round_mean_s": (total_round_s / len(roots)) if roots else None,
+        "hops": hop_rows,
+        "critical_path": modal_path,
+        "critical_path_share": modal_share,
+    }

@@ -414,3 +414,50 @@ def diagnose_path(path: "str | Path") -> tuple[str, list[dict]]:
     records = load_decisions(path)
     anomalies = detect_anomalies(records)
     return render_dashboard(records, anomalies=anomalies), anomalies
+
+
+def diagnose_directory(path: "str | Path") -> tuple[str, list[dict]]:
+    """Aggregate a directory of per-cell traces: ``(summary, flags)``.
+
+    Fleet runs and sweep workers leave one trace per cell; pointing
+    ``repro diagnose`` at the directory loads every ``*.jsonl`` inside
+    (sorted, non-recursive), flags each independently, and stamps every
+    flag with its ``source`` file so a reader can jump to the cell's
+    own dashboard.  Raises ``ValueError`` when the directory holds no
+    ``*.jsonl`` files.
+    """
+    directory = Path(path)
+    files = sorted(directory.glob("*.jsonl"))
+    if not files:
+        raise ValueError(f"{directory}: no *.jsonl traces found")
+    rows = []
+    all_flags: list[dict] = []
+    for file in files:
+        records = load_decisions(file)
+        periods, events = split_events(records)
+        flags = detect_anomalies(records)
+        for flag in flags:
+            flag["source"] = file.name
+        all_flags.extend(flags)
+        kinds: dict[str, int] = {}
+        for flag in flags:
+            kinds[flag["kind"]] = kinds.get(flag["kind"], 0) + 1
+        rows.append([
+            file.name, len(periods), len(events), len(flags),
+            ", ".join(f"{k}={n}" for k, n in sorted(kinds.items())) or "-",
+        ])
+    sections = [
+        f"diagnosed {len(files)} trace(s) in {directory}",
+        render_table(["trace", "periods", "events", "flags", "kinds"], rows),
+    ]
+    if all_flags:
+        lines = [f"Anomaly flags ({len(all_flags)}):"]
+        lines += [f"  - {json.dumps(flag, sort_keys=True)}"
+                  for flag in all_flags]
+        sections.append("\n".join(lines))
+    else:
+        sections.append("Anomaly flags: none")
+    sections.append(
+        "run 'repro diagnose <trace>' on one file for its full dashboard"
+    )
+    return "\n\n".join(sections), all_flags

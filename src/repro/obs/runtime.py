@@ -33,7 +33,7 @@ from repro.telemetry.export import JsonlSink
 
 __all__ = [
     "enabled", "install", "uninstall", "use", "scope", "suppress", "emit",
-    "make_tracer", "ListSink",
+    "current_sink", "make_tracer", "ListSink",
 ]
 
 
@@ -82,6 +82,16 @@ def install(sink) -> None:
 def uninstall() -> None:
     """Clear any installed sink (no-op when none is active)."""
     install(None)
+
+
+def current_sink():
+    """The installed decision sink, or ``None``.
+
+    Lets callers that add their own sink (e.g. the fleet spec's
+    ``--metrics`` store) tee records to whatever sink an outer scope
+    installed instead of shadowing it.
+    """
+    return _STATE.sink
 
 
 @contextmanager

@@ -36,6 +36,7 @@ from collections.abc import Callable
 from repro.faults import runtime as faults
 from repro.oran.loop import Future, VirtualTimeLoop
 from repro.telemetry import runtime as telemetry
+from repro.telemetry import spans
 
 __all__ = [
     "MessageBus",
@@ -277,16 +278,34 @@ class Mailbox:
         }
 
 
+class _TracedMessage:
+    """Envelope carrying the publisher's span context with a message.
+
+    Created by :meth:`AsyncMessageBus._fan_out` only while telemetry is
+    recording *and* the publishing task has a span open; the consumer
+    unwraps it before the handler runs, so handlers never see the
+    envelope.  This is what stitches one fleet round into a single span
+    tree across bus hops (see :mod:`repro.fleetobs.tracing`).
+    """
+
+    __slots__ = ("message", "context")
+
+    def __init__(self, message: object, context: list) -> None:
+        self.message = message
+        self.context = context
+
+
 class _Subscriber:
     """One subscription: handler + mailbox + its consumer task."""
 
-    __slots__ = ("handler", "mailbox", "task", "closed")
+    __slots__ = ("handler", "mailbox", "task", "closed", "topic")
 
-    def __init__(self, handler, mailbox: Mailbox) -> None:
+    def __init__(self, handler, mailbox: Mailbox, topic: str = "") -> None:
         self.handler = handler
         self.mailbox = mailbox
         self.task = None
         self.closed = False
+        self.topic = topic
 
 
 class AsyncMessageBus:
@@ -379,7 +398,7 @@ class AsyncMessageBus:
             policy=policy if policy is not None else self.default_policy,
             name=f"{topic}#{len(self._subscribers[topic])}",
         )
-        subscriber = _Subscriber(handler, mailbox)
+        subscriber = _Subscriber(handler, mailbox, topic=topic)
         subscriber.task = self.loop.create_task(
             self._consume(subscriber), name=f"consume:{mailbox.name}"
         )
@@ -444,23 +463,53 @@ class AsyncMessageBus:
             await self._fan_out(topic, entry[1])
 
     async def _fan_out(self, topic: str, message: object) -> int:
-        """Record ``message`` and enqueue it to every subscriber."""
+        """Record ``message`` and enqueue it to every subscriber.
+
+        While telemetry is recording and the publishing task has a span
+        open, the mailboxes receive a :class:`_TracedMessage` envelope
+        carrying the publisher's span context (history keeps the bare
+        message either way) — causal tracing adds no messages, tasks or
+        counter increments, so traced runs stay bit-identical.
+        """
         self._history[topic].append(message)
         telemetry.inc("oran.bus.published")
         subscribers = [
             s for s in self._subscribers.get(topic, []) if not s.closed
         ]
+        payload = message
+        if telemetry.enabled():
+            context = spans.get_context()
+            if context:
+                payload = _TracedMessage(message, list(context))
         for subscriber in subscribers:
-            await subscriber.mailbox.put(message)
+            await subscriber.mailbox.put(payload)
         return len(subscribers)
 
     async def _consume(self, subscriber: _Subscriber):
-        """Consumer task: drain the mailbox, invoking the handler."""
+        """Consumer task: drain the mailbox, invoking the handler.
+
+        A traced envelope restores the publisher's span context around
+        the handler under a ``bus.deliver`` span, so spans opened by
+        the handler (and messages it publishes in turn) parent under
+        the span that published this message.
+        """
         while True:
             message = await subscriber.mailbox.get()
             if message is _CLOSE:
                 return
             telemetry.inc("oran.bus.delivered")
+            if type(message) is _TracedMessage:
+                saved = spans.set_context(list(message.context))
+                try:
+                    with telemetry.span(
+                        "bus.deliver", topic=subscriber.topic
+                    ):
+                        result = subscriber.handler(message.message)
+                        if inspect.iscoroutine(result):
+                            await result
+                finally:
+                    spans.set_context(saved)
+                continue
             result = subscriber.handler(message)
             if inspect.iscoroutine(result):
                 await result

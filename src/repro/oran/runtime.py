@@ -35,6 +35,7 @@ run.  See ``docs/ROBUSTNESS.md`` ("Fleet resilience").
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -242,6 +243,17 @@ class FleetRuntime:
         mutually exclusive with ``supervisor_policy``).
     supervisor_policy:
         Full :class:`~repro.oran.supervisor.SupervisorPolicy` override.
+    metrics:
+        Optional :class:`~repro.fleetobs.store.MetricStore`: every
+        cell-period ingests one ``type: "kpi"`` record and raised
+        alerts are mirrored into the store.  Ingestion is idempotent
+        (crash-recovery replays dedupe) and touches no RNG, so rows
+        stay bit-identical with or without a store.
+    trace_rounds_every:
+        Cadence (in periods) of per-cell ``fleet.round`` root spans
+        while telemetry is recording; untraced periods skip span and
+        envelope work entirely, bounding tracing overhead
+        (``benchmarks/test_perf_observability.py``).
     """
 
     def __init__(self, cells, load_model=None,
@@ -249,7 +261,8 @@ class FleetRuntime:
                  indication_capacity: int = 64, batch_size: int = 1,
                  alert_rules=None, loop_seed=None, supervise: bool = False,
                  snapshot_every: int | None = None,
-                 supervisor_policy: SupervisorPolicy | None = None) -> None:
+                 supervisor_policy: SupervisorPolicy | None = None,
+                 metrics=None, trace_rounds_every: int = 1) -> None:
         """Wire the fleet: shared bus, shared A1, per-cell planes."""
         pairs = list(cells)
         if not pairs:
@@ -295,6 +308,16 @@ class FleetRuntime:
             ))
         self.decisions = 0
         self.replayed = 0
+        self.metrics = metrics
+        if trace_rounds_every < 1:
+            raise ValueError(
+                f"trace_rounds_every must be >= 1, got {trace_rounds_every}"
+            )
+        self.trace_rounds_every = int(trace_rounds_every)
+        if metrics is not None:
+            self.alert_router.add_sink(
+                lambda alert: metrics.ingest(alert.to_record())
+            )
 
         if supervisor_policy is not None and snapshot_every is not None:
             raise ValueError(
@@ -352,6 +375,46 @@ class FleetRuntime:
             "degraded": bool(getattr(cell.agent, "degraded", False)),
         }
 
+    def _kpi_record(self, cell: FleetCell, t: int, merged,
+                    cost: float) -> dict:
+        """One ``type: "kpi"`` metrics record for a finished cell-period.
+
+        The fixed-max-power baseline is derived once per cell from its
+        testbed config (deterministic, no RNG) so the metric store's
+        energy ledger can account savings without re-opening the env.
+        """
+        if not hasattr(cell, "_baseline_power_w"):
+            config = getattr(cell.env, "config", None)
+            if config is not None:
+                from repro.fleetobs.ledger import fixed_max_baseline_w
+
+                cell._baseline_power_w = fixed_max_baseline_w(config)
+            else:
+                cell._baseline_power_w = None
+        baseline = cell._baseline_power_w
+        return {
+            "type": "kpi",
+            "cell": cell.cell_id,
+            "t": t,
+            "cost": float(cost),
+            "delay_s": float(merged.delay_s),
+            "map_score": float(merged.map_score),
+            "server_power_w": float(merged.server_power_w),
+            "bs_power_w": float(merged.bs_power_w),
+            "d_max_s": float(cell.constraints.d_max_s),
+            "rho_min": float(cell.constraints.rho_min),
+            "delay_violation": int(merged.delay_s > cell.constraints.d_max_s),
+            "map_violation": int(merged.map_score < cell.constraints.rho_min),
+            "baseline_power_w": baseline,
+            "degraded": bool(getattr(cell.agent, "degraded", False)),
+        }
+
+    def _ingest_kpis(self, cell: FleetCell, t: int, merged,
+                     cost: float) -> None:
+        """Ingest the period's KPI record when a metric store is wired."""
+        if self.metrics is not None:
+            self.metrics.ingest(self._kpi_record(cell, t, merged, cost))
+
     def _set_cell_load(self, cell: FleetCell, t: int) -> None:
         """Re-apply the load multiplier period ``t`` ran under (replay)."""
         trace = cell._load_trace
@@ -396,6 +459,9 @@ class FleetRuntime:
             d_max_s=cell.constraints.d_max_s,
             rho_min=cell.constraints.rho_min,
         )
+        # Replays re-ingest the same (cell, t) record; the store's
+        # dedupe key makes that a no-op rather than a double count.
+        self._ingest_kpis(cell, t, merged, cost)
         if fresh:
             self.decisions += 1
             telemetry.inc("fleet.decisions")
@@ -428,6 +494,7 @@ class FleetRuntime:
             d_max_s=cell.constraints.d_max_s,
             rho_min=cell.constraints.rho_min,
         )
+        self._ingest_kpis(cell, t, observation, cost)
         self.decisions += 1
         telemetry.inc("fleet.decisions")
         sample = self._alert_sample(cell, t, observation, cost)
@@ -447,48 +514,93 @@ class FleetRuntime:
         """
         active, shed = self.supervisor.begin_period(t)
 
+        # Causal tracing: on this period's sampling cadence every cell
+        # gets a `fleet.round` root span whose context each stage slice
+        # runs under, so the round's bus hops stitch into one tree (see
+        # repro.fleetobs.tracing).  A metrics store turns telemetry on
+        # for sampled periods only — interior spans (env.step, solver)
+        # and counters then cost nothing on the other periods, which is
+        # what keeps the --metrics ingestion overhead inside its budget
+        # (benchmarks/test_perf_observability.py).  An outer whole-run
+        # --telemetry scope is respected and never toggled.
+        sampled = t % self.trace_rounds_every == 0
+        toggled = False
+        if sampled and self.metrics is not None and not telemetry.enabled():
+            telemetry.enable()
+            toggled = True
+        rounds = None
+        if telemetry.enabled() and sampled:
+            from repro.fleetobs.tracing import RoundTracer
+
+            rounds = RoundTracer()
+        try:
+            self._run_period_stages(t, active, shed, rounds)
+        finally:
+            if toggled:
+                telemetry.disable()
+
+    def _run_period_stages(self, t: int, active, shed, rounds) -> None:
+        """The four drained stages of one period (tracing already set up)."""
+
+        def _scope(cell):
+            return rounds.stage(cell.cell_id) if rounds else nullcontext()
+
         # Stage 1 — decide and deploy: every cell selects, its rApp
         # publishes the A1 request; control propagates A1 -> xApp ->
         # E2 control through the mailboxes at the drain barrier.
         for cell in active:
-            snr = float(np.mean(cell.env.current_snrs_db))
-            context = cell.env.observe_context()
-            decision = cell.agent.select(context)
-            cell._stage = (snr, context, decision)
-            cell.policy_rapp.deploy(decision)
+            if rounds:
+                rounds.begin(cell.cell_id, t)
+            with _scope(cell):
+                snr = float(np.mean(cell.env.current_snrs_db))
+                context = cell.env.observe_context()
+                decision = cell.agent.select(context)
+                cell._stage = (snr, context, decision)
+                cell.policy_rapp.deploy(decision)
         self.bus.drain()
 
         # Stage 2 — actuate and measure: each cell's testbed runs one
         # period under its enforced policy; KPI indications flow
         # E2 -> O1 at the barrier.
         for cell in active:
-            enforced = cell.enforced_policy
-            observation = cell.env.step(enforced)
-            self.supervisor.maybe_flood(cell, t)
-            cell.e2_node.report_kpis({"bs_power_w": observation.bs_power_w})
-            cell._stage = cell._stage + (enforced, observation)
+            with _scope(cell):
+                enforced = cell.enforced_policy
+                observation = cell.env.step(enforced)
+                self.supervisor.maybe_flood(cell, t)
+                cell.e2_node.report_kpis(
+                    {"bs_power_w": observation.bs_power_w}
+                )
+                cell._stage = cell._stage + (enforced, observation)
         self.bus.drain()
 
         # Stage 3 — learn, log and alert.
         for cell in active:
-            snr, context, _decision, enforced, observation = cell._stage
-            collected = cell.collector.latest_kpis
-            bs_power = collected.get("bs_power_w", observation.bs_power_w)
-            merged = self._merge_observation(observation, bs_power)
-            cost = cell.agent.observe(context, enforced, merged)
-            cell.log.append(
-                cost=cost,
-                policy=enforced,
-                observation=merged,
-                safe_set_size=getattr(cell.agent, "last_safe_set_size", None),
-                snr_db=snr,
-                d_max_s=cell.constraints.d_max_s,
-                rho_min=cell.constraints.rho_min,
-            )
-            self.decisions += 1
-            telemetry.inc("fleet.decisions")
-            self.alert_router.process(self._alert_sample(cell, t, merged, cost))
-            cell._stage = ()
+            with _scope(cell):
+                snr, context, _decision, enforced, observation = cell._stage
+                collected = cell.collector.latest_kpis
+                bs_power = collected.get("bs_power_w", observation.bs_power_w)
+                merged = self._merge_observation(observation, bs_power)
+                cost = cell.agent.observe(context, enforced, merged)
+                cell.log.append(
+                    cost=cost,
+                    policy=enforced,
+                    observation=merged,
+                    safe_set_size=getattr(
+                        cell.agent, "last_safe_set_size", None
+                    ),
+                    snr_db=snr,
+                    d_max_s=cell.constraints.d_max_s,
+                    rho_min=cell.constraints.rho_min,
+                )
+                self._ingest_kpis(cell, t, merged, cost)
+                self.decisions += 1
+                telemetry.inc("fleet.decisions")
+                self.alert_router.process(
+                    self._alert_sample(cell, t, merged, cost)
+                )
+                cell._stage = ()
+            if rounds:
+                rounds.end(cell.cell_id)
             self.supervisor.heartbeat(cell, t)
 
         # Shed cells: S0 degraded service off the bus.
